@@ -1,0 +1,170 @@
+// Command sdsweep regenerates the paper's figures: it runs the full
+// interface-failure sweep (λ = 0.00 … 0.90, X runs per point, five
+// systems) on a parallel worker pool and prints the requested figure's
+// data series as an aligned table or CSV.
+//
+// Usage:
+//
+//	sdsweep -figure 4            # Average Update Effectiveness (Fig. 4)
+//	sdsweep -figure 5            # Median Update Responsiveness (Fig. 5)
+//	sdsweep -figure 6            # Efficiency Degradation (Fig. 6)
+//	sdsweep -figure 7            # PR1 ablation on FRODO (Fig. 7)
+//	sdsweep -figure all -runs 30 # everything, paper-sized
+//	sdsweep -figure loss         # extension: message-loss failure model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/sdsim"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "figure to regenerate: 4|5|6|7|loss|polling|all")
+		runs    = flag.Int("runs", 30, "runs per (system, λ) point (X in the paper)")
+		seed    = flag.Int64("seed", 1, "base seed for the whole sweep")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		asPlot  = flag.Bool("plot", false, "render figures 4-6 as ASCII charts too")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	params := sdsim.DefaultParams()
+	params.Runs = *runs
+	params.BaseSeed = *seed
+
+	progress := func(done, total int) {
+		if *quiet {
+			return
+		}
+		if done%100 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	emit := func(t sdsim.Table) {
+		if *asCSV {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	needMain := map[string]bool{"4": true, "5": true, "6": true, "all": true}
+	var main sdsim.SweepResult
+	if needMain[*figure] {
+		main = sdsim.Sweep(sdsim.SweepConfig{
+			Params: params, Workers: *workers, Progress: progress,
+		})
+	}
+
+	chart := func(m sdsim.Metric) {
+		if *asPlot {
+			fmt.Println(sdsim.Chart(main, m))
+		}
+	}
+
+	switch *figure {
+	case "4":
+		emit(sdsim.Figure4(main))
+		chart(sdsim.MetricEffectiveness)
+	case "5":
+		emit(sdsim.Figure5(main))
+		chart(sdsim.MetricResponsiveness)
+	case "6":
+		emit(sdsim.Figure6(main))
+		chart(sdsim.MetricDegradation)
+	case "7":
+		with, without := sdsim.Figure7Sweep(params, *workers, progress)
+		emit(sdsim.Figure7(with, without))
+	case "loss":
+		emit(lossSweep(params, *workers, progress))
+	case "polling":
+		emit(pollingSweep(params, *workers, progress))
+	case "all":
+		emit(sdsim.Figure4(main))
+		chart(sdsim.MetricEffectiveness)
+		emit(sdsim.Figure5(main))
+		chart(sdsim.MetricResponsiveness)
+		emit(sdsim.Figure6(main))
+		chart(sdsim.MetricDegradation)
+		emit(sdsim.Table5(main))
+		with, without := sdsim.Figure7Sweep(params, *workers, progress)
+		emit(sdsim.Figure7(with, without))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+// pollingSweep is the CM2 extension experiment: notification-only versus
+// notification-plus-persistent-polling, quantifying the §4.2 trade-off
+// (polling is the more effective method if persistent, but slower and
+// redundant for rarely-changing services).
+func pollingSweep(params sdsim.Params, workers int, progress func(int, int)) sdsim.Table {
+	params.Lambdas = []float64{0, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90}
+	base := sdsim.Sweep(sdsim.SweepConfig{Params: params, Workers: workers, Progress: progress})
+	polled := sdsim.Sweep(sdsim.SweepConfig{Params: params, Workers: workers, Progress: progress,
+		Opts: sdsim.WithPolling(600 * sdsim.Second)})
+	t := sdsim.Table{
+		Title:  "Extension: CM1 (notification) vs CM1+CM2 (adding 600s persistent polling) — Update Effectiveness",
+		Header: []string{"failure%"},
+	}
+	for _, sys := range sdsim.Systems() {
+		t.Header = append(t.Header, sys.Short(), sys.Short()+"+poll")
+	}
+	for li, l := range params.Lambdas {
+		row := []string{fmt.Sprintf("%.0f", l*100)}
+		for _, sys := range sdsim.Systems() {
+			row = append(row,
+				fmt.Sprintf("%.3f", base.Curves[sys].Points[li].Effectiveness),
+				fmt.Sprintf("%.3f", polled.Curves[sys].Points[li].Effectiveness))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"polling repairs missed notifications (higher F) at the price of redundant traffic (lower G) and poll-grid latency")
+	return t
+}
+
+// lossSweep is the extension experiment: the message-loss failure model
+// of the companion study [25], with λ reinterpreted as the per-frame
+// drop probability.
+func lossSweep(params sdsim.Params, workers int, progress func(int, int)) sdsim.Table {
+	lambdas := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4}
+	t := sdsim.Table{
+		Title:  "Extension: Average Update Effectiveness vs message loss (%) [25]",
+		Header: []string{"loss%"},
+	}
+	curves := map[sdsim.System][]float64{}
+	for _, sys := range sdsim.Systems() {
+		t.Header = append(t.Header, sys.Short())
+		for _, l := range lambdas {
+			p := params
+			p.Lambdas = []float64{0} // no interface failures
+			res := sdsim.Sweep(sdsim.SweepConfig{
+				Systems:  []sdsim.System{sys},
+				Params:   p,
+				Workers:  workers,
+				Opts:     sdsim.Options{Loss: l},
+				Progress: progress,
+			})
+			curves[sys] = append(curves[sys], res.Curves[sys].Points[0].Effectiveness)
+		}
+	}
+	for i, l := range lambdas {
+		row := []string{fmt.Sprintf("%.0f", l*100)}
+		for _, sys := range sdsim.Systems() {
+			row = append(row, fmt.Sprintf("%.3f", curves[sys][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

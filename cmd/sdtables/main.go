@@ -1,0 +1,56 @@
+// Command sdtables reproduces the paper's tables: the Table 2 update
+// message counts at zero failure and the Table 5 metric averages across
+// failure rates.
+//
+// Usage:
+//
+//	sdtables -table 2
+//	sdtables -table 5 -runs 30
+//	sdtables -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/sdsim"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "table to reproduce: 2|5|all")
+		runs    = flag.Int("runs", 30, "runs per (system, λ) point for Table 5")
+		seed    = flag.Int64("seed", 1, "base seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	params := sdsim.DefaultParams()
+	params.Runs = *runs
+	params.BaseSeed = *seed
+
+	emit := func(t sdsim.Table) {
+		if *asCSV {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	switch *table {
+	case "2":
+		emit(sdsim.Table2(params))
+	case "5":
+		res := sdsim.Sweep(sdsim.SweepConfig{Params: params, Workers: *workers})
+		emit(sdsim.Table5(res))
+	case "all":
+		emit(sdsim.Table2(params))
+		res := sdsim.Sweep(sdsim.SweepConfig{Params: params, Workers: *workers})
+		emit(sdsim.Table5(res))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q (want 2|5|all)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces "On Consistency Maintenance in Service
+// Discovery" (V. Sundramoorthy, P.H. Hartel, J. Scholten; IPPS 2006) as a
+// production-quality Go library.
+//
+// The public API lives in package repro/sdsim; the substrates are under
+// internal/ (discrete-event kernel, simulated LAN with the paper's UDP
+// and TCP failure models, the FRODO, Jini and UPnP protocol models, the
+// Update Metrics and the experiment harness). See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation at reduced scale; the cmd/sdsweep and
+// cmd/sdtables binaries run them at full scale.
+package repro

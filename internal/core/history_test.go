@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/discovery"
+)
+
+func rec(v uint64) discovery.ServiceRecord {
+	return discovery.ServiceRecord{Manager: 1, SD: discovery.ServiceDescription{
+		DeviceType: "Printer", ServiceType: "ColorPrinter",
+		Attributes: map[string]string{"v": "x"}, Version: v}}
+}
+
+func TestUpdateHistorySince(t *testing.T) {
+	h := NewUpdateHistory()
+	for v := uint64(1); v <= 4; v++ {
+		h.Record(rec(v))
+	}
+	got := h.Since(2)
+	if len(got) != 2 || got[0].SD.Version != 3 || got[1].SD.Version != 4 {
+		t.Fatalf("Since(2) = %v", got)
+	}
+	if len(h.Since(10)) != 0 {
+		t.Error("Since beyond head returned entries")
+	}
+}
+
+func TestUpdateHistoryPurgeAfterAllConfirm(t *testing.T) {
+	// "only purges the cached updates after all interested Users
+	// successfully obtained the complete view of the service"
+	h := NewUpdateHistory()
+	h.Interested(10)
+	h.Interested(11)
+	h.Record(rec(1))
+	h.Record(rec(2))
+	h.Confirm(10, 2)
+	if h.Len() != 2 {
+		t.Fatalf("purged while user 11 unconfirmed: len=%d", h.Len())
+	}
+	h.Confirm(11, 1)
+	if h.Len() != 1 {
+		t.Fatalf("entries <=1 should purge: len=%d", h.Len())
+	}
+	h.Confirm(11, 2)
+	if h.Len() != 0 {
+		t.Fatalf("all confirmed, len=%d", h.Len())
+	}
+}
+
+func TestUpdateHistoryDisinterestedUnblocks(t *testing.T) {
+	h := NewUpdateHistory()
+	h.Interested(10)
+	h.Interested(11)
+	h.Record(rec(1))
+	h.Confirm(10, 1)
+	if h.Len() != 1 {
+		t.Fatal("purged early")
+	}
+	h.Disinterested(11)
+	if h.Len() != 0 {
+		t.Error("departed user still blocks purging")
+	}
+}
+
+func TestUpdateHistoryCopiesRecords(t *testing.T) {
+	h := NewUpdateHistory()
+	r := rec(1)
+	h.Record(r)
+	r.SD.Attributes["v"] = "mutated"
+	got := h.Since(0)
+	if got[0].SD.Attributes["v"] != "x" {
+		t.Error("history aliases caller's record")
+	}
+	got[0].SD.Attributes["v"] = "mutated2"
+	if h.Since(0)[0].SD.Attributes["v"] != "x" {
+		t.Error("Since returns aliased records")
+	}
+}
+
+func TestSeqMonitorGapDetection(t *testing.T) {
+	var m SeqMonitor
+	if gap, _ := m.Observe(3); gap {
+		t.Error("first observation flagged a gap")
+	}
+	if gap, _ := m.Observe(4); gap {
+		t.Error("consecutive sequence flagged")
+	}
+	gap, after := m.Observe(7)
+	if !gap || after != 4 {
+		t.Errorf("Observe(7) = %v,%d; want gap after 4", gap, after)
+	}
+	if m.Last() != 7 {
+		t.Errorf("Last = %d", m.Last())
+	}
+	// Duplicate/late arrivals are not gaps.
+	if gap, _ := m.Observe(6); gap {
+		t.Error("late arrival flagged as gap")
+	}
+	m.Reset()
+	if gap, _ := m.Observe(9); gap {
+		t.Error("gap flagged after Reset baseline")
+	}
+}

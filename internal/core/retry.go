@@ -1,0 +1,84 @@
+package core
+
+import "repro/internal/sim"
+
+// RetryPolicy shapes a retransmission schedule for acknowledged
+// notifications.
+//
+// SRN1 uses a finite Limit ("retransmissions ... until retransmission
+// limit is reached"); SRC1 uses Limit == 0, unlimited ("we propose no
+// retransmission limit for the notification messages"), in which case the
+// caller must stop the retry when the subscription expires or the service
+// changes again.
+type RetryPolicy struct {
+	// Interval spaces the transmissions ("update retransmissions can be
+	// spaced in a periodic manner").
+	Interval sim.Duration
+	// Limit is the maximum number of transmissions including the first;
+	// zero means unlimited.
+	Limit int
+}
+
+// Retry drives one acknowledged transmission: it sends immediately on
+// Start and retransmits on the policy's schedule until stopped (ack
+// received, superseded, lease expired) or exhausted.
+type Retry struct {
+	k           *sim.Kernel
+	policy      RetryPolicy
+	send        func(attempt int)
+	onExhausted func()
+
+	sent   int
+	timer  *sim.Event
+	active bool
+}
+
+// NewRetry builds a retry engine. send transmits one attempt (1-based);
+// onExhausted, which may be nil, runs when a finite policy runs out of
+// attempts — for FRODO this is the hand-off from SRN1 to SRN2.
+func NewRetry(k *sim.Kernel, policy RetryPolicy, send func(attempt int), onExhausted func()) *Retry {
+	if policy.Interval <= 0 {
+		panic("core: retry interval must be positive")
+	}
+	return &Retry{k: k, policy: policy, send: send, onExhausted: onExhausted}
+}
+
+// Start performs the first transmission and arms the schedule. Starting an
+// active retry restarts its attempt count.
+func (r *Retry) Start() {
+	r.Stop()
+	r.active = true
+	r.sent = 0
+	r.attempt()
+}
+
+func (r *Retry) attempt() {
+	if !r.active {
+		return
+	}
+	if r.policy.Limit > 0 && r.sent >= r.policy.Limit {
+		r.active = false
+		if r.onExhausted != nil {
+			r.onExhausted()
+		}
+		return
+	}
+	r.sent++
+	r.send(r.sent)
+	r.timer = r.k.After(r.policy.Interval, r.attempt)
+}
+
+// Stop halts retransmission: the acknowledgement arrived, the
+// subscription expired, or the notification was superseded by a newer
+// change.
+func (r *Retry) Stop() {
+	r.active = false
+	r.timer.Cancel()
+	r.timer = nil
+}
+
+// Active reports whether the schedule is still running.
+func (r *Retry) Active() bool { return r.active }
+
+// Attempts reports how many transmissions have been made.
+func (r *Retry) Attempts() int { return r.sent }

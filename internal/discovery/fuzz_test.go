@@ -1,0 +1,62 @@
+package discovery
+
+import "testing"
+
+// FuzzQueryMatches exercises the matcher with arbitrary field contents:
+// it must never panic, must be deterministic, and an exact self-query
+// must always match.
+func FuzzQueryMatches(f *testing.F) {
+	f.Add("Printer", "ColorPrinter", "PaperSize", "A4", "Location", "Study")
+	f.Add("", "", "", "", "", "")
+	f.Add("日本", "語", "k\x00", "v", "", "x")
+	f.Fuzz(func(t *testing.T, dev, svc, k1, v1, k2, v2 string) {
+		sd := ServiceDescription{
+			DeviceType:  dev,
+			ServiceType: svc,
+			Attributes:  map[string]string{k1: v1, k2: v2},
+		}
+		self := Query{DeviceType: dev, ServiceType: svc,
+			Attributes: map[string]string{k1: v1}}
+		if !self.Matches(sd) {
+			t.Fatalf("self-query failed to match: %+v", sd)
+		}
+		a := Query{DeviceType: dev, Attributes: map[string]string{k2: v2}}.Matches(sd)
+		b := Query{DeviceType: dev, Attributes: map[string]string{k2: v2}}.Matches(sd)
+		if a != b {
+			t.Fatal("Matches is not deterministic")
+		}
+		// Cloning never changes match results.
+		if self.Matches(sd.Clone()) != self.Matches(sd) {
+			t.Fatal("Clone changed match result")
+		}
+	})
+}
+
+// FuzzSDString ensures rendering arbitrary descriptions never panics and
+// always carries the paper's notation markers.
+func FuzzSDString(f *testing.F) {
+	f.Add("Printer", "ColorPrinter", "a", "b", uint64(3))
+	f.Add("", "", "", "", uint64(0))
+	f.Fuzz(func(t *testing.T, dev, svc, k, v string, ver uint64) {
+		sd := ServiceDescription{DeviceType: dev, ServiceType: svc,
+			Attributes: map[string]string{k: v}, Version: ver}
+		s := sd.String()
+		if len(s) == 0 {
+			t.Fatal("empty rendering")
+		}
+		for _, marker := range []string{"SD{", "AttributeList{"} {
+			if !containsStr(s, marker) {
+				t.Fatalf("rendering %q missing %q", s, marker)
+			}
+		}
+	})
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package discovery
+
+import (
+	"repro/internal/sim"
+)
+
+// LeaseTable is the time-limited map behind every cache in the system:
+// service registrations at a Registry, subscriptions at a Registry or
+// Manager, and discovered-service caches at Users. An entry lives until
+// its lease expires; Put with an existing key renews the lease and
+// replaces the value; expiry invokes the table's callback exactly once
+// (this is the "purge" of the PR taxonomy).
+//
+// Iteration (Each, Keys) follows insertion order: protocols fan messages
+// out while iterating, and a random order would draw network delays in a
+// different sequence on every run, breaking deterministic replay.
+type LeaseTable[K comparable, V any] struct {
+	k        *sim.Kernel
+	onExpire func(K, V)
+	entries  map[K]*leaseEntry[V]
+	order    []K
+}
+
+type leaseEntry[V any] struct {
+	value    V
+	deadline *sim.Deadline
+}
+
+// NewLeaseTable creates a table on the given kernel. onExpire may be nil.
+func NewLeaseTable[K comparable, V any](k *sim.Kernel, onExpire func(K, V)) *LeaseTable[K, V] {
+	return &LeaseTable[K, V]{k: k, onExpire: onExpire, entries: make(map[K]*leaseEntry[V])}
+}
+
+// Put inserts or replaces the entry and (re)starts its lease.
+func (t *LeaseTable[K, V]) Put(key K, v V, lease sim.Duration) {
+	e, ok := t.entries[key]
+	if !ok {
+		e = &leaseEntry[V]{}
+		key := key
+		e.deadline = sim.NewDeadline(t.k, func() { t.expire(key) })
+		t.entries[key] = e
+		t.order = append(t.order, key)
+	}
+	e.value = v
+	e.deadline.SetAfter(lease)
+}
+
+// Renew extends an existing entry's lease, reporting whether the entry was
+// present. A renewal of an absent (purged) entry fails — that failure is
+// what triggers PR3/PR4 resubscription flows.
+func (t *LeaseTable[K, V]) Renew(key K, lease sim.Duration) bool {
+	e, ok := t.entries[key]
+	if !ok {
+		return false
+	}
+	e.deadline.SetAfter(lease)
+	return true
+}
+
+// Get returns the live value for key.
+func (t *LeaseTable[K, V]) Get(key K) (V, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return e.value, true
+}
+
+// Update replaces the value without touching the lease, reporting whether
+// the entry existed. Registries use it to refresh a registration's SD
+// from an Update without extending the registration lease.
+func (t *LeaseTable[K, V]) Update(key K, v V) bool {
+	e, ok := t.entries[key]
+	if !ok {
+		return false
+	}
+	e.value = v
+	return true
+}
+
+// Drop removes the entry without invoking the expiry callback.
+func (t *LeaseTable[K, V]) Drop(key K) {
+	if e, ok := t.entries[key]; ok {
+		e.deadline.Clear()
+		delete(t.entries, key)
+		t.unorder(key)
+	}
+}
+
+// Expiry reports when the entry's lease runs out.
+func (t *LeaseTable[K, V]) Expiry(key K) (sim.Time, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.deadline.When(), true
+}
+
+// Len reports the number of live entries.
+func (t *LeaseTable[K, V]) Len() int { return len(t.entries) }
+
+// Keys returns the live keys in insertion order.
+func (t *LeaseTable[K, V]) Keys() []K {
+	out := make([]K, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Each calls fn for every live entry in insertion order. Entries removed
+// by fn (Drop, expiry cascades) are skipped; entries added by fn are not
+// visited.
+func (t *LeaseTable[K, V]) Each(fn func(K, V)) {
+	keys := t.Keys()
+	for _, k := range keys {
+		if e, ok := t.entries[k]; ok {
+			fn(k, e.value)
+		}
+	}
+}
+
+func (t *LeaseTable[K, V]) expire(key K) {
+	e, ok := t.entries[key]
+	if !ok {
+		return
+	}
+	delete(t.entries, key)
+	t.unorder(key)
+	if t.onExpire != nil {
+		t.onExpire(key, e.value)
+	}
+}
+
+func (t *LeaseTable[K, V]) unorder(key K) {
+	for i, k := range t.order {
+		if k == key {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package discovery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLeaseTablePutGetDrop(t *testing.T) {
+	k := sim.New(1)
+	tbl := NewLeaseTable[string, int](k, nil)
+	tbl.Put("a", 1, 10*sim.Second)
+	if v, ok := tbl.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	tbl.Put("a", 2, 10*sim.Second) // replace
+	if v, _ := tbl.Get("a"); v != 2 {
+		t.Errorf("value not replaced: %d", v)
+	}
+	tbl.Drop("a")
+	if _, ok := tbl.Get("a"); ok {
+		t.Error("entry survives Drop")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("Len = %d after drop", tbl.Len())
+	}
+}
+
+func TestLeaseTableExpiry(t *testing.T) {
+	k := sim.New(1)
+	var expired []string
+	tbl := NewLeaseTable[string, int](k, func(key string, v int) {
+		expired = append(expired, key)
+	})
+	tbl.Put("a", 1, 10*sim.Second)
+	tbl.Put("b", 2, 20*sim.Second)
+	k.Run(15 * sim.Second)
+	if len(expired) != 1 || expired[0] != "a" {
+		t.Fatalf("expired = %v, want [a]", expired)
+	}
+	if _, ok := tbl.Get("a"); ok {
+		t.Error("expired entry still present")
+	}
+	if _, ok := tbl.Get("b"); !ok {
+		t.Error("live entry purged early")
+	}
+	k.Run(25 * sim.Second)
+	if len(expired) != 2 {
+		t.Errorf("expired = %v, want both", expired)
+	}
+}
+
+func TestLeaseTableRenewExtends(t *testing.T) {
+	k := sim.New(1)
+	expired := 0
+	tbl := NewLeaseTable[string, int](k, func(string, int) { expired++ })
+	tbl.Put("a", 1, 10*sim.Second)
+	k.At(8*sim.Second, func() {
+		if !tbl.Renew("a", 10*sim.Second) {
+			t.Error("renewal of live entry failed")
+		}
+	})
+	k.Run(15 * sim.Second)
+	if expired != 0 {
+		t.Fatal("entry expired despite renewal")
+	}
+	k.Run(20 * sim.Second) // renewed lease runs out at 18s
+	if expired != 1 {
+		t.Errorf("expired = %d, want 1", expired)
+	}
+}
+
+func TestLeaseTableRenewAbsentFails(t *testing.T) {
+	k := sim.New(1)
+	tbl := NewLeaseTable[string, int](k, nil)
+	if tbl.Renew("ghost", sim.Second) {
+		t.Error("renewal of absent entry succeeded — PR3/PR4 would never trigger")
+	}
+}
+
+func TestLeaseTableUpdateKeepsLease(t *testing.T) {
+	k := sim.New(1)
+	tbl := NewLeaseTable[string, int](k, nil)
+	tbl.Put("a", 1, 10*sim.Second)
+	exp1, _ := tbl.Expiry("a")
+	k.At(5*sim.Second, func() {
+		if !tbl.Update("a", 99) {
+			t.Error("Update of live entry failed")
+		}
+		exp2, _ := tbl.Expiry("a")
+		if exp2 != exp1 {
+			t.Error("Update moved the lease deadline")
+		}
+	})
+	k.Run(6 * sim.Second)
+	if v, _ := tbl.Get("a"); v != 99 {
+		t.Errorf("value = %d after Update", v)
+	}
+	if tbl.Update("ghost", 1) {
+		t.Error("Update of absent entry succeeded")
+	}
+}
+
+func TestLeaseTablePutAfterExpiryReinserts(t *testing.T) {
+	k := sim.New(1)
+	expirations := 0
+	tbl := NewLeaseTable[string, int](k, func(string, int) { expirations++ })
+	tbl.Put("a", 1, 5*sim.Second)
+	k.Run(10 * sim.Second)
+	tbl.Put("a", 2, 5*sim.Second)
+	k.Run(20 * sim.Second)
+	if expirations != 2 {
+		t.Errorf("expirations = %d, want 2 (expire, reinsert, expire)", expirations)
+	}
+}
+
+func TestLeaseTableEachAndKeys(t *testing.T) {
+	k := sim.New(1)
+	tbl := NewLeaseTable[int, string](k, nil)
+	tbl.Put(1, "x", sim.Second)
+	tbl.Put(2, "y", sim.Second)
+	seen := map[int]string{}
+	tbl.Each(func(k int, v string) { seen[k] = v })
+	if len(seen) != 2 || seen[1] != "x" || seen[2] != "y" {
+		t.Errorf("Each visited %v", seen)
+	}
+	if len(tbl.Keys()) != 2 {
+		t.Errorf("Keys = %v", tbl.Keys())
+	}
+}
+
+// Property: an entry expires exactly once, never fires after Drop, and
+// Get never returns an expired value — for arbitrary interleavings of
+// put/renew/drop operations at arbitrary times.
+func TestQuickLeaseLifecycle(t *testing.T) {
+	type op struct {
+		At    uint16 // seconds
+		Kind  uint8  // 0=put 1=renew 2=drop
+		Lease uint8  // seconds, 1..255
+	}
+	f := func(ops []op) bool {
+		k := sim.New(7)
+		expirations := 0
+		live := false
+		tbl := NewLeaseTable[string, int](k, func(string, int) {
+			expirations++
+			live = false
+		})
+		puts := 0
+		for _, o := range ops {
+			o := o
+			lease := sim.Duration(int(o.Lease)+1) * sim.Second
+			k.At(sim.Time(o.At)*sim.Second, func() {
+				switch o.Kind % 3 {
+				case 0:
+					tbl.Put("k", 1, lease)
+					live = true
+					puts++
+				case 1:
+					if tbl.Renew("k", lease) != live {
+						t.Error("Renew result disagrees with liveness")
+					}
+				case 2:
+					tbl.Drop("k")
+					live = false
+				}
+				if _, ok := tbl.Get("k"); ok != live {
+					t.Error("Get disagrees with liveness model")
+				}
+			})
+		}
+		k.Run(sim.Time(1<<17) * sim.Second)
+		// After the horizon every lease has run out: the table must be
+		// empty and expirations can never exceed the number of puts.
+		if tbl.Len() != 0 && live {
+			return false
+		}
+		return expirations <= puts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package discovery
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ConsistencyListener observes User-side cache writes. The experiment
+// harness implements it to record U(i,j) — the instant each User first
+// holds the post-change version — which feeds every Update Metric.
+type ConsistencyListener interface {
+	// CacheUpdated fires whenever a User stores a service description
+	// version for a Manager, including the initial discovery.
+	CacheUpdated(t sim.Time, user, manager netsim.NodeID, version uint64)
+}
+
+// ListenerFunc adapts a function to ConsistencyListener.
+type ListenerFunc func(t sim.Time, user, manager netsim.NodeID, version uint64)
+
+// CacheUpdated implements ConsistencyListener.
+func (f ListenerFunc) CacheUpdated(t sim.Time, user, manager netsim.NodeID, version uint64) {
+	f(t, user, manager, version)
+}
+
+// NopListener ignores all events; protocols use it when no harness is
+// attached so call sites never nil-check.
+type NopListener struct{}
+
+// CacheUpdated implements ConsistencyListener.
+func (NopListener) CacheUpdated(sim.Time, netsim.NodeID, netsim.NodeID, uint64) {}

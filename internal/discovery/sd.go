@@ -1,0 +1,107 @@
+// Package discovery holds the protocol-neutral service discovery domain
+// model shared by the FRODO, Jini and UPnP implementations: service
+// descriptions, queries, the common wire payload types, and lease tables.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// ServiceDescription describes a service in the three-part form of §1:
+// device type (e.g. printer), service type (e.g. color printing) and an
+// attribute list (e.g. location, paper size). Version counts the changes
+// the Manager has applied; a User is consistent when its cached Version
+// equals the Manager's.
+type ServiceDescription struct {
+	DeviceType  string
+	ServiceType string
+	Attributes  map[string]string
+	Version     uint64
+}
+
+// Clone returns a deep copy; caches must never alias a Manager's live
+// attribute map.
+func (sd ServiceDescription) Clone() ServiceDescription {
+	out := sd
+	if sd.Attributes != nil {
+		out.Attributes = make(map[string]string, len(sd.Attributes))
+		for k, v := range sd.Attributes {
+			out.Attributes[k] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether two descriptions carry identical content,
+// including version.
+func (sd ServiceDescription) Equal(other ServiceDescription) bool {
+	if sd.DeviceType != other.DeviceType || sd.ServiceType != other.ServiceType ||
+		sd.Version != other.Version || len(sd.Attributes) != len(other.Attributes) {
+		return false
+	}
+	for k, v := range sd.Attributes {
+		if ov, ok := other.Attributes[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the SD in the paper's notation:
+// SD = {DeviceType=Printer, ServiceType=ColorPrinter, AttributeList{...}}.
+func (sd ServiceDescription) String() string {
+	keys := make([]string, 0, len(sd.Attributes))
+	for k := range sd.Attributes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var attrs strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			attrs.WriteString(", ")
+		}
+		fmt.Fprintf(&attrs, "%s=%s", k, sd.Attributes[k])
+	}
+	return fmt.Sprintf("SD{DeviceType=%s, ServiceType=%s, AttributeList{%s}, v%d}",
+		sd.DeviceType, sd.ServiceType, attrs.String(), sd.Version)
+}
+
+// Query is a User's service requirement: empty fields match anything, and
+// every listed attribute must be present with the same value.
+type Query struct {
+	DeviceType  string
+	ServiceType string
+	Attributes  map[string]string
+}
+
+// Matches reports whether the description satisfies the query.
+func (q Query) Matches(sd ServiceDescription) bool {
+	if q.DeviceType != "" && q.DeviceType != sd.DeviceType {
+		return false
+	}
+	if q.ServiceType != "" && q.ServiceType != sd.ServiceType {
+		return false
+	}
+	for k, v := range q.Attributes {
+		if sd.Attributes[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ServiceRecord binds a description to the Manager that owns it; it is the
+// unit stored in Registry repositories and User caches.
+type ServiceRecord struct {
+	Manager netsim.NodeID
+	SD      ServiceDescription
+}
+
+// Clone deep-copies the record.
+func (r ServiceRecord) Clone() ServiceRecord {
+	return ServiceRecord{Manager: r.Manager, SD: r.SD.Clone()}
+}

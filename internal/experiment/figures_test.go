@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func miniSweep(t *testing.T) SweepResult {
+	t.Helper()
+	return Sweep(SweepConfig{
+		Systems: Systems(),
+		Params:  fastParams(2, []float64{0, 0.5}),
+		Workers: 4,
+	})
+}
+
+func TestChartRendersAllSystems(t *testing.T) {
+	res := miniSweep(t)
+	for _, m := range []Metric{MetricEffectiveness, MetricResponsiveness, MetricDegradation} {
+		out := Chart(res, m)
+		if !strings.Contains(out, m.String()) {
+			t.Errorf("chart missing title for %v", m)
+		}
+		for _, sys := range Systems() {
+			if !strings.Contains(out, sys.String()) {
+				t.Errorf("chart legend missing %v", sys)
+			}
+		}
+	}
+}
+
+func TestFigure7TableShape(t *testing.T) {
+	p := fastParams(2, []float64{0, 0.5})
+	with, without := Figure7Sweep(p, 4, nil)
+	tab := Figure7(with, without)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Header) != 5 {
+		t.Fatalf("header = %v", tab.Header)
+	}
+}
+
+func TestAverageWindowShrinksWithHealth(t *testing.T) {
+	res := miniSweep(t)
+	for _, sys := range Systems() {
+		w := AverageWindow(res, sys)
+		if len(w) != 2 {
+			t.Fatalf("%v: %d windows", sys, len(w))
+		}
+		// λ=0 recovery completes within a second of the change.
+		if w[0] > 2*sim.Second {
+			t.Errorf("%v: zero-failure window %v, want tiny", sys, w[0])
+		}
+		if w[1] <= w[0] {
+			t.Errorf("%v: window did not grow with failures: %v vs %v", sys, w[1], w[0])
+		}
+	}
+}
+
+func TestTopologyMatchesBuild(t *testing.T) {
+	for _, sys := range Systems() {
+		regs, mgr, firstUser := Topology(sys)
+		k := sim.New(1)
+		sc := Build(sys, k, 5, Options{})
+		if sc.ManagerID != mgr {
+			t.Errorf("%v: ManagerID %d, Topology says %d", sys, sc.ManagerID, mgr)
+		}
+		if len(sc.UserIDs) == 0 || sc.UserIDs[0] != firstUser {
+			t.Errorf("%v: first user %v, Topology says %d", sys, sc.UserIDs, firstUser)
+		}
+		for _, r := range regs {
+			if int(r) >= sc.Net.Nodes() {
+				t.Errorf("%v: registry id %d out of range", sys, r)
+			}
+		}
+	}
+}
+
+func TestRunLoggedAnnotations(t *testing.T) {
+	_, log := RunLogged(RunSpec{System: Frodo2P, Lambda: 0.2, Seed: 3,
+		Params: DefaultParams()}, false)
+	joined := strings.Join(log, "\n")
+	for _, want := range []string{"service changed at", "update effort"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("log missing %q", want)
+		}
+	}
+}

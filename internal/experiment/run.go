@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Params fixes the experiment design (§5 Step 5). DefaultParams is the
+// paper's configuration.
+type Params struct {
+	// Users is N, the number of Users discovering the Manager.
+	Users int
+	// RunDuration is the simulation length and deadline D.
+	RunDuration sim.Duration
+	// ChangeMin/ChangeMax bound the random service change time C
+	// ("at a random time between 100s to 2700s").
+	ChangeMin, ChangeMax sim.Time
+	// Changes is the number of service changes per run. The paper uses
+	// exactly one; more changes form the frequent-update extension that
+	// exercises SRC2's sequence-gap detection (a gap needs a missed
+	// update followed by a received one). Zero means one.
+	Changes int
+	// FailureWindowStart/End bound the random failure activation time.
+	FailureWindowStart, FailureWindowEnd sim.Time
+	// Runs is X, the number of repetitions per (system, λ).
+	Runs int
+	// Lambdas is the failure-rate sweep.
+	Lambdas []float64
+	// BaseSeed derives all run seeds; same BaseSeed ⇒ identical sweep.
+	BaseSeed int64
+	// EffortPad extends the effort window so frames of the final
+	// exchange still in flight when the last User turns consistent are
+	// counted (see DESIGN.md).
+	EffortPad sim.Duration
+}
+
+// DefaultParams returns the paper's experiment design: 5 Users, 5400s
+// runs, change at U[100s,2700s], failures at U[100s,5400s] lasting
+// λ·5400s, λ from 0 to 0.90 in steps of 0.05, 30 runs per point.
+func DefaultParams() Params {
+	return Params{
+		Users:              5,
+		RunDuration:        5400 * sim.Second,
+		ChangeMin:          100 * sim.Second,
+		ChangeMax:          2700 * sim.Second,
+		FailureWindowStart: 100 * sim.Second,
+		FailureWindowEnd:   5400 * sim.Second,
+		Runs:               30,
+		Lambdas:            DefaultLambdas(),
+		BaseSeed:           1,
+		EffortPad:          sim.Second,
+	}
+}
+
+// DefaultLambdas returns 0.00, 0.05, …, 0.90.
+func DefaultLambdas() []float64 {
+	out := make([]float64, 0, 19)
+	for i := 0; i <= 18; i++ {
+		out = append(out, float64(i)*0.05)
+	}
+	return out
+}
+
+// RunSpec identifies a single simulation run.
+type RunSpec struct {
+	System System
+	Lambda float64
+	Seed   int64
+	Params Params
+	Opts   Options
+	// ExplicitFailures, when non-nil, replaces the λ-drawn failure plan
+	// with a fixed schedule (used by the guarantee checker and the §6.2
+	// case studies). Node indices follow the Build order: Registries
+	// first, then the Manager, then the Users.
+	ExplicitFailures []netsim.InterfaceFailure
+	// MakeTracer, when set, builds a tracer for the scenario's network
+	// (event logs).
+	MakeTracer func(*netsim.Network) netsim.Tracer
+}
+
+// Run executes one full scenario and returns the raw observations.
+func Run(spec RunSpec) metrics.RunResult {
+	res, _ := run(spec)
+	return res
+}
+
+// RunLogged executes one run with a paper-style event log attached
+// (§6.2): interface transitions, protocol annotations and — when verbose
+// — every frame.
+func RunLogged(spec RunSpec, verbose bool) (metrics.RunResult, []string) {
+	var rec *netsim.Recorder
+	spec.MakeTracer = func(nw *netsim.Network) netsim.Tracer {
+		rec = netsim.NewRecorder(nw)
+		rec.Verbose = verbose
+		return rec
+	}
+	res, sc := run(spec)
+	rec.Note(res.Deadline, "service changed at %.0fs (version %d)", res.ChangeAt.Sec(), sc.TargetVersion)
+	for _, u := range res.Users {
+		name := sc.Net.Node(u.User).Name
+		if u.Reached {
+			rec.Note(res.Deadline, "%s reached consistency at %.3fs", name, u.At.Sec())
+		} else {
+			rec.Note(res.Deadline, "%s NEVER regained consistency (Configuration Update Principle violated within D)", name)
+		}
+	}
+	rec.Note(res.Deadline, "update effort y = %d counted discovery messages", res.Effort)
+	return res, rec.Lines()
+}
+
+func run(spec RunSpec) (metrics.RunResult, *Scenario) {
+	k := sim.New(spec.Seed)
+	sc := Build(spec.System, k, spec.Params.Users, spec.Opts)
+	if spec.MakeTracer != nil {
+		sc.Net.SetTracer(spec.MakeTracer(sc.Net))
+	}
+
+	// Plan the interface failures (§5 Step 2): one outage per node — or
+	// use the caller's fixed schedule.
+	plan := spec.ExplicitFailures
+	if plan == nil {
+		plan = netsim.PlanInterfaceFailures(k, sc.AllNodeIDs(), netsim.FailurePlanConfig{
+			Lambda:      spec.Lambda,
+			WindowStart: spec.Params.FailureWindowStart,
+			WindowEnd:   spec.Params.FailureWindowEnd,
+			RunDuration: spec.Params.RunDuration,
+		})
+	}
+	sc.Net.ScheduleFailures(plan)
+
+	// Schedule the service change(s) at C ~ U[ChangeMin, ChangeMax]. With
+	// multiple changes (the frequent-update extension), consistency is
+	// measured against the final version, from the last change time.
+	nChanges := spec.Params.Changes
+	if nChanges < 1 {
+		nChanges = 1
+	}
+	changeTimes := make([]sim.Time, nChanges)
+	for i := range changeTimes {
+		changeTimes[i] = k.UniformTime(spec.Params.ChangeMin, spec.Params.ChangeMax)
+	}
+	sort.Slice(changeTimes, func(i, j int) bool { return changeTimes[i] < changeTimes[j] })
+	sc.SetTargetVersion(uint64(1 + nChanges))
+	for _, at := range changeTimes {
+		k.At(at, sc.Change)
+	}
+	changeAt := changeTimes[len(changeTimes)-1]
+
+	deadline := sim.Time(spec.Params.RunDuration)
+	k.Run(deadline)
+
+	res := metrics.RunResult{
+		Lambda:   spec.Lambda,
+		Seed:     spec.Seed,
+		ChangeAt: changeAt,
+		Deadline: deadline,
+	}
+	allDone := changeAt
+	allReached := true
+	for _, uid := range sc.UserIDs {
+		at, ok := sc.ReachedAt(uid)
+		res.Users = append(res.Users, metrics.UserOutcome{User: uid, Reached: ok, At: at})
+		if !ok {
+			allReached = false
+		} else if at > allDone {
+			allDone = at
+		}
+	}
+	winEnd := deadline
+	if allReached {
+		winEnd = allDone + spec.Params.EffortPad
+		if winEnd > deadline {
+			winEnd = deadline
+		}
+	}
+	c := sc.Net.Counters()
+	res.Effort = c.CountedInWindow(changeAt, winEnd)
+	res.TotalDiscoverySends = c.DiscoverySends
+	res.TotalTransport = c.TransportFrames
+	return res, sc
+}
+
+// SeedFor derives the deterministic seed of one run.
+func SeedFor(base int64, sys System, lambdaIdx, runIdx int) int64 {
+	return base + int64(sys)*1_000_003 + int64(lambdaIdx)*10_007 + int64(runIdx)
+}

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"repro/internal/discovery"
+	"repro/internal/frodo"
+	"repro/internal/jini"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/upnp"
+)
+
+// Options customizes a scenario beyond the paper defaults; the zero value
+// reproduces §5 exactly. The mutator hooks implement ablations (Fig. 7
+// removes PR1 from FRODO) and sensitivity studies.
+type Options struct {
+	// UPnP, Jini and Frodo mutate the respective default configurations
+	// before the nodes are built.
+	UPnP  func(*upnp.Config)
+	Jini  func(*jini.Config)
+	Frodo func(*frodo.Config)
+	// Loss sets an i.i.d. per-frame drop probability, reproducing the
+	// message-loss model of the companion study [25].
+	Loss float64
+}
+
+// Scenario is one built system instance on its own kernel and network.
+type Scenario struct {
+	System System
+	K      *sim.Kernel
+	Net    *netsim.Network
+
+	ManagerID netsim.NodeID
+	UserIDs   []netsim.NodeID
+
+	// Change bumps the service version and starts update propagation.
+	Change func()
+	// TargetVersion is the version Users must reach after one change.
+	TargetVersion uint64
+
+	rec *recorder
+}
+
+// recorder observes User cache writes and keeps the first time each User
+// reached the target version — the U(i,j) samples.
+type recorder struct {
+	target uint64
+	first  map[netsim.NodeID]sim.Time
+}
+
+func (r *recorder) CacheUpdated(t sim.Time, user, _ netsim.NodeID, version uint64) {
+	if version < r.target {
+		return
+	}
+	if _, ok := r.first[user]; !ok {
+		r.first[user] = t
+	}
+}
+
+// ReachedAt reports when the User first held the target version.
+func (s *Scenario) ReachedAt(user netsim.NodeID) (sim.Time, bool) {
+	at, ok := s.rec.first[user]
+	return at, ok
+}
+
+// SetTargetVersion adjusts the version the consistency recorder waits
+// for (1 + number of changes).
+func (s *Scenario) SetTargetVersion(v uint64) {
+	s.TargetVersion = v
+	s.rec.target = v
+}
+
+// printerSD is the example service of §4: a color printer.
+func printerSD() discovery.ServiceDescription {
+	return discovery.ServiceDescription{
+		DeviceType:  "Printer",
+		ServiceType: "ColorPrinter",
+		Attributes:  map[string]string{"PaperSize": "A4", "Location": "Study"},
+	}
+}
+
+var printerQuery = discovery.Query{ServiceType: "ColorPrinter"}
+
+// changePrinter is the §4 example change: the paper tray empties / the
+// service type flips — any attribute mutation bumps the version.
+func changePrinter(attrs map[string]string) { attrs["ServiceType2"] = "Black&WhitePrinter" }
+
+// Build constructs one of the five systems with the Table 4 topology on a
+// fresh network owned by kernel k. nUsers is 5 in the paper.
+func Build(sys System, k *sim.Kernel, nUsers int, opts Options) *Scenario {
+	netCfg := netsim.DefaultConfig()
+	netCfg.Loss = opts.Loss
+	nw := netsim.New(k, netCfg)
+	sc := &Scenario{System: sys, K: k, Net: nw, TargetVersion: 2,
+		rec: &recorder{target: 2, first: map[netsim.NodeID]sim.Time{}}}
+
+	boot := func(slot int) sim.Duration {
+		// Nodes boot staggered inside the first few seconds; discovery
+		// completes well within the failure-free first 100s.
+		return sim.Duration(slot)*sim.Second + k.UniformDuration(0, sim.Second)
+	}
+
+	switch sys {
+	case UPnP:
+		cfg := upnp.DefaultConfig()
+		if opts.UPnP != nil {
+			opts.UPnP(&cfg)
+		}
+		m := upnp.NewManager(nw.AddNode("Manager"), cfg, printerSD())
+		m.Start(boot(0))
+		sc.ManagerID = m.ID()
+		sc.Change = func() { m.ChangeService(changePrinter) }
+		for i := 0; i < nUsers; i++ {
+			u := upnp.NewUser(nw.AddNode(userName(i)), cfg, printerQuery, sc.rec)
+			u.Start(boot(i + 1))
+			sc.UserIDs = append(sc.UserIDs, u.ID())
+		}
+
+	case Jini1, Jini2:
+		cfg := jini.DefaultConfig()
+		if opts.Jini != nil {
+			opts.Jini(&cfg)
+		}
+		nRegs := 1
+		if sys == Jini2 {
+			nRegs = 2
+		}
+		for i := 0; i < nRegs; i++ {
+			reg := jini.NewRegistry(nw.AddNode("Registry"), cfg)
+			reg.Start(boot(i))
+		}
+		m := jini.NewManager(nw.AddNode("Manager"), cfg, printerSD())
+		m.Start(boot(nRegs))
+		sc.ManagerID = m.ID()
+		sc.Change = func() { m.ChangeService(changePrinter) }
+		for i := 0; i < nUsers; i++ {
+			u := jini.NewUser(nw.AddNode(userName(i)), cfg, printerQuery, sc.rec)
+			u.Start(boot(nRegs + 1 + i))
+			sc.UserIDs = append(sc.UserIDs, u.ID())
+		}
+
+	case Frodo3P:
+		cfg := frodo.DefaultConfig()
+		if opts.Frodo != nil {
+			opts.Frodo(&cfg)
+		}
+		central := frodo.NewNode(nw.AddNode("Registry"), cfg, frodo.Class300D, 100)
+		central.Start(boot(0))
+		mn := frodo.NewNode(nw.AddNode("Manager"), cfg, frodo.Class3D, 5)
+		m := mn.AttachManager(printerSD())
+		mn.Start(boot(1))
+		sc.ManagerID = m.ID()
+		sc.Change = func() { m.ChangeService(changePrinter) }
+		for i := 0; i < nUsers; i++ {
+			un := frodo.NewNode(nw.AddNode(userName(i)), cfg, frodo.Class3D, 1)
+			u := un.AttachUser(printerQuery, sc.rec)
+			un.Start(boot(2 + i))
+			sc.UserIDs = append(sc.UserIDs, u.ID())
+		}
+
+	case Frodo2P:
+		cfg := frodo.TwoPartyConfig()
+		if opts.Frodo != nil {
+			opts.Frodo(&cfg)
+		}
+		central := frodo.NewNode(nw.AddNode("Registry"), cfg, frodo.Class300D, 100)
+		central.Start(boot(0))
+		backup := frodo.NewNode(nw.AddNode("Backup"), cfg, frodo.Class300D, 50)
+		backup.Start(boot(1))
+		mn := frodo.NewNode(nw.AddNode("Manager"), cfg, frodo.Class300D, 5)
+		m := mn.AttachManager(printerSD())
+		mn.Start(boot(2))
+		sc.ManagerID = m.ID()
+		sc.Change = func() { m.ChangeService(changePrinter) }
+		for i := 0; i < nUsers; i++ {
+			un := frodo.NewNode(nw.AddNode(userName(i)), cfg, frodo.Class300D, 1)
+			u := un.AttachUser(printerQuery, sc.rec)
+			un.Start(boot(3 + i))
+			sc.UserIDs = append(sc.UserIDs, u.ID())
+		}
+
+	default:
+		panic("experiment: unknown system")
+	}
+	return sc
+}
+
+func userName(i int) string { return "User" + string(rune('1'+i)) }
+
+// AllNodeIDs lists every node for the failure planner.
+func (s *Scenario) AllNodeIDs() []netsim.NodeID {
+	ids := make([]netsim.NodeID, 0, s.Net.Nodes())
+	for i := 0; i < s.Net.Nodes(); i++ {
+		ids = append(ids, netsim.NodeID(i))
+	}
+	return ids
+}
+
+// Topology reports the Build node ordering for a system without building
+// it: the Registry IDs, the Manager's ID and the first User's ID. Used
+// by callers that inject explicit failures (the guarantee checker).
+func Topology(sys System) (registries []netsim.NodeID, manager, firstUser netsim.NodeID) {
+	switch sys {
+	case UPnP:
+		return nil, 0, 1
+	case Jini1:
+		return []netsim.NodeID{0}, 1, 2
+	case Jini2:
+		return []netsim.NodeID{0, 1}, 2, 3
+	case Frodo3P:
+		return []netsim.NodeID{0}, 1, 2
+	case Frodo2P:
+		// Central, Backup, Manager, Users…
+		return []netsim.NodeID{0}, 2, 3
+	default:
+		panic("experiment: unknown system")
+	}
+}

@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// SweepConfig selects the systems and design for a failure-rate sweep.
+type SweepConfig struct {
+	Systems []System
+	Params  Params
+	// Opts applies to every system; OptsFor, when set, overrides per
+	// system (used by the Fig. 7 ablation which only mutates FRODO).
+	Opts    Options
+	OptsFor map[System]Options
+	// Workers bounds the parallel worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when set, is called after each completed run.
+	Progress func(done, total int)
+}
+
+// SweepResult holds the aggregated curves and efficiency baselines.
+type SweepResult struct {
+	Systems []System
+	Params  Params
+	// Curves maps each system to its metric series over λ.
+	Curves map[System]metrics.Curve
+	// MPrime is the measured zero-failure effort per system; M is the
+	// minimum across systems (the paper's m = 7).
+	MPrime map[System]int
+	M      int
+	// Raw keeps every run's observations, indexed [system][lambdaIdx].
+	Raw map[System][][]metrics.RunResult
+}
+
+// Sweep runs the full experiment grid on a parallel worker pool: every
+// (system, λ, run) cell is an independent simulation with its own kernel
+// and derived seed, so the sweep is deterministic regardless of
+// parallelism.
+func Sweep(cfg SweepConfig) SweepResult {
+	if len(cfg.Systems) == 0 {
+		cfg.Systems = Systems()
+	}
+	if cfg.Params.Runs == 0 {
+		cfg.Params = DefaultParams()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		sys            System
+		lambdaIdx, run int
+	}
+	type outcome struct {
+		job
+		res metrics.RunResult
+	}
+
+	total := len(cfg.Systems) * len(cfg.Params.Lambdas) * cfg.Params.Runs
+	jobs := make(chan job)
+	outcomes := make(chan outcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				opts := cfg.Opts
+				if o, ok := cfg.OptsFor[j.sys]; ok {
+					opts = o
+				}
+				res := Run(RunSpec{
+					System: j.sys,
+					Lambda: cfg.Params.Lambdas[j.lambdaIdx],
+					Seed:   SeedFor(cfg.Params.BaseSeed, j.sys, j.lambdaIdx, j.run),
+					Params: cfg.Params,
+					Opts:   opts,
+				})
+				outcomes <- outcome{job: j, res: res}
+			}
+		}()
+	}
+	go func() {
+		for _, sys := range cfg.Systems {
+			for li := range cfg.Params.Lambdas {
+				for r := 0; r < cfg.Params.Runs; r++ {
+					jobs <- job{sys: sys, lambdaIdx: li, run: r}
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	raw := map[System][][]metrics.RunResult{}
+	for _, sys := range cfg.Systems {
+		raw[sys] = make([][]metrics.RunResult, len(cfg.Params.Lambdas))
+	}
+	done := 0
+	for o := range outcomes {
+		raw[o.sys][o.lambdaIdx] = append(raw[o.sys][o.lambdaIdx], o.res)
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, total)
+		}
+	}
+
+	return aggregate(cfg, raw)
+}
+
+func aggregate(cfg SweepConfig, raw map[System][][]metrics.RunResult) SweepResult {
+	res := SweepResult{
+		Systems: cfg.Systems,
+		Params:  cfg.Params,
+		Curves:  map[System]metrics.Curve{},
+		MPrime:  map[System]int{},
+		Raw:     raw,
+	}
+
+	// Measure m' from the λ=0 cell when present; otherwise fall back to
+	// the paper's constants.
+	zeroIdx := -1
+	for i, l := range cfg.Params.Lambdas {
+		if l == 0 {
+			zeroIdx = i
+			break
+		}
+	}
+	res.M = 1 << 30
+	for _, sys := range cfg.Systems {
+		mp := PaperMPrime(sys)
+		if zeroIdx >= 0 && len(raw[sys][zeroIdx]) > 0 {
+			mp = metrics.MeasureMPrime(raw[sys][zeroIdx])
+		}
+		res.MPrime[sys] = mp
+		if mp < res.M {
+			res.M = mp
+		}
+	}
+
+	for _, sys := range cfg.Systems {
+		curve := metrics.Curve{System: sys.String()}
+		for li := range cfg.Params.Lambdas {
+			p := metrics.Compute(raw[sys][li], res.M, res.MPrime[sys])
+			p.Lambda = cfg.Params.Lambdas[li]
+			curve.Points = append(curve.Points, p)
+		}
+		res.Curves[sys] = curve
+	}
+	return res
+}

@@ -1,0 +1,113 @@
+package frodo
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// elector runs the Central election among 300D nodes: every candidate
+// multicasts its power, collects competing candidacies for the election
+// window, and the most powerful node (ties broken by highest ID) declares
+// itself Central. "The 300D nodes elect the most powerful node as the
+// Registry" (§3).
+type elector struct {
+	nd *Node
+
+	running bool
+	bestID  netsim.NodeID
+	bestPow int
+	window  *sim.Deadline
+	waitWin *sim.Deadline
+}
+
+func newElector(nd *Node) *elector {
+	e := &elector{nd: nd}
+	e.window = sim.NewDeadline(nd.k, e.decide)
+	e.waitWin = sim.NewDeadline(nd.k, e.waitExpired)
+	return e
+}
+
+// start begins an election at boot.
+func (e *elector) start() { e.startElection() }
+
+// centralLost restarts the election when the Central was purged. The
+// Backup does not run elections — it takes over on its own shorter
+// timeout — but a Backup whose takeover state was lost participates like
+// everyone else.
+func (e *elector) centralLost() {
+	if e.nd.IsBackup() {
+		return
+	}
+	e.startElection()
+}
+
+// centralKnown stops any election in progress: somebody claimed the role.
+func (e *elector) centralKnown() {
+	e.running = false
+	e.window.Clear()
+	e.waitWin.Clear()
+}
+
+func (e *elector) startElection() {
+	if e.running || e.nd.IsCentral() || e.nd.central != netsim.NoNode {
+		return
+	}
+	e.running = true
+	e.bestID = e.nd.n.ID
+	e.bestPow = e.nd.power
+	// Small jitter decorrelates candidacies of simultaneously booting
+	// nodes.
+	e.nd.k.After(e.nd.k.UniformDuration(0, sim.Second), e.announceCandidacy)
+	e.window.SetAfter(e.nd.cfg.ElectionWindow)
+}
+
+func (e *elector) announceCandidacy() {
+	if !e.running {
+		return
+	}
+	e.nd.nw.Multicast(e.nd.n.ID, DiscoveryGroup, netsim.Outgoing{
+		Kind:    kindOf(ElectionAnnounce{}),
+		Counted: true,
+		Payload: ElectionAnnounce{Power: e.nd.power},
+	}, 1)
+}
+
+// onCandidate processes a competing candidacy. A sitting Central asserts
+// itself by announcing immediately, so late candidates adopt it instead
+// of electing a rival.
+func (e *elector) onCandidate(from netsim.NodeID, power int) {
+	e.nd.known300D[from] = power
+	if e.nd.IsCentral() {
+		e.nd.registry.announcer.AnnounceNow()
+		return
+	}
+	if !e.running {
+		return
+	}
+	if power > e.bestPow || (power == e.bestPow && from > e.bestID) {
+		e.bestID = from
+		e.bestPow = power
+	}
+}
+
+// decide closes the election window: the best candidate becomes Central;
+// everyone else waits for the winner's announcement and re-runs the
+// election if it never comes (the winner may have failed mid-election).
+func (e *elector) decide() {
+	if !e.running {
+		return
+	}
+	e.running = false
+	if e.bestID == e.nd.n.ID {
+		e.nd.registry.activate()
+		return
+	}
+	e.waitWin.SetAfter(e.nd.cfg.ElectionRetry)
+}
+
+func (e *elector) waitExpired() {
+	if e.nd.central != netsim.NoNode || e.nd.IsCentral() {
+		return
+	}
+	e.startElection()
+}

@@ -1,0 +1,193 @@
+package frodo
+
+import (
+	"testing"
+
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// electionRig builds n bare 300D nodes with the given powers, all booting
+// within the first second.
+type electionRig struct {
+	k     *sim.Kernel
+	nw    *netsim.Network
+	nodes []*Node
+}
+
+func newElectionRig(seed int64, powers ...int) *electionRig {
+	r := &electionRig{k: sim.New(seed)}
+	r.nw = netsim.New(r.k, netsim.DefaultConfig())
+	cfg := TwoPartyConfig()
+	for _, p := range powers {
+		nd := NewNode(r.nw.AddNode(""), cfg, Class300D, p)
+		r.nodes = append(r.nodes, nd)
+	}
+	for i, nd := range r.nodes {
+		nd.Start(sim.Duration(i) * 100 * sim.Millisecond)
+	}
+	return r
+}
+
+func (r *electionRig) centrals() []*Node {
+	var out []*Node
+	for _, nd := range r.nodes {
+		if nd.IsCentral() {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+func TestElectionConvergesToSingleCentral(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		r := newElectionRig(seed, 10, 40, 30, 20)
+		r.k.Run(60 * sim.Second)
+		cs := r.centrals()
+		if len(cs) != 1 {
+			t.Fatalf("seed %d: %d centrals", seed, len(cs))
+		}
+		if cs[0] != r.nodes[1] {
+			t.Errorf("seed %d: node with power %d won, want the power-40 node", seed, 40)
+		}
+		for _, nd := range r.nodes {
+			if nd.Central() != cs[0].ID() {
+				t.Errorf("seed %d: node %v follows %d", seed, nd, nd.Central())
+			}
+		}
+	}
+}
+
+func TestElectionTieBrokenByNodeID(t *testing.T) {
+	r := newElectionRig(3, 50, 50, 50)
+	r.k.Run(60 * sim.Second)
+	cs := r.centrals()
+	if len(cs) != 1 {
+		t.Fatalf("%d centrals after tie", len(cs))
+	}
+	// Highest node ID wins ties.
+	if cs[0] != r.nodes[2] {
+		t.Errorf("node %d won the tie, want node 2", cs[0].ID())
+	}
+}
+
+func TestElectionRestartsWhenWinnerDiesMidElection(t *testing.T) {
+	r := newElectionRig(4, 10, 90)
+	// The would-be winner (power 90) loses both interfaces right after
+	// boot, before it can claim the role.
+	r.nw.ScheduleFailure(netsim.InterfaceFailure{
+		Node: r.nodes[1].ID(), Mode: netsim.FailBoth,
+		Start: 200 * sim.Millisecond, Duration: 5000 * sim.Second,
+	})
+	r.k.Run(120 * sim.Second)
+	if !r.nodes[0].IsCentral() {
+		t.Error("surviving node did not take the role after the expected winner vanished")
+	}
+}
+
+func TestLateJoinerAdoptsSittingCentral(t *testing.T) {
+	r := newElectionRig(5, 30, 20)
+	r.k.Run(60 * sim.Second)
+	// A more powerful node joins later: the sitting Central asserts
+	// itself in response to the candidacy; the newcomer adopts rather
+	// than usurps (stability over strict power order once elected).
+	late := NewNode(r.nw.AddNode(""), TwoPartyConfig(), Class300D, 99)
+	r.nodes = append(r.nodes, late)
+	late.Start(0)
+	r.k.Run(180 * sim.Second)
+	if len(r.centrals()) != 1 {
+		t.Fatalf("%d centrals after late join", len(r.centrals()))
+	}
+	if late.IsCentral() {
+		t.Error("late joiner usurped a healthy Central")
+	}
+	if late.Central() != r.nodes[0].ID() {
+		t.Errorf("late joiner follows %d, want %d", late.Central(), r.nodes[0].ID())
+	}
+}
+
+func TestBackupAppointmentAndStateSync(t *testing.T) {
+	r := newElectionRig(6, 80, 60, 10)
+	// Give the future Central a registration to sync.
+	mgr := NewNode(r.nw.AddNode(""), TwoPartyConfig(), Class3D, 1)
+	mgrRole := mgr.AttachManager(discovery.ServiceDescription{
+		DeviceType: "Printer", ServiceType: "ColorPrinter",
+		Attributes: map[string]string{"a": "b"},
+	})
+	mgr.Start(500 * sim.Millisecond)
+	r.k.Run(120 * sim.Second)
+
+	if !r.nodes[0].IsCentral() {
+		t.Fatal("power-80 node not central")
+	}
+	if !r.nodes[1].IsBackup() {
+		t.Fatal("power-60 node not the backup")
+	}
+	if r.nodes[2].IsBackup() {
+		t.Error("power-10 node should not be backup")
+	}
+	if !mgrRole.Registered() {
+		t.Fatal("manager not registered")
+	}
+	// The backup holds the synced registration and serves it after
+	// takeover.
+	r.nw.ScheduleFailure(netsim.InterfaceFailure{
+		Node: r.nodes[0].ID(), Mode: netsim.FailBoth,
+		Start: 150 * sim.Second, Duration: 5000 * sim.Second,
+	})
+	r.k.Run(3500 * sim.Second)
+	if !r.nodes[1].IsCentral() {
+		t.Fatal("backup did not take over")
+	}
+	if got := r.nodes[1].Registry().Registrations(); got != 1 {
+		t.Errorf("backup serves %d registrations after takeover, want the synced 1", got)
+	}
+}
+
+func TestDemotedCentralStopsAnnouncing(t *testing.T) {
+	r := newElectionRig(7, 80, 60)
+	r.k.Run(60 * sim.Second)
+	central, backup := r.nodes[0], r.nodes[1]
+	if !central.IsCentral() || !backup.IsBackup() {
+		t.Fatal("roles not established")
+	}
+	// Fail the central long enough for takeover, then revive it; after
+	// reconciliation exactly one announcer must be active.
+	r.nw.ScheduleFailure(netsim.InterfaceFailure{
+		Node: central.ID(), Mode: netsim.FailBoth,
+		Start: 100 * sim.Second, Duration: 3500 * sim.Second, // up at 3600
+	})
+	r.k.Run(3500 * sim.Second)
+	if !backup.IsCentral() {
+		t.Fatal("no takeover")
+	}
+	r.k.Run(8000 * sim.Second)
+	if !central.IsCentral() || backup.IsCentral() {
+		t.Fatalf("split brain after recovery: central=%v backup=%v",
+			central.IsCentral(), backup.IsCentral())
+	}
+	if backup.Registry().announcer.Running() {
+		t.Error("demoted node still announcing as Central")
+	}
+}
+
+func Test3CManagerRegistersButCannotBeUser(t *testing.T) {
+	r := newElectionRig(8, 80)
+	sensor := NewNode(r.nw.AddNode("Sensor"), DefaultConfig(), Class3C, 0)
+	role := sensor.AttachManager(discovery.ServiceDescription{
+		DeviceType: "Sensor", ServiceType: "Temperature",
+		Attributes: map[string]string{},
+	})
+	sensor.Start(500 * sim.Millisecond)
+	r.k.Run(120 * sim.Second)
+	if !role.Registered() {
+		t.Error("3C manager failed to register")
+	}
+	if role.SD().Attributes[ClassAttr] != "3C" {
+		t.Errorf("class attribute = %q", role.SD().Attributes[ClassAttr])
+	}
+	if role.TwoParty() {
+		t.Error("3C manager must use 3-party subscription")
+	}
+}

@@ -1,0 +1,396 @@
+package frodo
+
+import (
+	"fmt"
+
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Node is one FRODO device. Its behaviour is composed from its device
+// class and attached roles: every node tracks the Central; 3C/3D nodes
+// announce their presence until the Central is found; 300D nodes carry
+// Registry capability and take part in the Central election.
+type Node struct {
+	cfg   Config
+	class Class
+	power int
+
+	n  *netsim.Node
+	nw *netsim.Network
+	k  *sim.Kernel
+
+	// central is the node currently believed to be the Central, NoNode if
+	// unknown; centralPower orders competing claims; centralLease purges
+	// a silent Central.
+	central      netsim.NodeID
+	centralPower int
+	centralLease *sim.Deadline
+
+	// nodeAnnounce is the 3C/3D presence train that runs until the
+	// Central is discovered ("FRODO also requires 3D Managers to announce
+	// their presence periodically until the Registry is discovered").
+	nodeAnnounce *sim.Ticker
+
+	registry *RegistryRole // 300D only; active only while elected
+	elector  *elector      // 300D only
+	manager  *ManagerRole
+	user     *UserRole
+
+	// known300D records the power of other 300D nodes seen in election
+	// candidacies; the Central picks its Backup from it.
+	known300D map[netsim.NodeID]int
+
+	started bool
+}
+
+// NewNode attaches a FRODO device of the given class to a network node.
+// Power orders 300D nodes in the Central election; it is ignored for
+// other classes.
+func NewNode(n *netsim.Node, cfg Config, class Class, power int) *Node {
+	nd := &Node{
+		cfg: cfg, class: class, power: power,
+		n: n, nw: n.Network(), k: n.Kernel(),
+		central:   netsim.NoNode,
+		known300D: map[netsim.NodeID]int{},
+	}
+	nd.centralLease = sim.NewDeadline(nd.k, nd.onCentralTimeout)
+	nd.nodeAnnounce = sim.NewTicker(nd.k, cfg.NodeAnnouncePeriod, nd.announcePresence)
+	n.SetEndpoint(nd)
+	nd.nw.Join(n.ID, DiscoveryGroup)
+	if class == Class300D {
+		nd.registry = newRegistryRole(nd)
+		nd.elector = newElector(nd)
+	}
+	return nd
+}
+
+// AttachManager adds the Manager role hosting one service. The service
+// description is tagged with the node's device class so Users can pick
+// the subscription mode.
+func (nd *Node) AttachManager(sd discovery.ServiceDescription) *ManagerRole {
+	if nd.manager != nil {
+		panic("frodo: manager role already attached")
+	}
+	nd.manager = newManagerRole(nd, sd)
+	return nd.manager
+}
+
+// AttachUser adds the User role with one service requirement. 3C devices
+// cannot be Users (§3).
+func (nd *Node) AttachUser(q discovery.Query, l discovery.ConsistencyListener) *UserRole {
+	if nd.class == Class3C {
+		panic("frodo: 3C devices are Managers only")
+	}
+	if nd.user != nil {
+		panic("frodo: user role already attached")
+	}
+	nd.user = newUserRole(nd, q, l)
+	return nd.user
+}
+
+// Start boots the device after the given delay.
+func (nd *Node) Start(bootDelay sim.Duration) {
+	nd.k.After(bootDelay, func() {
+		nd.started = true
+		if nd.class == Class300D {
+			nd.elector.start()
+		} else if nd.central == netsim.NoNode {
+			nd.nodeAnnounce.Start(nd.k.UniformDuration(0, sim.Second))
+		}
+		if nd.user != nil {
+			nd.user.start()
+		}
+	})
+}
+
+// ID reports the device's network node ID.
+func (nd *Node) ID() netsim.NodeID { return nd.n.ID }
+
+// Class reports the device class.
+func (nd *Node) Class() Class { return nd.class }
+
+// Central reports the node currently believed to be the Central.
+func (nd *Node) Central() netsim.NodeID { return nd.central }
+
+// IsCentral reports whether this node currently serves as the Central.
+func (nd *Node) IsCentral() bool { return nd.registry != nil && nd.registry.active }
+
+// IsBackup reports whether this node currently serves as the Backup.
+func (nd *Node) IsBackup() bool { return nd.registry != nil && nd.registry.backup }
+
+// Manager returns the attached Manager role, nil if none.
+func (nd *Node) Manager() *ManagerRole { return nd.manager }
+
+// User returns the attached User role, nil if none.
+func (nd *Node) User() *UserRole { return nd.user }
+
+// Registry returns the 300D Registry capability, nil for other classes.
+func (nd *Node) Registry() *RegistryRole { return nd.registry }
+
+// announcePresence multicasts a presence announcement. The Central
+// answers with unicast Registry info, which "allows faster discovery of
+// the Registry" than waiting for its periodic train.
+func (nd *Node) announcePresence() {
+	role := discovery.RoleUser
+	if nd.manager != nil && nd.user == nil {
+		role = discovery.RoleManager
+	}
+	nd.nw.Multicast(nd.n.ID, DiscoveryGroup, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Announce{}),
+		Counted: true,
+		Payload: discovery.Announce{Role: role, Power: nd.power},
+	}, 1)
+}
+
+// setCentral adopts a (possibly new) Central and refreshes its lease.
+func (nd *Node) setCentral(id netsim.NodeID, power int) {
+	if nd.registry != nil && id != nd.n.ID {
+		nd.registry.onCentralSeen()
+	}
+	if nd.central == id {
+		nd.centralPower = power
+		nd.centralLease.SetAfter(nd.cfg.CentralTimeout)
+		nd.nodeAnnounce.Stop()
+		if nd.elector != nil {
+			nd.elector.centralKnown()
+		}
+		return
+	}
+	// Competing claim: keep the more powerful Central (ties: higher ID).
+	if nd.central != netsim.NoNode {
+		if power < nd.centralPower || (power == nd.centralPower && id < nd.central) {
+			return
+		}
+	}
+	nd.central = id
+	nd.centralPower = power
+	nd.centralLease.SetAfter(nd.cfg.CentralTimeout)
+	nd.nodeAnnounce.Stop()
+	if nd.IsCentral() && id != nd.n.ID {
+		// A more powerful Central exists: demote (§3 keeps a single
+		// Registry; the strongest claim wins).
+		nd.registry.deactivate()
+	}
+	if nd.elector != nil {
+		nd.elector.centralKnown()
+	}
+	if nd.manager != nil {
+		nd.manager.centralChanged(id)
+	}
+	if nd.user != nil {
+		nd.user.centralChanged(id)
+	}
+}
+
+// onCentralTimeout purges a silent Central: 3C/3D nodes resume presence
+// announcements; 300D nodes may start an election (the Backup instead
+// takes over on its own, earlier timeout).
+func (nd *Node) onCentralTimeout() {
+	if nd.IsCentral() {
+		// We are the Central; our own belief needs no lease.
+		return
+	}
+	nd.central = netsim.NoNode
+	nd.centralPower = 0
+	if nd.manager != nil {
+		nd.manager.centralLost()
+	}
+	if nd.user != nil {
+		nd.user.centralLost()
+	}
+	if !nd.started {
+		return
+	}
+	if nd.class == Class300D {
+		nd.elector.centralLost()
+	} else {
+		nd.nodeAnnounce.Start(nd.k.UniformDuration(0, sim.Second))
+	}
+}
+
+// Deliver implements netsim.Endpoint, routing traffic to the roles.
+func (nd *Node) Deliver(msg *netsim.Message) {
+	switch p := msg.Payload.(type) {
+	case ElectionAnnounce:
+		if nd.elector != nil {
+			nd.elector.onCandidate(msg.From, p.Power)
+		}
+	case AppointBackup:
+		if nd.registry != nil {
+			nd.registry.onAppointBackup(msg.From, p)
+		}
+	case discovery.Announce:
+		nd.onAnnounce(msg, p)
+	case discovery.Search:
+		nd.onSearch(msg, p)
+	case discovery.SearchReply:
+		if nd.user != nil {
+			nd.user.onSearchReply(msg.From, p)
+		}
+	case discovery.Register:
+		if nd.IsCentral() {
+			nd.registry.onRegister(msg.From, p)
+		}
+	case discovery.RegisterAck:
+		if nd.manager != nil {
+			nd.manager.onRegisterAck(msg.From)
+		}
+	case discovery.Subscribe:
+		nd.onSubscribe(msg, p)
+	case discovery.SubscribeAck:
+		if nd.user != nil {
+			nd.user.onSubscribeAck(msg.From, p)
+		}
+	case discovery.Renew:
+		nd.onRenew(msg, p)
+	case discovery.RenewAck:
+		nd.onRenewAck(msg, p)
+	case discovery.RenewError:
+		if p.Manager == netsim.NoNode {
+			if nd.user != nil {
+				nd.user.onInterestError()
+			}
+			return
+		}
+		if nd.manager != nil {
+			nd.manager.onRenewError(msg.From)
+		}
+	case discovery.Update:
+		nd.onUpdate(msg, p)
+	case discovery.UpdateAck:
+		nd.onUpdateAck(msg, p)
+	case discovery.Get:
+		nd.onGet(msg, p)
+	case discovery.GetReply:
+		if nd.user != nil {
+			nd.user.onGetReply(msg.From, p)
+		}
+	case discovery.ResubscribeRequest:
+		if nd.user != nil {
+			nd.user.onResubscribeRequest(msg.From, p)
+		}
+	case discovery.ManagerGone:
+		if nd.user != nil {
+			nd.user.onManagerGone(msg.From, p)
+		}
+	}
+}
+
+func (nd *Node) onAnnounce(msg *netsim.Message, a discovery.Announce) {
+	if a.Role == discovery.RoleRegistry {
+		nd.setCentral(msg.From, a.Power)
+		if nd.user != nil && msg.From == nd.central {
+			nd.user.onCentralAnnounce()
+		}
+		return
+	}
+	// A presence announcement from a node still searching for the
+	// Central: answer with unicast Registry info if we are it.
+	if nd.IsCentral() {
+		nd.nw.SendUDP(nd.n.ID, msg.From, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Announce{}),
+			Counted: true,
+			Payload: discovery.Announce{Role: discovery.RoleRegistry, Power: nd.power,
+				CacheLease: nd.cfg.CacheLease},
+		})
+	}
+}
+
+func (nd *Node) onSearch(msg *netsim.Message, s discovery.Search) {
+	if msg.Multicast {
+		// PR5a: multicast queries are answered by matching Managers
+		// directly.
+		if nd.manager != nil {
+			nd.manager.onMulticastSearch(msg.From, s)
+		}
+		return
+	}
+	if nd.IsCentral() {
+		nd.registry.onSearch(msg.From, s)
+	}
+}
+
+func (nd *Node) onSubscribe(msg *netsim.Message, p discovery.Subscribe) {
+	if p.Manager == nd.n.ID && nd.manager != nil {
+		nd.manager.onSubscribe(msg.From, p)
+		return
+	}
+	if nd.IsCentral() {
+		nd.registry.onSubscribe(msg.From, p)
+	}
+}
+
+func (nd *Node) onRenew(msg *netsim.Message, p discovery.Renew) {
+	switch {
+	case p.Manager == msg.From:
+		// Registration lease renewal from a Manager.
+		if nd.IsCentral() {
+			nd.registry.onRegistrationRenew(msg.From, p)
+		}
+	case p.Manager == nd.n.ID && nd.manager != nil:
+		// 2-party subscription renewal addressed to our Manager role.
+		nd.manager.onSubscriptionRenew(msg.From, p)
+	default:
+		// 3-party subscription renewal at the Central.
+		if nd.IsCentral() {
+			nd.registry.onSubscriptionRenew(msg.From, p)
+		}
+	}
+}
+
+func (nd *Node) onRenewAck(msg *netsim.Message, p discovery.RenewAck) {
+	if p.Manager == nd.n.ID && nd.manager != nil {
+		nd.manager.onRegistrationRenewAck(msg.From)
+		return
+	}
+	if nd.user != nil {
+		nd.user.onRenewAck(msg.From, p)
+	}
+}
+
+func (nd *Node) onUpdate(msg *netsim.Message, p discovery.Update) {
+	if p.ForRegistry {
+		if nd.IsCentral() {
+			nd.registry.onUpdate(msg.From, p)
+		}
+		return
+	}
+	if nd.user != nil {
+		nd.user.onUpdate(msg.From, p)
+	}
+}
+
+func (nd *Node) onUpdateAck(msg *netsim.Message, p discovery.UpdateAck) {
+	if p.SenderRole == discovery.RoleRegistry {
+		// The Central confirmed our repository update.
+		if nd.manager != nil {
+			nd.manager.onCentralUpdateAck(p)
+		}
+		return
+	}
+	// A subscriber's acknowledgement: route to whoever notified it.
+	if p.Manager == nd.n.ID && nd.manager != nil {
+		nd.manager.onSubscriberAck(msg.From, p)
+		return
+	}
+	if nd.registry != nil && nd.registry.active {
+		nd.registry.onSubscriberAck(msg.From, p)
+	}
+}
+
+func (nd *Node) onGet(msg *netsim.Message, p discovery.Get) {
+	if p.Manager == nd.n.ID && nd.manager != nil {
+		nd.manager.onGet(msg.From)
+		return
+	}
+	if nd.IsCentral() {
+		nd.registry.onGet(msg.From, p)
+	}
+}
+
+// String aids debugging and event logs.
+func (nd *Node) String() string {
+	return fmt.Sprintf("frodo[%d/%s]", nd.n.ID, nd.class)
+}

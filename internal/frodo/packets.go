@@ -1,0 +1,29 @@
+package frodo
+
+import "repro/internal/discovery"
+
+// ElectionAnnounce is a 300D node's candidacy in the Central election:
+// "The 300D nodes elect the most powerful node as the Registry." The most
+// powerful candidate (ties broken by node ID) wins.
+type ElectionAnnounce struct {
+	Power int
+}
+
+// AppointBackup makes the receiver the Backup and synchronizes the
+// Central's registry state to it: "A Backup is appointed by the Central
+// to store configuration information."
+type AppointBackup struct {
+	Recs []discovery.ServiceRecord
+}
+
+// kindOf extends discovery.Kind with the FRODO election vocabulary.
+func kindOf(p any) string {
+	switch p.(type) {
+	case ElectionAnnounce, *ElectionAnnounce:
+		return "ElectionAnnounce"
+	case AppointBackup, *AppointBackup:
+		return "AppointBackup"
+	default:
+		return discovery.Kind(p)
+	}
+}

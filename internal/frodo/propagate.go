@@ -1,0 +1,96 @@
+package frodo
+
+import (
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// propagator drives acknowledged update notifications to a set of Users,
+// one outstanding notification per User. It implements SRN1 (limited
+// retransmission schedule) or SRC1 (unlimited, critical updates) and
+// hands exhausted notifications to an SRN2 callback when the owner
+// enables it. Both the Central (3-party) and 300D Managers (2-party) use
+// it.
+type propagator struct {
+	k      *sim.Kernel
+	nw     *netsim.Network
+	from   netsim.NodeID
+	policy core.RetryPolicy
+	// onExhausted runs when the schedule gives up on a User (nil: drop),
+	// receiving the record that could not be delivered.
+	onExhausted func(user netsim.NodeID, rec discovery.ServiceRecord)
+
+	pending map[netsim.NodeID]*pendingNotify
+}
+
+type pendingNotify struct {
+	version uint64
+	retry   *core.Retry
+}
+
+func newPropagator(k *sim.Kernel, nw *netsim.Network, from netsim.NodeID,
+	policy core.RetryPolicy, onExhausted func(netsim.NodeID, discovery.ServiceRecord)) *propagator {
+	return &propagator{k: k, nw: nw, from: from, policy: policy,
+		onExhausted: onExhausted, pending: map[netsim.NodeID]*pendingNotify{}}
+}
+
+// Notify starts (or restarts) the acknowledged delivery of rec to user.
+// A newer notification supersedes an outstanding one — "the service
+// changes again, requiring the Manager to reset the notification
+// process".
+func (p *propagator) Notify(user netsim.NodeID, rec discovery.ServiceRecord, seq uint64) {
+	if prev, ok := p.pending[user]; ok {
+		prev.retry.Stop()
+	}
+	pn := &pendingNotify{version: rec.SD.Version}
+	rec = rec.Clone()
+	pn.retry = core.NewRetry(p.k, p.policy, func(attempt int) {
+		p.nw.SendUDP(p.from, user, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Update{}),
+			Counted: true,
+			Payload: discovery.Update{Rec: rec, Seq: seq},
+		})
+	}, func() {
+		delete(p.pending, user)
+		if p.onExhausted != nil {
+			p.onExhausted(user, rec)
+		}
+	})
+	p.pending[user] = pn
+	pn.retry.Start()
+}
+
+// Ack processes a User's acknowledgement for a version: an ack at or
+// above the outstanding version stops the retransmission.
+func (p *propagator) Ack(user netsim.NodeID, version uint64) {
+	pn, ok := p.pending[user]
+	if !ok {
+		return
+	}
+	if version >= pn.version {
+		pn.retry.Stop()
+		delete(p.pending, user)
+	}
+}
+
+// Cancel abandons the outstanding notification to one User (its
+// subscription expired).
+func (p *propagator) Cancel(user netsim.NodeID) {
+	if pn, ok := p.pending[user]; ok {
+		pn.retry.Stop()
+		delete(p.pending, user)
+	}
+}
+
+// CancelAll abandons everything (the node lost its Central role).
+func (p *propagator) CancelAll() {
+	for user, pn := range p.pending {
+		pn.retry.Stop()
+		delete(p.pending, user)
+	}
+}
+
+// Outstanding reports how many notifications are still unacknowledged.
+func (p *propagator) Outstanding() int { return len(p.pending) }

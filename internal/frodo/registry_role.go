@@ -1,0 +1,455 @@
+package frodo
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// subKey identifies one 3-party subscription at the Central.
+type subKey struct {
+	user    netsim.NodeID
+	manager netsim.NodeID
+}
+
+// RegistryRole is the 300D Registry capability. It is dormant until the
+// node wins the Central election (or takes over as Backup), after which
+// it is "the repository for service descriptions [that] also actively
+// monitors the system for new and defunct nodes" (§3).
+type RegistryRole struct {
+	nd *Node
+
+	active bool
+
+	// Backup machinery: when we are the Central, backupID is the node we
+	// appointed; when we are the Backup, backupRecs is the synced state
+	// and backupMonitor watches the Central's announcements.
+	backup        bool
+	appointedBy   netsim.NodeID
+	backupID      netsim.NodeID
+	backupRecs    []discovery.ServiceRecord
+	backupMonitor *sim.Deadline
+
+	announcer *core.Announcer
+
+	registrations *discovery.LeaseTable[netsim.NodeID, discovery.ServiceRecord]
+	subs          *discovery.LeaseTable[subKey, struct{}]
+	// interests holds standing queries from Users ("Users receive
+	// notifications of new service registrations by explicitly
+	// requesting for service notification, when they first establish
+	// contact with the Registry"); unlike Jini, FRODO also serves
+	// existing registrations via the immediate query reply.
+	interests *discovery.LeaseTable[netsim.NodeID, discovery.Query]
+
+	prop *propagator
+	// inconsistent is SRN2 run by the Central on behalf of the
+	// resource-lean Managers whose subscriptions it maintains ("the task
+	// of maintaining subscriptions for resource-lean Managers is
+	// delegated to the Central"): Users whose notification exhausted the
+	// SRN1 schedule are retried when their renewal arrives. Keyed per
+	// Manager, since each service versions independently.
+	inconsistent map[netsim.NodeID]*core.InconsistentSet
+}
+
+func newRegistryRole(nd *Node) *RegistryRole {
+	r := &RegistryRole{nd: nd, backupID: netsim.NoNode, appointedBy: netsim.NoNode}
+	r.backupMonitor = sim.NewDeadline(nd.k, r.takeover)
+	r.registrations = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](nd.k, r.onRegistrationExpired)
+	r.subs = discovery.NewLeaseTable[subKey, struct{}](nd.k, r.onSubscriptionExpired)
+	r.interests = discovery.NewLeaseTable[netsim.NodeID, discovery.Query](nd.k, nil)
+	r.announcer = core.NewAnnouncer(nd.nw, nd.n.ID, DiscoveryGroup,
+		nd.cfg.AnnouncePeriod, nd.cfg.AnnounceCopies, func() netsim.Outgoing {
+			return netsim.Outgoing{
+				Kind:    discovery.Kind(discovery.Announce{}),
+				Counted: true,
+				Payload: discovery.Announce{Role: discovery.RoleRegistry, Power: nd.power,
+					CacheLease: nd.cfg.CacheLease},
+			}
+		})
+	retry := nd.cfg.NotifyRetry
+	if nd.cfg.CriticalUpdates {
+		retry = core.FrodoCriticalRetry
+	}
+	r.inconsistent = map[netsim.NodeID]*core.InconsistentSet{}
+	r.prop = newPropagator(nd.k, nd.nw, nd.n.ID, retry, r.onNotifyExhausted)
+	return r
+}
+
+// onNotifyExhausted hands an undeliverable notification to SRN2.
+func (r *RegistryRole) onNotifyExhausted(user netsim.NodeID, rec discovery.ServiceRecord) {
+	if !r.nd.cfg.Techniques.Has(core.SRN2) {
+		return
+	}
+	r.inconsistentFor(rec.Manager).Mark(user, rec.SD.Version)
+}
+
+// inconsistentFor returns (creating on demand) the SRN2 set of one
+// Manager's service.
+func (r *RegistryRole) inconsistentFor(manager netsim.NodeID) *core.InconsistentSet {
+	set, ok := r.inconsistent[manager]
+	if !ok {
+		set = core.NewInconsistentSet()
+		r.inconsistent[manager] = set
+	}
+	return set
+}
+
+// Registrations reports the number of live registrations (diagnostics).
+func (r *RegistryRole) Registrations() int { return r.registrations.Len() }
+
+// Subscriptions reports the number of live 3-party subscriptions.
+func (r *RegistryRole) Subscriptions() int { return r.subs.Len() }
+
+// activate turns the capability on: this node is now the Central.
+func (r *RegistryRole) activate() {
+	if r.active {
+		return
+	}
+	r.active = true
+	r.backup = false
+	r.backupMonitor.Clear()
+	r.nd.central = r.nd.n.ID
+	r.nd.centralPower = r.nd.power
+	r.nd.centralLease.Clear()
+	r.nd.nodeAnnounce.Stop()
+	// Seed the repository with state synced while we were the Backup.
+	for _, rec := range r.backupRecs {
+		if _, ok := r.registrations.Get(rec.Manager); !ok {
+			r.registrations.Put(rec.Manager, rec.Clone(), r.nd.cfg.RegistrationLease)
+		}
+	}
+	r.backupRecs = nil
+	r.announcer.AnnounceNow()
+	r.announcer.Start(r.nd.cfg.AnnouncePeriod)
+	r.maybeAppointBackup()
+}
+
+// deactivate demotes the node (a stronger Central claimed the role). The
+// tables are kept: if the node is ever re-elected it resumes with its
+// last known state, like a device whose interfaces failed.
+func (r *RegistryRole) deactivate() {
+	if !r.active {
+		return
+	}
+	r.active = false
+	r.announcer.Stop()
+	r.prop.CancelAll()
+}
+
+// onCentralSeen refreshes the Backup's takeover timer on every sign of
+// life from the Central.
+func (r *RegistryRole) onCentralSeen() {
+	if r.backup && !r.active {
+		r.backupMonitor.SetAfter(r.nd.cfg.BackupTimeout)
+	}
+}
+
+// takeover fires when the Central has been silent for the Backup
+// timeout: "The Backup takes over automatically in case of Central
+// failure" (§3).
+func (r *RegistryRole) takeover() {
+	if !r.backup || r.active {
+		return
+	}
+	r.activate()
+}
+
+// onAppointBackup installs this node as the Backup and stores the synced
+// registry state.
+func (r *RegistryRole) onAppointBackup(from netsim.NodeID, p AppointBackup) {
+	if r.active {
+		return
+	}
+	r.backup = true
+	r.appointedBy = from
+	r.backupRecs = make([]discovery.ServiceRecord, 0, len(p.Recs))
+	for _, rec := range p.Recs {
+		r.backupRecs = append(r.backupRecs, rec.Clone())
+	}
+	r.backupMonitor.SetAfter(r.nd.cfg.BackupTimeout)
+}
+
+// maybeAppointBackup appoints the most powerful other 300D node this node
+// has seen as Backup and syncs state to it.
+func (r *RegistryRole) maybeAppointBackup() {
+	best := netsim.NoNode
+	bestPow := -1
+	for id, pow := range r.nd.known300D {
+		if id == r.nd.n.ID {
+			continue
+		}
+		if pow > bestPow || (pow == bestPow && id > best) {
+			best = id
+			bestPow = pow
+		}
+	}
+	if best == netsim.NoNode {
+		return
+	}
+	r.backupID = best
+	r.syncBackup()
+}
+
+// syncBackup pushes the current registrations to the Backup.
+func (r *RegistryRole) syncBackup() {
+	if r.backupID == netsim.NoNode {
+		return
+	}
+	recs := []discovery.ServiceRecord{}
+	r.registrations.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) {
+		recs = append(recs, rec.Clone())
+	})
+	r.nd.nw.SendUDP(r.nd.n.ID, r.backupID, netsim.Outgoing{
+		Kind:    kindOf(AppointBackup{}),
+		Counted: true,
+		Payload: AppointBackup{Recs: recs},
+	})
+}
+
+// onRegister stores the Manager's service. A new registration — or a
+// re-registration with changed content — triggers PR1: "When the Manager
+// re-registers, the Registry notifies interested Users of the new
+// registration."
+func (r *RegistryRole) onRegister(from netsim.NodeID, p discovery.Register) {
+	prev, existed := r.registrations.Get(from)
+	lease := p.Lease
+	if lease <= 0 {
+		lease = r.nd.cfg.RegistrationLease
+	}
+	r.registrations.Put(from, p.Rec.Clone(), lease)
+	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.RegisterAck{}),
+		Counted: true,
+		Payload: discovery.RegisterAck{},
+	})
+	if !existed || prev.SD.Version != p.Rec.SD.Version {
+		if r.nd.cfg.Techniques.Has(core.PR1) {
+			r.notifyInterested(p.Rec)
+		}
+		r.syncBackup()
+	}
+}
+
+// notifyInterested propagates a (re-)registered record to subscribers of
+// that Manager and to Users with matching standing interests. The fan-out
+// order is deterministic (sorted by node ID) so runs replay exactly.
+func (r *RegistryRole) notifyInterested(rec discovery.ServiceRecord) {
+	targets := map[netsim.NodeID]bool{}
+	r.subs.Each(func(k subKey, _ struct{}) {
+		if k.manager == rec.Manager {
+			targets[k.user] = true
+		}
+	})
+	r.interests.Each(func(user netsim.NodeID, q discovery.Query) {
+		if q.Matches(rec.SD) {
+			targets[user] = true
+		}
+	})
+	ordered := make([]netsim.NodeID, 0, len(targets))
+	for user := range targets {
+		ordered = append(ordered, user)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, user := range ordered {
+		r.prop.Notify(user, rec, rec.SD.Version)
+	}
+}
+
+// onUpdate handles a Manager's repository update (Fig. 1): refresh the
+// stored record, acknowledge, and propagate to 3-party subscribers with
+// the SRN1 retransmission schedule (exhaustions fall through to SRN2).
+func (r *RegistryRole) onUpdate(from netsim.NodeID, p discovery.Update) {
+	healed := false
+	if !r.registrations.Update(from, p.Rec.Clone()) {
+		// Unknown Manager (we purged it, or we are a fresh Central):
+		// treat the update as a registration so the system heals. That
+		// makes it a registration *event*, so interested Users are
+		// notified exactly as for an explicit re-registration (PR1) —
+		// otherwise the healed registration would be invisible to Users
+		// whose only hope is the Registry's push.
+		r.registrations.Put(from, p.Rec.Clone(), r.nd.cfg.RegistrationLease)
+		healed = true
+	}
+	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.UpdateAck{}),
+		Counted: true,
+		Payload: discovery.UpdateAck{Manager: from, Version: p.Rec.SD.Version,
+			SenderRole: discovery.RoleRegistry},
+	})
+	r.inconsistentFor(from).ResetVersion(p.Rec.SD.Version)
+	if healed {
+		if r.nd.cfg.Techniques.Has(core.PR1) {
+			r.notifyInterested(p.Rec)
+		}
+		r.syncBackup()
+		return
+	}
+	r.subs.Each(func(k subKey, _ struct{}) {
+		if k.manager == from {
+			r.prop.Notify(k.user, p.Rec, p.Seq)
+		}
+	})
+}
+
+// onSubscriberAck stops the retransmission schedule for an acknowledged
+// update and clears the User's SRN2 mark.
+func (r *RegistryRole) onSubscriberAck(from netsim.NodeID, p discovery.UpdateAck) {
+	r.prop.Ack(from, p.Version)
+	if set, ok := r.inconsistent[p.Manager]; ok {
+		set.AckVersion(from, p.Version)
+	}
+}
+
+// onSearch answers a unicast query and records the standing interest.
+func (r *RegistryRole) onSearch(from netsim.NodeID, s discovery.Search) {
+	r.interests.Put(from, s.Q, r.nd.cfg.SubscriptionLease)
+	recs := []discovery.ServiceRecord{}
+	r.registrations.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) {
+		if s.Q.Matches(rec.SD) {
+			recs = append(recs, rec.Clone())
+		}
+	})
+	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.SearchReply{}),
+		Counted: true,
+		Payload: discovery.SearchReply{Recs: recs},
+	})
+}
+
+// onGet serves the current record (SRC2 missed-update requests).
+func (r *RegistryRole) onGet(from netsim.NodeID, p discovery.Get) {
+	rec, ok := r.registrations.Get(p.Manager)
+	if !ok {
+		return
+	}
+	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.GetReply{}),
+		Counted: true,
+		Payload: discovery.GetReply{Rec: rec.Clone()},
+	})
+}
+
+// onSubscribe stores a 3-party subscription; the acknowledgement carries
+// the current service state, which is how PR3 resubscription restores
+// consistency.
+func (r *RegistryRole) onSubscribe(from netsim.NodeID, p discovery.Subscribe) {
+	lease := p.Lease
+	if lease <= 0 {
+		lease = r.nd.cfg.SubscriptionLease
+	}
+	r.subs.Put(subKey{user: from, manager: p.Manager}, struct{}{}, lease)
+	ack := discovery.SubscribeAck{Manager: p.Manager}
+	if rec, ok := r.registrations.Get(p.Manager); ok {
+		rc := rec.Clone()
+		ack.Rec = &rc
+	}
+	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.SubscribeAck{}),
+		Counted: true,
+		Payload: ack,
+	})
+}
+
+// onSubscriptionRenew extends a live subscription; a renewal for a purged
+// one triggers PR3: "Registry requests the User to resubscribe." The
+// response to the resubscription is the updated service description.
+func (r *RegistryRole) onSubscriptionRenew(from netsim.NodeID, p discovery.Renew) {
+	lease := p.Lease
+	if lease <= 0 {
+		lease = r.nd.cfg.SubscriptionLease
+	}
+	if p.Manager == netsim.NoNode {
+		// Interest-only renewal: the User maintains its standing
+		// notification request while its requirement is unmet.
+		if r.interests.Renew(from, lease) {
+			return
+		}
+		r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.RenewError{}),
+			Counted: true,
+			Payload: discovery.RenewError{Manager: netsim.NoNode},
+		})
+		return
+	}
+	r.interests.Renew(from, lease)
+	if r.subs.Renew(subKey{user: from, manager: p.Manager}, lease) {
+		r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.RenewAck{}),
+			Counted: false, // lease upkeep, excluded from update effort
+			Payload: discovery.RenewAck{Manager: p.Manager},
+		})
+		// SRN2, delegated: retry the notification this User missed.
+		if set, ok := r.inconsistent[p.Manager]; ok && set.ShouldRetry(from) {
+			if rec, live := r.registrations.Get(p.Manager); live {
+				r.prop.Notify(from, rec, rec.SD.Version)
+			}
+		}
+		return
+	}
+	if !r.nd.cfg.Techniques.Has(core.PR3) {
+		return
+	}
+	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.ResubscribeRequest{}),
+		Counted: true,
+		Payload: discovery.ResubscribeRequest{Manager: p.Manager},
+	})
+}
+
+// onRegistrationRenew extends a Manager's registration lease. Renewals
+// carry no service data; a renewal for a purged registration is answered
+// with an error so the Manager re-registers in full (PR1).
+func (r *RegistryRole) onRegistrationRenew(from netsim.NodeID, p discovery.Renew) {
+	lease := p.Lease
+	if lease <= 0 {
+		lease = r.nd.cfg.RegistrationLease
+	}
+	if r.registrations.Renew(from, lease) {
+		r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.RenewAck{}),
+			Counted: false, // lease upkeep, excluded from update effort
+			Payload: discovery.RenewAck{Manager: from},
+		})
+		return
+	}
+	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.RenewError{}),
+		Counted: true,
+		Payload: discovery.RenewError{Manager: from},
+	})
+}
+
+// onRegistrationExpired is the purge half of PR5 in 3-party mode: "the
+// Registry notifies the User when it purges the Manager." Subscribers
+// are told the Manager is gone and their subscriptions dropped.
+func (r *RegistryRole) onRegistrationExpired(manager netsim.NodeID, _ discovery.ServiceRecord) {
+	if !r.active {
+		return
+	}
+	r.subs.Each(func(k subKey, _ struct{}) {
+		if k.manager != manager {
+			return
+		}
+		r.nd.nw.SendUDP(r.nd.n.ID, k.user, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.ManagerGone{}),
+			Counted: true,
+			Payload: discovery.ManagerGone{Manager: manager},
+		})
+		r.prop.Cancel(k.user)
+		r.subs.Drop(k)
+	})
+	r.syncBackup()
+}
+
+// onSubscriptionExpired abandons any outstanding notification to the
+// purged subscriber and drops its SRN2 state ("the status of the
+// inconsistent User is cached until the subscription expires").
+func (r *RegistryRole) onSubscriptionExpired(k subKey, _ struct{}) {
+	r.prop.Cancel(k.user)
+	if set, ok := r.inconsistent[k.manager]; ok {
+		set.Forget(k.user)
+	}
+}

@@ -1,0 +1,397 @@
+package frodo
+
+import (
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// UserRole holds one service requirement. Discovery goes through the
+// Central (unicast query) with a multicast fallback when the Central is
+// not responding; the subscription mode follows the Manager's device
+// class: 300D Managers are subscribed to directly (2-party), everything
+// else through the Central (3-party).
+type UserRole struct {
+	nd       *Node
+	query    discovery.Query
+	listener discovery.ConsistencyListener
+
+	cache *discovery.LeaseTable[netsim.NodeID, discovery.ServiceRecord]
+
+	searchTick   *sim.Ticker
+	searchesLeft int
+
+	// Subscription state: lessee is who holds our lease (the Central in
+	// 3-party, the Manager in 2-party); subMgr is the Manager the
+	// subscription is about.
+	lessee    netsim.NodeID
+	subMgr    netsim.NodeID
+	subActive bool
+	subRetry  *core.Retry
+	renewTick *sim.Ticker
+
+	// interestTick maintains the standing notification request at the
+	// Central while the requirement is unmet: the User explicitly asked
+	// to be notified of matching registrations, and that request is a
+	// lease like any other. Without upkeep, a long Manager outage
+	// outlives the interest and the PR1 push finds nobody to tell.
+	interestTick *sim.Ticker
+
+	// pollTick drives CM2 when configured: persistent periodic Get
+	// requests for every cached service.
+	pollTick *sim.Ticker
+
+	// monitor detects missed sequenced updates (SRC2, critical mode).
+	monitor core.SeqMonitor
+}
+
+func newUserRole(nd *Node, q discovery.Query, l discovery.ConsistencyListener) *UserRole {
+	if l == nil {
+		l = discovery.NopListener{}
+	}
+	u := &UserRole{nd: nd, query: q, listener: l, lessee: netsim.NoNode, subMgr: netsim.NoNode}
+	u.cache = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](nd.k, u.onCachePurge)
+	u.searchTick = sim.NewTicker(nd.k, nd.cfg.SearchRetryPeriod, u.search)
+	u.renewTick = sim.NewTicker(nd.k, core.RenewInterval(nd.cfg.SubscriptionLease), u.renew)
+	u.interestTick = sim.NewTicker(nd.k, core.RenewInterval(nd.cfg.SubscriptionLease), u.renewInterest)
+	if nd.cfg.PollPeriod > 0 {
+		u.pollTick = sim.NewTicker(nd.k, nd.cfg.PollPeriod, u.poll)
+	}
+	return u
+}
+
+// poll is CM2: request the current description of every cached service
+// from the subscription lessee when one is established, otherwise from
+// the Central.
+func (u *UserRole) poll() {
+	for _, mgr := range u.cache.Keys() {
+		target := u.nd.central
+		if u.subActive && u.subMgr == mgr {
+			target = u.lessee
+		}
+		if target == netsim.NoNode || target == u.nd.n.ID {
+			continue
+		}
+		u.nd.nw.SendUDP(u.nd.n.ID, target, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Get{}),
+			Counted: true,
+			Payload: discovery.Get{Manager: mgr},
+		})
+	}
+}
+
+// renewInterest keeps the standing notification request alive while the
+// requirement is unmet. Subscribed Users piggyback interest renewal on
+// their subscription renewals instead.
+func (u *UserRole) renewInterest() {
+	if u.subActive {
+		return
+	}
+	central := u.nd.central
+	if central == netsim.NoNode || central == u.nd.n.ID {
+		return
+	}
+	u.nd.nw.SendUDP(u.nd.n.ID, central, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Renew{}),
+		Counted: false, // lease upkeep, excluded from update effort
+		Payload: discovery.Renew{Manager: netsim.NoNode, Lease: u.nd.cfg.SubscriptionLease},
+	})
+}
+
+// onInterestError reacts to the Central rejecting an interest renewal
+// (it purged the request, e.g. after its own outage): re-establish
+// contact with a fresh search burst, which both re-registers the
+// interest and picks up anything already registered.
+func (u *UserRole) onInterestError() {
+	if u.subActive {
+		return
+	}
+	u.startSearchBurst()
+}
+
+func (u *UserRole) start() {
+	if u.cache.Len() == 0 {
+		u.startSearchBurst()
+	}
+	u.interestTick.Start(u.interestTick.Period())
+	if u.pollTick != nil {
+		u.pollTick.Start(u.pollTick.Period())
+	}
+}
+
+// startSearchBurst arms a bounded train of searches (PR5's query side).
+func (u *UserRole) startSearchBurst() {
+	u.searchesLeft = u.nd.cfg.SearchBurst
+	if u.searchesLeft <= 0 {
+		u.searchesLeft = 1
+	}
+	u.searchTick.Start(u.nd.k.UniformDuration(0, sim.Second))
+}
+
+// ID reports the hosting node's ID.
+func (u *UserRole) ID() netsim.NodeID { return u.nd.n.ID }
+
+// CachedVersion reports the cached description version for a Manager.
+func (u *UserRole) CachedVersion(manager netsim.NodeID) uint64 {
+	rec, ok := u.cache.Get(manager)
+	if !ok {
+		return 0
+	}
+	return rec.SD.Version
+}
+
+// Subscribed reports whether the User holds an acknowledged subscription.
+func (u *UserRole) Subscribed() bool { return u.subActive }
+
+// search queries the Central, or multicasts when no Central is known —
+// "Managers are rediscovered by querying the Registry or by sending
+// multicast queries when the Registry is not responding."
+func (u *UserRole) search() {
+	if u.searchesLeft <= 0 {
+		u.searchTick.Stop()
+		return
+	}
+	u.searchesLeft--
+	if central := u.nd.central; central != netsim.NoNode && central != u.nd.n.ID {
+		u.nd.nw.SendUDP(u.nd.n.ID, central, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Search{}),
+			Counted: true,
+			Payload: discovery.Search{Q: u.query},
+		})
+		return
+	}
+	u.nd.nw.Multicast(u.nd.n.ID, DiscoveryGroup, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Search{}),
+		Counted: true,
+		Payload: discovery.Search{Q: u.query},
+	}, 1)
+}
+
+// onSearchReply adopts matching records.
+func (u *UserRole) onSearchReply(from netsim.NodeID, p discovery.SearchReply) {
+	for _, rec := range p.Recs {
+		if u.query.Matches(rec.SD) {
+			u.adopt(rec)
+		}
+	}
+}
+
+// adopt caches the record and establishes the subscription dictated by
+// the Manager's device class ("The User is able to detect which
+// subscription process to use, based on the device class of the
+// Manager").
+func (u *UserRole) adopt(rec discovery.ServiceRecord) {
+	u.storeRec(rec)
+	target := u.nd.central
+	if rec.SD.Attributes[ClassAttr] == Class300D.String() {
+		target = rec.Manager
+	}
+	if target == netsim.NoNode {
+		// A 3-party service but no Central to subscribe at: keep
+		// searching; centralChanged re-adopts the cached record.
+		return
+	}
+	u.searchTick.Stop()
+	if u.lessee == target && u.subMgr == rec.Manager {
+		if u.subActive || (u.subRetry != nil && u.subRetry.Active()) {
+			return
+		}
+	}
+	u.subscribe(target, rec.Manager)
+}
+
+// subscribe sends the subscription request with the control
+// retransmission schedule; an exhausted schedule retries after a
+// node-announce period while the record stays cached.
+func (u *UserRole) subscribe(lessee, manager netsim.NodeID) {
+	if u.subRetry != nil {
+		u.subRetry.Stop()
+	}
+	u.subActive = false
+	u.lessee = lessee
+	u.subMgr = manager
+	u.subRetry = core.NewRetry(u.nd.k, u.nd.cfg.ControlRetry, func(int) {
+		u.nd.nw.SendUDP(u.nd.n.ID, lessee, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Subscribe{}),
+			Counted: true,
+			Payload: discovery.Subscribe{Manager: manager, Lease: u.nd.cfg.SubscriptionLease},
+		})
+	}, func() {
+		u.nd.k.After(u.nd.cfg.NodeAnnouncePeriod, func() {
+			if !u.subActive && u.cache.Len() > 0 && u.lessee == lessee {
+				u.subscribe(lessee, manager)
+			}
+		})
+	})
+	u.subRetry.Start()
+}
+
+// onSubscribeAck confirms the subscription and applies any initial state.
+func (u *UserRole) onSubscribeAck(from netsim.NodeID, p discovery.SubscribeAck) {
+	if from != u.lessee {
+		return
+	}
+	if u.subRetry != nil {
+		u.subRetry.Stop()
+	}
+	u.subActive = true
+	u.searchTick.Stop()
+	u.renewTick.Start(u.renewTick.Period())
+	if p.Rec != nil && u.query.Matches(p.Rec.SD) {
+		u.storeRec(*p.Rec)
+	}
+}
+
+// renew sends the periodic SubscriptionRenew of Fig. 1. In 2-party mode
+// this is also the SRN2 trigger on the Manager's side.
+func (u *UserRole) renew() {
+	if !u.subActive || u.lessee == netsim.NoNode {
+		return
+	}
+	u.nd.nw.SendUDP(u.nd.n.ID, u.lessee, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Renew{}),
+		Counted: false, // lease upkeep, excluded from update effort
+		Payload: discovery.Renew{Manager: u.subMgr, Lease: u.nd.cfg.SubscriptionLease},
+	})
+}
+
+// onRenewAck refreshes the cached record's lease: a live subscription
+// chain keeps the cached service alive.
+func (u *UserRole) onRenewAck(from netsim.NodeID, p discovery.RenewAck) {
+	if from != u.lessee {
+		return
+	}
+	u.cache.Renew(u.subMgr, u.nd.cfg.CacheLease)
+}
+
+// onCentralAnnounce refreshes cached records the Central vouches for:
+// 3-party services live in its repository, so while it announces they
+// stay valid and purge-rediscovery is driven by its explicit signals
+// (ManagerGone, resubscription requests) or by the Central going silent.
+// This decoupling is what lets PR3 fire: the cache outlives a purged
+// subscription. A 2-party service is the Manager's own affair — only the
+// Manager's acknowledgements keep it alive — which is why 2-party Users
+// fall back to rediscovery through the Registry, the weaker PR5 the
+// paper describes.
+func (u *UserRole) onCentralAnnounce() {
+	for _, mgr := range u.cache.Keys() {
+		if u.subActive && u.lessee == mgr {
+			continue // 2-party: vouched by the Manager itself
+		}
+		u.cache.Renew(mgr, u.nd.cfg.CacheLease)
+	}
+}
+
+// onResubscribeRequest complies with PR3 (from the Central) or PR4 (from
+// a 2-party Manager): subscribe again; the acknowledgement carries the
+// current service state.
+func (u *UserRole) onResubscribeRequest(from netsim.NodeID, p discovery.ResubscribeRequest) {
+	u.subscribe(from, p.Manager)
+}
+
+// onUpdate stores the pushed description and acknowledges it. The
+// acknowledgement is a subscriber receipt — the UDP analogue of the TCP
+// acks in Jini/UPnP — and is excluded from the update-effort count. In
+// critical mode the sequence monitor requests missed updates (SRC2).
+func (u *UserRole) onUpdate(from netsim.NodeID, p discovery.Update) {
+	if !u.query.Matches(p.Rec.SD) {
+		return
+	}
+	if u.nd.cfg.CriticalUpdates && u.nd.cfg.Techniques.Has(core.SRC2) && p.Seq > 0 {
+		if gapped, _ := u.monitor.Observe(p.Seq); gapped {
+			u.nd.nw.SendUDP(u.nd.n.ID, from, netsim.Outgoing{
+				Kind:    discovery.Kind(discovery.Get{}),
+				Counted: true,
+				Payload: discovery.Get{Manager: p.Rec.Manager},
+			})
+		}
+	}
+	// Updates can be the first contact with the service (PR1 notifies
+	// standing interests): adopt establishes the subscription if needed.
+	u.adopt(p.Rec)
+	u.nd.nw.SendUDP(u.nd.n.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.UpdateAck{}),
+		Counted: false,
+		Payload: discovery.UpdateAck{Manager: p.Rec.Manager, Version: p.Rec.SD.Version,
+			SenderRole: discovery.RoleUser},
+	})
+}
+
+// onGetReply adopts a fetched description (SRC2 repair).
+func (u *UserRole) onGetReply(from netsim.NodeID, p discovery.GetReply) {
+	if u.query.Matches(p.Rec.SD) {
+		u.adopt(p.Rec)
+	}
+}
+
+// onManagerGone is PR5 in 3-party mode: the Central purged the Manager,
+// so purge it here too and rediscover.
+func (u *UserRole) onManagerGone(from netsim.NodeID, p discovery.ManagerGone) {
+	if from != u.nd.central {
+		return
+	}
+	u.cache.Drop(p.Manager)
+	u.purgeManager(p.Manager)
+}
+
+// onCachePurge is PR5 by lease expiry: the service went silent.
+func (u *UserRole) onCachePurge(manager netsim.NodeID, _ discovery.ServiceRecord) {
+	u.purgeManager(manager)
+}
+
+func (u *UserRole) purgeManager(manager netsim.NodeID) {
+	if u.subMgr == manager {
+		u.subActive = false
+		u.subMgr = netsim.NoNode
+		u.lessee = netsim.NoNode
+		if u.subRetry != nil {
+			u.subRetry.Stop()
+		}
+		u.renewTick.Stop()
+	}
+	u.monitor.Reset()
+	if u.nd.cfg.Techniques.Has(core.PR5) {
+		u.startSearchBurst()
+	}
+}
+
+// centralChanged re-subscribes 3-party subscriptions at the new Central,
+// re-adopts cached records that could not be subscribed while no Central
+// was known, and gives searching Users an immediate query target.
+func (u *UserRole) centralChanged(central netsim.NodeID) {
+	if u.subMgr != netsim.NoNode && u.lessee != u.subMgr {
+		// 3-party subscription: move it to the new Central.
+		u.subscribe(central, u.subMgr)
+		return
+	}
+	if !u.subActive && u.cache.Len() > 0 {
+		u.cache.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) {
+			if u.query.Matches(rec.SD) {
+				u.adopt(rec)
+			}
+		})
+		return
+	}
+	if u.cache.Len() == 0 && u.nd.started {
+		u.startSearchBurst()
+	}
+}
+
+// centralLost marks a 3-party subscription as orphaned; the cache lease
+// will drive rediscovery if no new Central appears in time.
+func (u *UserRole) centralLost() {
+	if u.subMgr != netsim.NoNode && u.lessee != u.subMgr {
+		u.subActive = false
+		u.renewTick.Stop()
+	}
+}
+
+// storeRec caches the record and reports the write to the consistency
+// listener. The search ticker is stopped by adopt/onSubscribeAck, not
+// here: a cached record without a reachable subscription target must keep
+// the search alive.
+func (u *UserRole) storeRec(rec discovery.ServiceRecord) {
+	u.cache.Put(rec.Manager, rec.Clone(), u.nd.cfg.CacheLease)
+	u.listener.CacheUpdated(u.nd.k.Now(), u.nd.n.ID, rec.Manager, rec.SD.Version)
+}

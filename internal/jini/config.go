@@ -1,0 +1,61 @@
+// Package jini models the Jini lookup architecture as the paper and the
+// NIST studies describe it: a registry-based system with 3-party
+// subscription over reliable unicast (TCP). Managers register their
+// services at every lookup service (Registry) they discover; Users
+// register interest in future service registrations (PR1, with Jini's
+// documented anomaly: only *future* registrations are notified), always
+// query right afterwards to pick up existing registrations (PR2), and
+// subscribe for remote events carrying changed service descriptions.
+// A Registry answers a renewal for a purged lease with a bare error,
+// forcing the User to redo the whole join sequence (PR3).
+//
+// Topologies with one and two Registries reproduce the paper's "Jini with
+// 1 Registry" and "Jini with 2 Registries" systems.
+package jini
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// DiscoveryGroup is the multicast group used for Registry announcements.
+const DiscoveryGroup netsim.Group = 1
+
+// Config collects the model parameters; DefaultConfig reproduces §5.
+type Config struct {
+	// AnnouncePeriod and AnnounceCopies drive each Registry's multicast
+	// announcement train ("the Registry sends 6 multicast announcements
+	// messages every 120s").
+	AnnouncePeriod sim.Duration
+	AnnounceCopies int
+	// CacheLease is how long a node keeps a discovered Registry quiet in
+	// its cache, and how long a Registry keeps a registration (1800s).
+	CacheLease sim.Duration
+	// RegistrationLease is the Manager's service registration lease.
+	RegistrationLease sim.Duration
+	// SubscriptionLease covers event subscriptions and notification
+	// requests.
+	SubscriptionLease sim.Duration
+	// TCP is the reliable transport's failure response.
+	TCP netsim.TCPConfig
+	// PollPeriod enables CM2, pull-based consistency maintenance (§4.2):
+	// when positive, the User re-queries every known Registry this often,
+	// persistently. Zero disables polling.
+	PollPeriod sim.Duration
+	// Techniques enables recovery techniques; ablations flip bits.
+	Techniques core.TechniqueSet
+}
+
+// DefaultConfig returns the paper's Jini parameters.
+func DefaultConfig() Config {
+	return Config{
+		AnnouncePeriod:    core.JiniAnnouncePeriod,
+		AnnounceCopies:    core.JiniAnnounceCopies,
+		CacheLease:        core.RegistrationLease,
+		RegistrationLease: core.RegistrationLease,
+		SubscriptionLease: core.SubscriptionLease,
+		TCP:               netsim.DefaultTCPConfig(),
+		Techniques:        core.JiniTechniques(),
+	}
+}

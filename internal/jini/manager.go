@@ -1,0 +1,143 @@
+package jini
+
+import (
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Manager is a Jini service provider. It discovers lookup services
+// through their announcements, registers its service with each of them,
+// renews the registration leases, and sends updated descriptions when the
+// service changes.
+type Manager struct {
+	cfg  Config
+	node *netsim.Node
+	nw   *netsim.Network
+	k    *sim.Kernel
+
+	sd discovery.ServiceDescription
+
+	// registries tracks discovered lookup services; the lease is
+	// refreshed by their announcements.
+	registries *discovery.LeaseTable[netsim.NodeID, struct{}]
+	renewTick  *sim.Ticker
+}
+
+// NewManager attaches a Manager to a node.
+func NewManager(node *netsim.Node, cfg Config, sd discovery.ServiceDescription) *Manager {
+	m := &Manager{cfg: cfg, node: node, nw: node.Network(), k: node.Kernel(), sd: sd.Clone()}
+	if m.sd.Version == 0 {
+		m.sd.Version = 1
+	}
+	m.registries = discovery.NewLeaseTable[netsim.NodeID, struct{}](m.k, nil)
+	node.SetEndpoint(m)
+	m.nw.Join(node.ID, DiscoveryGroup)
+	m.renewTick = sim.NewTicker(m.k, core.RenewInterval(cfg.RegistrationLease), m.renewAll)
+	return m
+}
+
+// Start boots the Manager; it waits passively for Registry announcements.
+func (m *Manager) Start(bootDelay sim.Duration) {
+	m.k.After(bootDelay, func() { m.renewTick.Start(m.renewTick.Period()) })
+}
+
+// ID reports the Manager's node ID.
+func (m *Manager) ID() netsim.NodeID { return m.node.ID }
+
+// SD returns a copy of the current service description.
+func (m *Manager) SD() discovery.ServiceDescription { return m.sd.Clone() }
+
+// Version reports the current service version.
+func (m *Manager) Version() uint64 { return m.sd.Version }
+
+// KnownRegistries reports how many lookup services the Manager is
+// registered with.
+func (m *Manager) KnownRegistries() int { return m.registries.Len() }
+
+// ChangeService mutates the service, bumps the version, and updates every
+// known Registry over TCP. A REX leaves that Registry stale until the
+// registration lease cycle heals it (re-registration after an error).
+func (m *Manager) ChangeService(mutate func(attrs map[string]string)) {
+	if m.sd.Attributes == nil {
+		m.sd.Attributes = map[string]string{}
+	}
+	if mutate != nil {
+		mutate(m.sd.Attributes)
+	}
+	m.sd.Version++
+	m.registries.Each(func(reg netsim.NodeID, _ struct{}) {
+		m.sendUpdate(reg)
+	})
+}
+
+func (m *Manager) sendUpdate(reg netsim.NodeID) {
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Update{}),
+		Counted: true,
+		Payload: discovery.Update{Rec: m.record(), Seq: m.sd.Version},
+	}
+	m.nw.SendTCPWith(m.cfg.TCP, m.node.ID, reg, out, nil)
+}
+
+// Deliver implements netsim.Endpoint.
+func (m *Manager) Deliver(msg *netsim.Message) {
+	switch p := msg.Payload.(type) {
+	case discovery.Announce:
+		m.onAnnounce(msg.From, p)
+	case discovery.RenewError:
+		// The Registry purged our registration: re-register with the
+		// current description (PR1 — the Registry will notify interested
+		// Users).
+		m.register(msg.From)
+	case discovery.RegisterAck, discovery.RenewAck:
+		// Lease bookkeeping only; nothing to do.
+	}
+}
+
+// onAnnounce refreshes a known Registry's cache entry or registers with a
+// newly discovered one.
+func (m *Manager) onAnnounce(from netsim.NodeID, a discovery.Announce) {
+	if a.Role != discovery.RoleRegistry {
+		return
+	}
+	lease := a.CacheLease
+	if lease <= 0 {
+		lease = m.cfg.CacheLease
+	}
+	if m.registries.Renew(from, lease) {
+		return
+	}
+	m.registries.Put(from, struct{}{}, lease)
+	m.register(from)
+}
+
+// register sends the full service record over TCP.
+func (m *Manager) register(reg netsim.NodeID) {
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Register{}),
+		Counted: true,
+		Payload: discovery.Register{Rec: m.record(), Lease: m.cfg.RegistrationLease},
+	}
+	m.nw.SendTCPWith(m.cfg.TCP, m.node.ID, reg, out, nil)
+}
+
+// renewAll refreshes the registration lease at every known Registry.
+// Renewals carry no service data: a Registry holding a stale description
+// stays stale until it purges the registration and the Manager
+// re-registers — the Jini weakness the paper contrasts with FRODO's SRN2.
+func (m *Manager) renewAll() {
+	m.registries.Each(func(reg netsim.NodeID, _ struct{}) {
+		out := netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Renew{}),
+			Counted: false, // lease upkeep, excluded from update effort
+			Payload: discovery.Renew{Manager: m.node.ID, Lease: m.cfg.RegistrationLease},
+		}
+		m.nw.SendTCPWith(m.cfg.TCP, m.node.ID, reg, out, nil)
+	})
+}
+
+func (m *Manager) record() discovery.ServiceRecord {
+	return discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd.Clone()}
+}

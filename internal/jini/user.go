@@ -1,0 +1,307 @@
+package jini
+
+import (
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// regMgrKey identifies an event registration from the User's side: the
+// Registry it was placed at and the Manager it concerns.
+type regMgrKey struct {
+	registry netsim.NodeID
+	manager  netsim.NodeID
+}
+
+// User is a Jini client. Joining a lookup service means requesting
+// notification of future registrations (PR1) and then always querying for
+// existing ones (PR2) — the order Jini needs because of its notification
+// anomaly. Once it finds the service, the User subscribes for remote
+// events and renews all leases periodically; a renewal answered with an
+// error (PR3) sends it back through the whole join sequence.
+type User struct {
+	cfg      Config
+	node     *netsim.Node
+	nw       *netsim.Network
+	k        *sim.Kernel
+	query    discovery.Query
+	listener discovery.ConsistencyListener
+
+	// registries tracks discovered lookup services; the lease is
+	// refreshed by their announcements.
+	registries *discovery.LeaseTable[netsim.NodeID, struct{}]
+	// cache holds the discovered service records. Its lease is refreshed
+	// by events and by successful renewals: a healthy subscription attests
+	// that the Registry still serves us. When it expires the requirement
+	// is unmet again and the User re-queries.
+	cache *discovery.LeaseTable[netsim.NodeID, discovery.ServiceRecord]
+	// subscribed records which event registrations the user believes it
+	// holds.
+	subscribed map[regMgrKey]bool
+	// monitors detects event sequence gaps per event registration (SRC2).
+	monitors map[regMgrKey]*core.SeqMonitor
+
+	renewTick *sim.Ticker
+	// pollTick drives CM2 when configured: persistent periodic
+	// re-queries of the known Registries.
+	pollTick *sim.Ticker
+}
+
+// NewUser attaches a Jini client to a node.
+func NewUser(node *netsim.Node, cfg Config, q discovery.Query, l discovery.ConsistencyListener) *User {
+	if l == nil {
+		l = discovery.NopListener{}
+	}
+	u := &User{
+		cfg: cfg, node: node, nw: node.Network(), k: node.Kernel(),
+		query: q, listener: l,
+		subscribed: map[regMgrKey]bool{},
+		monitors:   map[regMgrKey]*core.SeqMonitor{},
+	}
+	u.registries = discovery.NewLeaseTable[netsim.NodeID, struct{}](u.k, u.onRegistryPurge)
+	u.cache = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](u.k, u.onCachePurge)
+	node.SetEndpoint(u)
+	u.nw.Join(node.ID, DiscoveryGroup)
+	u.renewTick = sim.NewTicker(u.k, core.RenewInterval(cfg.SubscriptionLease), u.renewAll)
+	if cfg.PollPeriod > 0 {
+		u.pollTick = sim.NewTicker(u.k, cfg.PollPeriod, u.poll)
+	}
+	return u
+}
+
+// poll is CM2: query every known Registry for the requirement,
+// persistently.
+func (u *User) poll() {
+	u.registries.Each(func(reg netsim.NodeID, _ struct{}) { u.search(reg) })
+}
+
+// Start boots the client; it waits for Registry announcements.
+func (u *User) Start(bootDelay sim.Duration) {
+	u.k.After(bootDelay, func() {
+		u.renewTick.Start(u.renewTick.Period())
+		if u.pollTick != nil {
+			u.pollTick.Start(u.pollTick.Period())
+		}
+	})
+}
+
+// ID reports the User's node ID.
+func (u *User) ID() netsim.NodeID { return u.node.ID }
+
+// CachedVersion reports the cached description version for a Manager.
+func (u *User) CachedVersion(manager netsim.NodeID) uint64 {
+	rec, ok := u.cache.Get(manager)
+	if !ok {
+		return 0
+	}
+	return rec.SD.Version
+}
+
+// KnownRegistries reports how many lookup services the User has joined.
+func (u *User) KnownRegistries() int { return u.registries.Len() }
+
+// Subscribed reports whether the user holds any event registration.
+func (u *User) Subscribed() bool { return len(u.subscribed) > 0 }
+
+// Deliver implements netsim.Endpoint.
+func (u *User) Deliver(msg *netsim.Message) {
+	switch p := msg.Payload.(type) {
+	case discovery.Announce:
+		u.onAnnounce(msg.From, p)
+	case discovery.SearchReply:
+		u.onSearchReply(msg.From, p)
+	case discovery.Update:
+		u.onEvent(msg.From, p)
+	case discovery.RenewError:
+		u.onRenewError(msg.From)
+	case discovery.RenewAck:
+		u.onRenewAck(msg.From)
+	case discovery.SubscribeAck:
+		// The confirmation of the notification request triggers the PR2
+		// query; event-registration confirmations carry no service state
+		// in Jini, so there is nothing else to do.
+		if p.Manager == netsim.NoNode && u.cfg.Techniques.Has(core.PR2) {
+			u.search(msg.From)
+		}
+	}
+}
+
+// onAnnounce refreshes a known Registry or joins a new one.
+func (u *User) onAnnounce(from netsim.NodeID, a discovery.Announce) {
+	if a.Role != discovery.RoleRegistry {
+		return
+	}
+	lease := a.CacheLease
+	if lease <= 0 {
+		lease = u.cfg.CacheLease
+	}
+	if u.registries.Renew(from, lease) {
+		// The Registry vouches for the services discovered through it:
+		// its announcements keep the cached records alive, so staleness
+		// is repaired by events, PR1 re-registrations and PR3 errors
+		// rather than by silent cache expiry.
+		for key := range u.subscribed {
+			if key.registry == from {
+				u.cache.Renew(key.manager, u.cfg.CacheLease)
+			}
+		}
+		return
+	}
+	u.registries.Put(from, struct{}{}, lease)
+	u.join(from)
+}
+
+// join performs the Jini discovery sequence against one Registry:
+// notification request first (PR1), then — once the request is confirmed
+// in place — the query that Jini forces because existing registrations
+// are not notified (PR2). Sequencing the query after the request's
+// acknowledgement closes the race in which a registration lands after the
+// query ran but before the request was stored, which would leave the User
+// permanently unserved.
+func (u *User) join(reg netsim.NodeID) {
+	if !u.cfg.Techniques.Has(core.PR1) {
+		if u.cfg.Techniques.Has(core.PR2) {
+			u.search(reg)
+		}
+		return
+	}
+	q := u.query
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Subscribe{}),
+		Counted: true,
+		Payload: discovery.Subscribe{Manager: netsim.NoNode, Q: &q, Lease: u.cfg.SubscriptionLease},
+	}
+	u.nw.SendTCPWith(u.cfg.TCP, u.node.ID, reg, out, nil)
+}
+
+// search queries one Registry for the requirement.
+func (u *User) search(reg netsim.NodeID) {
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Search{}),
+		Counted: true,
+		Payload: discovery.Search{Q: u.query},
+	}
+	u.nw.SendTCPWith(u.cfg.TCP, u.node.ID, reg, out, nil)
+}
+
+// onSearchReply stores matching records and subscribes for their events.
+func (u *User) onSearchReply(reg netsim.NodeID, p discovery.SearchReply) {
+	for _, rec := range p.Recs {
+		if !u.query.Matches(rec.SD) {
+			continue
+		}
+		u.storeRec(rec)
+		u.subscribe(reg, rec.Manager)
+	}
+}
+
+// subscribe opens the event registration for one Manager at one Registry.
+func (u *User) subscribe(reg, manager netsim.NodeID) {
+	key := regMgrKey{registry: reg, manager: manager}
+	if u.subscribed[key] {
+		return
+	}
+	u.subscribed[key] = true
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Subscribe{}),
+		Counted: true,
+		Payload: discovery.Subscribe{Manager: manager, Lease: u.cfg.SubscriptionLease},
+	}
+	u.nw.SendTCPWith(u.cfg.TCP, u.node.ID, reg, out, nil)
+}
+
+// onEvent stores the updated record from a remote event, ensures the
+// event registration exists (registration notifications may be the first
+// contact with the service), and checks the event sequence for gaps
+// (SRC2): a gap means a missed event, repaired by re-querying.
+func (u *User) onEvent(reg netsim.NodeID, p discovery.Update) {
+	if !u.query.Matches(p.Rec.SD) {
+		return
+	}
+	// Unsequenced events (Seq == 0) are registration notifications, not
+	// numbered remote events; they carry full state and need no gap check.
+	if p.Seq > 0 && u.cfg.Techniques.Has(core.SRC2) {
+		key := regMgrKey{registry: reg, manager: p.Rec.Manager}
+		mon := u.monitors[key]
+		if mon == nil {
+			mon = &core.SeqMonitor{}
+			u.monitors[key] = mon
+		}
+		if gapped, _ := mon.Observe(p.Seq); gapped {
+			u.search(reg)
+		}
+	}
+	u.storeRec(p.Rec)
+	u.subscribe(reg, p.Rec.Manager)
+}
+
+// renewAll refreshes the user's leases at every known Registry with a
+// single renewal covering its notification request and subscriptions.
+func (u *User) renewAll() {
+	u.registries.Each(func(reg netsim.NodeID, _ struct{}) {
+		manager := netsim.NoNode
+		for key := range u.subscribed {
+			if key.registry == reg {
+				manager = key.manager
+				break
+			}
+		}
+		out := netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Renew{}),
+			Counted: false, // lease upkeep, excluded from update effort
+			Payload: discovery.Renew{Manager: manager, Lease: u.cfg.SubscriptionLease},
+		}
+		u.nw.SendTCPWith(u.cfg.TCP, u.node.ID, reg, out, nil)
+	})
+}
+
+// onRenewAck refreshes the cache lease of services subscribed through the
+// acknowledging Registry: the subscription is alive, so the cached record
+// remains backed by a live lease chain.
+func (u *User) onRenewAck(reg netsim.NodeID) {
+	for key := range u.subscribed {
+		if key.registry == reg {
+			u.cache.Renew(key.manager, u.cfg.CacheLease)
+		}
+	}
+}
+
+// onRenewError is PR3, Jini style: the Registry purged our leases and
+// only says so; redo the entire join sequence.
+func (u *User) onRenewError(reg netsim.NodeID) {
+	u.forgetRegistry(reg)
+	u.join(reg)
+}
+
+// onRegistryPurge drops a silent Registry; announcements will trigger a
+// fresh join (PR2a: rediscovery through the periodic announcements).
+func (u *User) onRegistryPurge(reg netsim.NodeID, _ struct{}) {
+	u.forgetRegistry(reg)
+}
+
+func (u *User) forgetRegistry(reg netsim.NodeID) {
+	for key := range u.subscribed {
+		if key.registry == reg {
+			delete(u.subscribed, key)
+			delete(u.monitors, key)
+		}
+	}
+}
+
+// onCachePurge re-queries the known Registries: the requirement is
+// standing, so a purged service is searched for again.
+func (u *User) onCachePurge(manager netsim.NodeID, _ discovery.ServiceRecord) {
+	for key := range u.subscribed {
+		if key.manager == manager {
+			delete(u.subscribed, key)
+		}
+	}
+	u.registries.Each(func(reg netsim.NodeID, _ struct{}) { u.search(reg) })
+}
+
+// storeRec caches the record and reports it to the consistency listener.
+func (u *User) storeRec(rec discovery.ServiceRecord) {
+	u.cache.Put(rec.Manager, rec.Clone(), u.cfg.CacheLease)
+	u.listener.CacheUpdated(u.k.Now(), u.node.ID, rec.Manager, rec.SD.Version)
+}

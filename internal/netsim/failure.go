@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FailMode selects which interface(s) a failure takes down. Failing the
+// transmitter or the receiver models a communication failure; failing both
+// models a node failure (§5 Step 2).
+type FailMode uint8
+
+const (
+	FailTx FailMode = iota
+	FailRx
+	FailBoth
+)
+
+func (m FailMode) String() string {
+	switch m {
+	case FailTx:
+		return "Tx"
+	case FailRx:
+		return "Rx"
+	case FailBoth:
+		return "Tx+Rx"
+	default:
+		return "?"
+	}
+}
+
+// InterfaceFailure is one planned outage of a node's interfaces.
+type InterfaceFailure struct {
+	Node     NodeID
+	Mode     FailMode
+	Start    sim.Time
+	Duration sim.Duration
+}
+
+// End reports when the interfaces recover.
+func (f InterfaceFailure) End() sim.Time { return f.Start + f.Duration }
+
+// String renders the failure in the style of the paper's event logs
+// ("Manager Tx down at 381, up at 1191").
+func (f InterfaceFailure) String() string {
+	return fmt.Sprintf("node %d %s down at %.0f, up at %.0f", f.Node, f.Mode, f.Start.Sec(), f.End().Sec())
+}
+
+// FailurePlanConfig parameterizes the paper's interface-failure model.
+type FailurePlanConfig struct {
+	// Lambda is the failure rate λ ∈ [0,1]: the fraction of the run each
+	// node spends with failed interface(s).
+	Lambda float64
+	// WindowStart and WindowEnd bound the uniformly-drawn activation time
+	// (§5 Step 2: "interface failure occurs at a random time, from 100s to
+	// 5400s").
+	WindowStart, WindowEnd sim.Time
+	// RunDuration is the full simulation length; the outage lasts
+	// λ·RunDuration (possibly extending past the end of the run).
+	RunDuration sim.Duration
+}
+
+// DefaultFailurePlanConfig returns the §5 experiment parameters for a
+// given λ.
+func DefaultFailurePlanConfig(lambda float64) FailurePlanConfig {
+	return FailurePlanConfig{
+		Lambda:      lambda,
+		WindowStart: 100 * sim.Second,
+		WindowEnd:   5400 * sim.Second,
+		RunDuration: 5400 * sim.Second,
+	}
+}
+
+// PlanInterfaceFailures draws one outage per node: mode uniform over
+// {Tx, Rx, both}, start uniform in the window, duration λ·RunDuration.
+// With λ = 0 it returns no failures.
+func PlanInterfaceFailures(k *sim.Kernel, nodes []NodeID, cfg FailurePlanConfig) []InterfaceFailure {
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		panic(fmt.Sprintf("netsim: lambda %v out of [0,1]", cfg.Lambda))
+	}
+	if cfg.Lambda == 0 {
+		return nil
+	}
+	failures := make([]InterfaceFailure, 0, len(nodes))
+	for _, id := range nodes {
+		f := InterfaceFailure{
+			Node:     id,
+			Mode:     FailMode(k.Rand().Intn(3)),
+			Start:    k.UniformTime(cfg.WindowStart, cfg.WindowEnd),
+			Duration: sim.Duration(cfg.Lambda * float64(cfg.RunDuration)),
+		}
+		failures = append(failures, f)
+	}
+	return failures
+}
+
+// ScheduleFailure arms the down/up transitions for one planned outage.
+func (nw *Network) ScheduleFailure(f InterfaceFailure) {
+	node := nw.Node(f.Node)
+	nw.k.At(f.Start, func() {
+		if f.Mode == FailTx || f.Mode == FailBoth {
+			node.SetTx(false)
+		}
+		if f.Mode == FailRx || f.Mode == FailBoth {
+			node.SetRx(false)
+		}
+	})
+	nw.k.At(f.End(), func() {
+		if f.Mode == FailTx || f.Mode == FailBoth {
+			node.SetTx(true)
+		}
+		if f.Mode == FailRx || f.Mode == FailBoth {
+			node.SetRx(true)
+		}
+	})
+}
+
+// ScheduleFailures arms a whole failure plan.
+func (nw *Network) ScheduleFailures(fs []InterfaceFailure) {
+	for _, f := range fs {
+		nw.ScheduleFailure(f)
+	}
+}

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config holds network-wide parameters; the defaults reproduce Table 3.
+type Config struct {
+	// MinDelay and MaxDelay bound the one-way transmission delay,
+	// uniformly sampled per frame (Table 3: 10µs–100µs).
+	MinDelay sim.Duration
+	MaxDelay sim.Duration
+	// Loss is the independent per-frame drop probability in [0,1]. Zero
+	// for the paper's interface-failure experiments; nonzero reproduces
+	// the message-loss model of the companion study [25].
+	Loss float64
+	// MulticastStagger separates the redundant copies of one multicast
+	// transmission (Table 3: UPnP and Jini transmit every multicast six
+	// times). Copies are distinct wire transmissions, sent this far apart.
+	MulticastStagger sim.Duration
+}
+
+// DefaultConfig returns the Table 3 network characteristics.
+func DefaultConfig() Config {
+	return Config{
+		MinDelay:         10 * sim.Microsecond,
+		MaxDelay:         100 * sim.Microsecond,
+		Loss:             0,
+		MulticastStagger: 1 * sim.Millisecond,
+	}
+}
+
+// Network is the simulated LAN. It is owned by a single kernel and is not
+// safe for concurrent use; run-level parallelism happens one network per
+// goroutine.
+type Network struct {
+	k        *sim.Kernel
+	cfg      Config
+	nodes    []*Node
+	groups   map[Group][]NodeID
+	tracer   Tracer
+	counters Counters
+}
+
+// New creates an empty network on the given kernel.
+func New(k *sim.Kernel, cfg Config) *Network {
+	if cfg.MaxDelay < cfg.MinDelay {
+		panic("netsim: MaxDelay < MinDelay")
+	}
+	return &Network{k: k, cfg: cfg, groups: make(map[Group][]NodeID)}
+}
+
+// Kernel reports the owning simulation kernel.
+func (nw *Network) Kernel() *sim.Kernel { return nw.k }
+
+// Config reports the network configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// SetTracer installs an event tracer; nil disables tracing.
+func (nw *Network) SetTracer(t Tracer) { nw.tracer = t }
+
+// Counters exposes the message accounting for this network.
+func (nw *Network) Counters() *Counters { return &nw.counters }
+
+// AddNode attaches a new node with both interfaces up.
+func (nw *Network) AddNode(name string) *Node {
+	n := &Node{ID: NodeID(len(nw.nodes)), Name: name, txUp: true, rxUp: true, net: nw}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Node returns the node with the given ID.
+func (nw *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(nw.nodes) {
+		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	}
+	return nw.nodes[id]
+}
+
+// Nodes reports how many nodes are attached.
+func (nw *Network) Nodes() int { return len(nw.nodes) }
+
+// Join subscribes a node to a multicast group. Joining twice is a no-op.
+func (nw *Network) Join(id NodeID, g Group) {
+	for _, m := range nw.groups[g] {
+		if m == id {
+			return
+		}
+	}
+	nw.groups[g] = append(nw.groups[g], id)
+}
+
+// Leave removes a node from a multicast group.
+func (nw *Network) Leave(id NodeID, g Group) {
+	members := nw.groups[g]
+	for i, m := range members {
+		if m == id {
+			nw.groups[g] = append(members[:i], members[i+1:]...)
+			return
+		}
+	}
+}
+
+// Members returns the current membership of a multicast group.
+func (nw *Network) Members(g Group) []NodeID {
+	members := nw.groups[g]
+	out := make([]NodeID, len(members))
+	copy(out, members)
+	return out
+}
+
+// SendUDP transmits one unreliable datagram (Table 3 UDP: "Message
+// discarded. No retransmission."). The send is attempted even when the
+// transmitter is down — the device cannot know its interface has failed —
+// and the frame is then silently lost.
+func (nw *Network) SendUDP(from, to NodeID, out Outgoing) {
+	m := &Message{From: from, To: to, Kind: out.Kind, Counted: out.Counted,
+		Payload: out.Payload, Transport: UDP, SentAt: nw.k.Now()}
+	nw.accountSend(m)
+	nw.transmit(m)
+}
+
+// Multicast transmits copies redundant frames of the same discovery
+// message to every member of the group except the sender. Each copy is one
+// wire transmission (one counted send) fanned out to all members; each
+// member's reception sees an independent delay and loss draw.
+func (nw *Network) Multicast(from NodeID, g Group, out Outgoing, copies int) {
+	if copies < 1 {
+		copies = 1
+	}
+	for c := 0; c < copies; c++ {
+		offset := sim.Duration(c) * nw.cfg.MulticastStagger
+		if offset == 0 {
+			nw.multicastCopy(from, g, out)
+			continue
+		}
+		nw.k.After(offset, func() { nw.multicastCopy(from, g, out) })
+	}
+}
+
+func (nw *Network) multicastCopy(from NodeID, g Group, out Outgoing) {
+	wire := &Message{From: from, To: NoNode, Multicast: true, Kind: out.Kind,
+		Counted: out.Counted, Payload: out.Payload, Transport: UDP, SentAt: nw.k.Now()}
+	nw.accountSend(wire)
+	for _, to := range nw.groups[g] {
+		if to == from {
+			continue
+		}
+		m := &Message{From: from, To: to, Multicast: true, Kind: out.Kind,
+			Counted: false, Payload: out.Payload, Transport: UDP, SentAt: nw.k.Now()}
+		nw.transmit(m)
+	}
+}
+
+// accountSend records one wire transmission for the metrics.
+func (nw *Network) accountSend(m *Message) {
+	nw.counters.recordSend(nw.k.Now(), m)
+	if nw.tracer != nil {
+		nw.tracer.MessageSent(nw.k.Now(), m)
+	}
+}
+
+// transmit performs the frame path for application frames, handing the
+// message to the receiving endpoint on success.
+func (nw *Network) transmit(m *Message) {
+	nw.sendFrame(m, func() {
+		recv := nw.Node(m.To)
+		if recv.ep == nil {
+			nw.drop(m, "no endpoint")
+			return
+		}
+		nw.counters.recordDelivery(m)
+		if nw.tracer != nil {
+			nw.tracer.MessageDelivered(nw.k.Now(), m)
+		}
+		recv.ep.Deliver(m)
+	})
+}
+
+// sendFrame models one frame on the wire: drop on Tx-down or random loss,
+// otherwise run onDelivered after a uniform delay if the receiver's Rx is
+// up on arrival. The TCP machinery uses it directly for control frames.
+func (nw *Network) sendFrame(m *Message, onDelivered func()) {
+	sender := nw.Node(m.From)
+	if !sender.txUp {
+		nw.drop(m, "tx down")
+		return
+	}
+	if nw.cfg.Loss > 0 && nw.k.Rand().Float64() < nw.cfg.Loss {
+		nw.drop(m, "lost")
+		return
+	}
+	delay := nw.k.UniformDuration(nw.cfg.MinDelay, nw.cfg.MaxDelay)
+	nw.k.After(delay, func() {
+		if !nw.Node(m.To).rxUp {
+			nw.drop(m, "rx down")
+			return
+		}
+		onDelivered()
+	})
+}
+
+// Reachable reports whether a frame sent now from one node would arrive at
+// another, ignoring random loss. Used by tests and diagnostics only —
+// protocols never get to peek at interface state of remote nodes.
+func (nw *Network) Reachable(from, to NodeID) bool {
+	return nw.Node(from).txUp && nw.Node(to).rxUp
+}
+
+func (nw *Network) drop(m *Message, reason string) {
+	nw.counters.recordDrop(m)
+	if nw.tracer != nil {
+		nw.tracer.MessageDropped(nw.k.Now(), m, reason)
+	}
+}
+
+func (nw *Network) traceNode(id NodeID, event string) {
+	if nw.tracer != nil {
+		nw.tracer.NodeEvent(nw.k.Now(), id, event)
+	}
+}

@@ -1,0 +1,80 @@
+package netsim
+
+import "repro/internal/sim"
+
+// Node is a device attached to the simulated LAN. Its transmitter and
+// receiver can fail independently (§5 Step 2): a node with a failed
+// transmitter can still receive, and vice versa; both failed models a node
+// failure. Interface failure does not destroy protocol state — the device
+// keeps running and its timers keep firing, it just cannot communicate.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	txUp bool
+	rxUp bool
+
+	ep  Endpoint
+	net *Network
+
+	// onInterfaceChange, if set, is invoked after any interface state
+	// transition. Protocols use it to model the "application layer
+	// indicates loss of connectivity" stop condition of SRN1/SRC1.
+	onInterfaceChange func(txUp, rxUp bool)
+}
+
+// TxUp reports whether the transmitter is operational.
+func (n *Node) TxUp() bool { return n.txUp }
+
+// RxUp reports whether the receiver is operational.
+func (n *Node) RxUp() bool { return n.rxUp }
+
+// Up reports whether both interfaces are operational.
+func (n *Node) Up() bool { return n.txUp && n.rxUp }
+
+// SetEndpoint attaches the protocol instance that receives this node's
+// traffic. It must be called before any message can be delivered.
+func (n *Node) SetEndpoint(ep Endpoint) { n.ep = ep }
+
+// OnInterfaceChange registers a callback invoked after every Tx/Rx state
+// change.
+func (n *Node) OnInterfaceChange(fn func(txUp, rxUp bool)) { n.onInterfaceChange = fn }
+
+// SetTx changes transmitter state, tracing the transition.
+func (n *Node) SetTx(up bool) {
+	if n.txUp == up {
+		return
+	}
+	n.txUp = up
+	n.net.traceNode(n.ID, ifaceEvent("Tx", up))
+	if n.onInterfaceChange != nil {
+		n.onInterfaceChange(n.txUp, n.rxUp)
+	}
+}
+
+// SetRx changes receiver state, tracing the transition.
+func (n *Node) SetRx(up bool) {
+	if n.rxUp == up {
+		return
+	}
+	n.rxUp = up
+	n.net.traceNode(n.ID, ifaceEvent("Rx", up))
+	if n.onInterfaceChange != nil {
+		n.onInterfaceChange(n.txUp, n.rxUp)
+	}
+}
+
+func ifaceEvent(iface string, up bool) string {
+	if up {
+		return iface + " up"
+	}
+	return iface + " down"
+}
+
+// Kernel exposes the simulation kernel driving this node's network, so
+// protocol code can schedule timers without threading the kernel through
+// every constructor.
+func (n *Node) Kernel() *sim.Kernel { return n.net.Kernel() }
+
+// Network reports the network the node is attached to.
+func (n *Node) Network() *Network { return n.net }

@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// ErrREX is the Remote Exception surfaced to the discovery layer of UPnP
+// and Jini when TCP connection setup fails after all retransmission
+// attempts (Table 3).
+var ErrREX = errors.New("netsim: remote exception (TCP connection setup failed)")
+
+// ErrAborted reports that the sender abandoned the transfer (for example
+// because the service changed again and the notification was superseded).
+var ErrAborted = errors.New("netsim: transfer aborted by sender")
+
+// TCPConfig models the Table 3 failure response of the reliable transport.
+type TCPConfig struct {
+	// SetupRetransmits are the gaps between successive connection-setup
+	// attempts. Table 3: "4 retransmission attempts with delays 6s, 24s,
+	// 24s, 24s, then REX if unsuccessful".
+	SetupRetransmits []sim.Duration
+	// SetupFinalWait is how long the last setup attempt waits for its
+	// answer before the REX is raised.
+	SetupFinalWait sim.Duration
+	// MinRTO floors the first data-transfer timeout. Table 3 sets the
+	// first timeout to the round-trip time; with 10–100µs LAN delays a
+	// literal reading would retransmit millions of times during a long
+	// interface failure, so we apply the RFC 6298 1s minimum. Only
+	// uncounted transport frames are affected.
+	MinRTO sim.Duration
+	// Backoff multiplies the data-transfer timeout on every retry.
+	// Table 3: "increasing timeout by 25% on each retry".
+	Backoff float64
+}
+
+// DefaultTCPConfig returns the Table 3 TCP failure response.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		SetupRetransmits: []sim.Duration{6 * sim.Second, 24 * sim.Second, 24 * sim.Second, 24 * sim.Second},
+		SetupFinalWait:   24 * sim.Second,
+		MinRTO:           1 * sim.Second,
+		Backoff:          1.25,
+	}
+}
+
+// TCPConn is one reliable transfer: connection setup followed by the
+// delivery of a single discovery message, with the option of application
+// replies flowing back over the established connection. The whole
+// connection is simulated inside the network layer; the discovery layers
+// only see delivered payloads and REX results, as in the NIST models.
+type TCPConn struct {
+	nw       *Network
+	cfg      TCPConfig
+	from, to NodeID
+
+	established bool
+	rtt         sim.Duration
+	aborted     bool
+
+	setupAttempt int
+
+	transfers []*tcpTransfer
+}
+
+// tcpTransfer is one payload moving across an established connection, in
+// either direction.
+type tcpTransfer struct {
+	conn      *TCPConn
+	from, to  NodeID
+	out       Outgoing
+	onResult  func(error)
+	delivered bool // receiver got the payload (dedup for retransmissions)
+	acked     bool
+	timer     *sim.Event
+	rto       sim.Duration
+	sends     int
+}
+
+// SendTCP opens a connection from one node to another and reliably
+// transfers one discovery message. onResult is called exactly once: with
+// nil when the payload has been delivered and acknowledged, with ErrREX if
+// connection setup fails, or with ErrAborted if the sender gives up.
+// The returned connection can carry application replies (Reply).
+func (nw *Network) SendTCP(from, to NodeID, out Outgoing, onResult func(error)) *TCPConn {
+	return nw.SendTCPWith(DefaultTCPConfig(), from, to, out, onResult)
+}
+
+// SendTCPWith is SendTCP with an explicit transport configuration.
+func (nw *Network) SendTCPWith(cfg TCPConfig, from, to NodeID, out Outgoing, onResult func(error)) *TCPConn {
+	c := &TCPConn{nw: nw, cfg: cfg, from: from, to: to}
+	c.queueTransfer(from, to, out, onResult)
+	c.connect()
+	return c
+}
+
+// Reply sends a discovery message back over the established connection
+// (e.g. an HTTP response or a Jini event acknowledgement). It must only be
+// called once the connection is established — in practice, from the
+// handler that received the request payload. Replies skip connection setup
+// but still retransmit until acknowledged.
+func (c *TCPConn) Reply(out Outgoing, onResult func(error)) {
+	if !c.established {
+		panic("netsim: Reply on unestablished TCP connection")
+	}
+	c.queueTransfer(c.to, c.from, out, onResult)
+}
+
+// Abort abandons all outstanding transfers; their callbacks receive
+// ErrAborted. Delivered-and-acknowledged transfers are unaffected.
+func (c *TCPConn) Abort() {
+	if c.aborted {
+		return
+	}
+	c.aborted = true
+	for _, tr := range c.transfers {
+		if !tr.acked {
+			tr.timer.Cancel()
+			tr.finish(ErrAborted)
+		}
+	}
+}
+
+// Established reports whether connection setup completed.
+func (c *TCPConn) Established() bool { return c.established }
+
+// From reports the initiating node.
+func (c *TCPConn) From() NodeID { return c.from }
+
+// To reports the accepting node.
+func (c *TCPConn) To() NodeID { return c.to }
+
+func (c *TCPConn) queueTransfer(from, to NodeID, out Outgoing, onResult func(error)) {
+	// The discovery layer hands its message to the transport here; this
+	// is the send attempt the Update Efficiency metrics count, whether or
+	// not the connection ever comes up. (A NOTIFY whose connection REXes
+	// was still effort spent — and counting it here keeps failed runs
+	// from looking spuriously "efficient".)
+	c.nw.accountSend(&Message{From: from, To: to, Kind: out.Kind, Counted: out.Counted,
+		Payload: out.Payload, Transport: TCPData, SentAt: c.nw.k.Now()})
+	tr := &tcpTransfer{conn: c, from: from, to: to, out: out, onResult: onResult}
+	c.transfers = append(c.transfers, tr)
+	if c.established {
+		tr.start()
+	}
+}
+
+// connect runs the setup state machine: SYN, wait, retransmit per the
+// configured schedule, REX when the schedule is exhausted.
+func (c *TCPConn) connect() {
+	start := c.nw.k.Now()
+	c.sendSYN()
+	var wait sim.Duration
+	for _, gap := range c.cfg.SetupRetransmits {
+		wait += gap
+		c.scheduleSetup(start+wait, c.sendSYN)
+	}
+	c.scheduleSetup(start+wait+c.cfg.SetupFinalWait, c.rex)
+}
+
+// scheduleSetup runs a setup step unless the connection has already been
+// established or torn down by the time it fires.
+func (c *TCPConn) scheduleSetup(at sim.Time, fn func()) {
+	c.nw.k.At(at, func() {
+		if c.established || c.aborted {
+			return
+		}
+		fn()
+	})
+}
+
+func (c *TCPConn) sendSYN() {
+	if c.established || c.aborted {
+		return
+	}
+	c.setupAttempt++
+	sent := c.nw.k.Now()
+	syn := &Message{From: c.from, To: c.to, Kind: "tcp/SYN", Transport: TCPControl, SentAt: sent}
+	c.nw.accountSend(syn)
+	c.nw.sendFrame(syn, func() {
+		// Receiver answers SYN-ACK; connection is up when it lands.
+		synack := &Message{From: c.to, To: c.from, Kind: "tcp/SYN-ACK", Transport: TCPControl, SentAt: c.nw.k.Now()}
+		c.nw.accountSend(synack)
+		c.nw.sendFrame(synack, func() {
+			if c.established || c.aborted {
+				return
+			}
+			c.established = true
+			c.rtt = c.nw.k.Now() - sent
+			for _, tr := range c.transfers {
+				if !tr.acked {
+					tr.start()
+				}
+			}
+		})
+	})
+}
+
+func (c *TCPConn) rex() {
+	if c.established || c.aborted {
+		return
+	}
+	c.aborted = true
+	for _, tr := range c.transfers {
+		tr.finish(ErrREX)
+	}
+}
+
+func (tr *tcpTransfer) start() {
+	tr.rto = tr.conn.rtt
+	if tr.rto < tr.conn.cfg.MinRTO {
+		tr.rto = tr.conn.cfg.MinRTO
+	}
+	tr.send()
+}
+
+func (tr *tcpTransfer) send() {
+	if tr.acked || tr.conn.aborted {
+		return
+	}
+	nw := tr.conn.nw
+	tr.sends++
+	// Every data frame is a transport transmission: the discovery-layer
+	// send was already accounted when the transfer was queued.
+	m := &Message{From: tr.from, To: tr.to, Kind: tr.out.Kind, Counted: false,
+		Payload: tr.out.Payload, Transport: TCPData, Retransmit: true, SentAt: nw.k.Now()}
+	nw.accountSend(m)
+	nw.sendFrame(m, func() { tr.arrived(m) })
+
+	// Arm the retransmission timer: "retransmit until success, increasing
+	// timeout by 25% on each retry".
+	tr.timer.Cancel()
+	tr.timer = nw.k.After(tr.rto, func() {
+		tr.rto = sim.Duration(float64(tr.rto) * tr.conn.cfg.Backoff)
+		tr.send()
+	})
+}
+
+// arrived runs at the receiver: deliver the payload once, always answer
+// with a transport ACK (retransmissions re-ACK, as real TCP does).
+func (tr *tcpTransfer) arrived(m *Message) {
+	nw := tr.conn.nw
+	if !tr.delivered {
+		tr.delivered = true
+		recv := nw.Node(tr.to)
+		if recv.ep != nil {
+			m.Conn = tr.conn
+			nw.counters.recordDelivery(m)
+			if nw.tracer != nil {
+				nw.tracer.MessageDelivered(nw.k.Now(), m)
+			}
+			recv.ep.Deliver(m)
+		}
+	}
+	ack := &Message{From: tr.to, To: tr.from, Kind: "tcp/ACK", Transport: TCPControl, SentAt: nw.k.Now()}
+	nw.accountSend(ack)
+	nw.sendFrame(ack, func() {
+		if tr.acked || tr.conn.aborted {
+			return
+		}
+		tr.timer.Cancel()
+		tr.finish(nil)
+	})
+}
+
+func (tr *tcpTransfer) finish(err error) {
+	if tr.acked {
+		return
+	}
+	tr.acked = true
+	if tr.onResult != nil {
+		tr.onResult(err)
+	}
+}

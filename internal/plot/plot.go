@@ -1,0 +1,153 @@
+// Package plot renders metric curves as ASCII charts, so the figures of
+// the paper can be eyeballed straight from a terminal — the reproduction
+// equivalent of the paper's Figures 4–7.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve sampled on the shared x grid.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers distinguish up to eight series; overlapping points show the
+// later series' marker.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Config shapes the chart.
+type Config struct {
+	// Width and Height are the plotting area in characters (excluding
+	// axes); zero values default to 60×20.
+	Width, Height int
+	// YMin/YMax fix the y range; when both are zero the range is
+	// computed from the data (and clamped to include 0 when close).
+	YMin, YMax float64
+}
+
+// Chart renders the series against xLabels. NaN values are skipped.
+func Chart(title string, xLabels []string, series []Series, cfg Config) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 60
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 20
+	}
+	ymin, ymax := cfg.YMin, cfg.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = dataRange(series)
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+
+	n := 0
+	for _, s := range series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	if n == 0 {
+		return title + "\n(no data)\n"
+	}
+
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			x := 0
+			if n > 1 {
+				x = i * (cfg.Width - 1) / (n - 1)
+			}
+			frac := (v - ymin) / (ymax - ymin)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			y := cfg.Height - 1 - int(math.Round(frac*float64(cfg.Height-1)))
+			grid[y][x] = m
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		yval := ymax - (ymax-ymin)*float64(i)/float64(cfg.Height-1)
+		fmt.Fprintf(&b, "%6.2f |%s|\n", yval, string(row))
+	}
+	// X axis line and sparse labels.
+	b.WriteString("       +" + strings.Repeat("-", cfg.Width) + "+\n")
+	b.WriteString("        " + xAxisLabels(xLabels, cfg.Width) + "\n")
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func dataRange(series []Series) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	// Charts of ratios read best anchored at zero.
+	if lo > 0 && lo < 0.5*hi {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// xAxisLabels places the first, middle and last labels under the axis.
+func xAxisLabels(labels []string, width int) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	row := []byte(strings.Repeat(" ", width))
+	place := func(pos int, label string) {
+		start := pos - len(label)/2
+		if start < 0 {
+			start = 0
+		}
+		if start+len(label) > width {
+			start = width - len(label)
+		}
+		copy(row[start:], label)
+	}
+	place(0, labels[0])
+	if len(labels) > 2 {
+		place(width/2, labels[len(labels)/2])
+	}
+	if len(labels) > 1 {
+		place(width-1, labels[len(labels)-1])
+	}
+	return string(row)
+}

@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("Test Figure",
+		[]string{"0", "50", "90"},
+		[]Series{
+			{Name: "alpha", Values: []float64{1, 0.8, 0.5}},
+			{Name: "beta", Values: []float64{0.2, 0.4, 0.9}},
+		},
+		Config{Width: 40, Height: 10})
+	if !strings.Contains(out, "Test Figure") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* alpha") || !strings.Contains(out, "o beta") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from grid")
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "90") {
+		t.Error("x labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 13 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartMonotoneSeriesTopToBottom(t *testing.T) {
+	out := Chart("", []string{"a", "b"},
+		[]Series{{Name: "s", Values: []float64{1, 0}}},
+		Config{Width: 21, Height: 5, YMin: 0, YMax: 1})
+	lines := strings.Split(out, "\n")
+	// First grid row (y=1.00) should hold the left point, last grid row
+	// (y=0.00) the right point.
+	if !strings.Contains(lines[0], "1.00") || !strings.HasPrefix(strings.TrimSpace(lines[0][8:9]), "*") {
+		t.Errorf("top row does not carry the left point: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "0.00") {
+		t.Errorf("bottom row label wrong: %q", lines[4])
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Errorf("bottom row missing right point: %q", lines[4])
+	}
+}
+
+func TestChartHandlesNaNAndEmpty(t *testing.T) {
+	out := Chart("x", []string{"0"}, []Series{{Name: "s", Values: []float64{math.NaN()}}},
+		Config{Width: 10, Height: 4})
+	if !strings.Contains(out, "s") {
+		t.Error("legend missing for NaN-only series")
+	}
+	empty := Chart("none", nil, nil, Config{})
+	if !strings.Contains(empty, "no data") {
+		t.Errorf("empty chart = %q", empty)
+	}
+}
+
+func TestChartClampsOutOfRange(t *testing.T) {
+	out := Chart("", []string{"a"}, []Series{{Name: "s", Values: []float64{5}}},
+		Config{Width: 10, Height: 4, YMin: 0, YMax: 1})
+	if !strings.Contains(strings.Split(out, "\n")[0], "*") {
+		t.Error("out-of-range value not clamped to the top row")
+	}
+}
+
+func TestDataRangeAnchorsZero(t *testing.T) {
+	lo, hi := dataRange([]Series{{Values: []float64{0.3, 0.9}}})
+	if lo != 0 || hi != 0.9 {
+		t.Errorf("range = [%v, %v], want [0, 0.9]", lo, hi)
+	}
+	lo, hi = dataRange([]Series{{Values: []float64{0.8, 0.9}}})
+	if lo != 0.8 {
+		t.Errorf("tight range should not anchor zero: lo=%v", lo)
+	}
+}

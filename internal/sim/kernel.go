@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so the caller can cancel it before it fires; timers that are renewed
+// (lease expirations, retransmissions) rely on this.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-breaker: same-time events fire in schedule order
+	index    int    // heap index, -1 once removed
+	fn       func()
+	canceled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an event that has
+// already fired or been canceled is a no-op, so callers may cancel
+// unconditionally.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the experiment harness runs many kernels in parallel, one
+// per goroutine, each fully owning its kernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New creates a kernel whose random stream is derived from seed. Two
+// kernels created with the same seed execute identically.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random stream. All model
+// randomness (delays, jitter, failure times) must come from this stream so
+// runs replay exactly.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired reports how many events have executed, a cheap progress and
+// complexity measure used by tests and benchmarks.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or at
+// the current instant) panics: the models never need it and it always
+// indicates a bug.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// UniformDuration draws a duration uniformly from [lo, hi].
+func (k *Kernel) UniformDuration(lo, hi Duration) Duration {
+	if hi < lo {
+		panic(fmt.Sprintf("sim: invalid uniform range [%v, %v]", lo, hi))
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + Duration(k.rng.Int63n(int64(hi-lo)+1))
+}
+
+// UniformTime draws an instant uniformly from [lo, hi].
+func (k *Kernel) UniformTime(lo, hi Time) Time {
+	return Time(k.UniformDuration(Duration(lo), Duration(hi)))
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the queue drains or the next
+// event lies beyond horizon. The clock finishes at horizon so that model
+// code observing Now at the end of a run sees the full duration.
+func (k *Kernel) Run(horizon Time) {
+	k.stopped = false
+	for k.queue.Len() > 0 && !k.stopped {
+		e := k.queue.peek()
+		if e.at > horizon {
+			break
+		}
+		heap.Pop(&k.queue)
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// Pending reports the number of queued events, including canceled events
+// that have not yet been discarded.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+func (q eventQueue) peek() *Event { return q[0] }

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := New(1)
+	var got []Time
+	times := []Duration{5 * Second, 1 * Second, 3 * Second, 2 * Second, 4 * Second}
+	for _, d := range times {
+		d := d
+		k.After(d, func() { got = append(got, k.Now()) })
+	}
+	k.Run(10 * Second)
+	want := []Time{1 * Second, 2 * Second, 3 * Second, 4 * Second, 5 * Second}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelSameTimeFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(1*Second, func() { order = append(order, i) })
+	}
+	k.Run(2 * Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.After(1*Second, func() { fired = true })
+	e.Cancel()
+	k.Run(2 * Second)
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double cancel and nil cancel must be safe.
+	e.Cancel()
+	var nilEvent *Event
+	nilEvent.Cancel()
+}
+
+func TestKernelHorizonStopsClockAtHorizon(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.After(10*Second, func() { fired = true })
+	k.Run(5 * Second)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if k.Now() != 5*Second {
+		t.Errorf("Now() = %v after Run, want horizon 5s", k.Now())
+	}
+	// A second Run can pick the event up.
+	k.Run(20 * Second)
+	if !fired {
+		t.Error("event did not fire on extended run")
+	}
+}
+
+func TestKernelEventsScheduledDuringRun(t *testing.T) {
+	k := New(1)
+	var seq []string
+	k.After(1*Second, func() {
+		seq = append(seq, "a")
+		k.After(1*Second, func() { seq = append(seq, "b") })
+	})
+	k.Run(5 * Second)
+	if len(seq) != 2 || seq[0] != "a" || seq[1] != "b" {
+		t.Fatalf("got sequence %v", seq)
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		k.After(Duration(i)*Second, func() {
+			count++
+			if count == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run(10 * Second)
+	if count != 2 {
+		t.Errorf("Stop did not halt the run: %d events fired", count)
+	}
+}
+
+func TestKernelPanicsOnPastSchedule(t *testing.T) {
+	k := New(1)
+	k.After(2*Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(1*Second, func() {})
+	})
+	k.Run(3 * Second)
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		k := New(seed)
+		var fired []Time
+		var schedule func()
+		n := 0
+		schedule = func() {
+			fired = append(fired, k.Now())
+			n++
+			if n < 50 {
+				k.After(k.UniformDuration(Millisecond, Second), schedule)
+			}
+		}
+		k.After(0, schedule)
+		k.Run(Hour)
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestUniformDuration(t *testing.T) {
+	k := New(7)
+	for i := 0; i < 1000; i++ {
+		d := k.UniformDuration(10*Microsecond, 100*Microsecond)
+		if d < 10*Microsecond || d > 100*Microsecond {
+			t.Fatalf("UniformDuration out of range: %v", d)
+		}
+	}
+	if d := k.UniformDuration(5, 5); d != 5 {
+		t.Errorf("degenerate range returned %d", d)
+	}
+}
+
+// Property: for any batch of scheduled delays, events fire in sorted order
+// and every non-canceled event fires exactly once.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delaysMS []uint16, cancelMask []bool) bool {
+		k := New(99)
+		var fired []Time
+		want := make([]Time, 0, len(delaysMS))
+		for i, ms := range delaysMS {
+			d := Duration(ms) * Millisecond
+			e := k.After(d, func() { fired = append(fired, k.Now()) })
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel()
+			} else {
+				want = append(want, Time(d))
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		k.Run(Time(1<<16) * Millisecond)
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UniformTime always lands inside the requested interval.
+func TestQuickUniformTimeInRange(t *testing.T) {
+	k := New(5)
+	f := func(a, b uint32) bool {
+		lo, hi := Time(a), Time(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := k.UniformTime(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

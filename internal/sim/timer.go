@@ -1,0 +1,104 @@
+package sim
+
+// Ticker fires a callback periodically. Protocol models use tickers for
+// announcement trains, lease renewals and retransmission schedules; all of
+// them need to be stoppable and restartable when interface state changes.
+type Ticker struct {
+	k       *Kernel
+	period  Duration
+	fn      func()
+	pending *Event
+	running bool
+}
+
+// NewTicker creates a stopped ticker; call Start to arm it.
+func NewTicker(k *Kernel, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	return &Ticker{k: k, period: period, fn: fn}
+}
+
+// Start arms the ticker. The first firing happens after initialDelay, and
+// subsequent firings every period. Starting a running ticker re-arms it
+// from now.
+func (t *Ticker) Start(initialDelay Duration) {
+	t.pending.Cancel()
+	t.running = true
+	t.pending = t.k.After(initialDelay, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if !t.running {
+		return
+	}
+	t.pending = t.k.After(t.period, t.tick)
+	t.fn()
+}
+
+// Stop disarms the ticker. A stopped ticker can be started again.
+func (t *Ticker) Stop() {
+	t.running = false
+	t.pending.Cancel()
+	t.pending = nil
+}
+
+// Running reports whether the ticker is armed.
+func (t *Ticker) Running() bool { return t.running }
+
+// Period reports the ticker's firing interval.
+func (t *Ticker) Period() Duration { return t.period }
+
+// SetPeriod changes the interval used for firings scheduled after the next
+// one. Used by adaptive retransmission schedules.
+func (t *Ticker) SetPeriod(p Duration) {
+	if p <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t.period = p
+}
+
+// Deadline is a single-shot timer that can be pushed into the future, which
+// is exactly the behaviour of a lease: each renewal replaces the expiry
+// event.
+type Deadline struct {
+	k       *Kernel
+	fn      func()
+	pending *Event
+}
+
+// NewDeadline creates an unarmed deadline that runs fn when it expires.
+func NewDeadline(k *Kernel, fn func()) *Deadline {
+	return &Deadline{k: k, fn: fn}
+}
+
+// Set arms (or re-arms) the deadline to fire at absolute time t.
+func (d *Deadline) Set(t Time) {
+	d.pending.Cancel()
+	d.pending = d.k.At(t, d.fire)
+}
+
+// SetAfter arms (or re-arms) the deadline to fire dur from now.
+func (d *Deadline) SetAfter(dur Duration) { d.Set(d.k.Now() + dur) }
+
+// Clear disarms the deadline.
+func (d *Deadline) Clear() {
+	d.pending.Cancel()
+	d.pending = nil
+}
+
+// Armed reports whether the deadline is set and has not fired.
+func (d *Deadline) Armed() bool { return d.pending != nil && !d.pending.Canceled() }
+
+// When reports the expiry instant; valid only while Armed.
+func (d *Deadline) When() Time {
+	if d.pending == nil {
+		return 0
+	}
+	return d.pending.At()
+}
+
+func (d *Deadline) fire() {
+	d.pending = nil
+	d.fn()
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary byte streams to the JSONL parser: it must
+// never panic, and whatever it accepts must survive a write/read
+// round-trip through the canonical encoder.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"t":1.5,"type":"send","from":0,"to":1,"kind":"ServiceUpdate"}` + "\n")
+	f.Add("")
+	f.Add("{}\n{}\n")
+	f.Add(`{"t":-1,"type":"drop","reason":"tx down"}`)
+	f.Add("not json at all")
+	f.Add(`{"t":1e308,"type":"node","node":5,"state":"Rx down"}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted events must summarize without panicking and
+		// re-serialize losslessly at the event-count level.
+		sum := Summarize(events)
+		if sum.Events != len(events) {
+			t.Fatalf("summary counted %d of %d events", sum.Events, len(events))
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		for _, e := range events {
+			w.emit(e)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round-trip rejected canonical output: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round-trip lost events: %d -> %d", len(events), len(back))
+		}
+	})
+}

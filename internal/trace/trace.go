@@ -1,0 +1,151 @@
+// Package trace records simulation activity as structured JSON-lines
+// streams, one object per event, for offline analysis of runs (message
+// flow reconstruction, per-kind counting, failure timelines). It
+// complements netsim.Recorder, which produces the human-readable §6.2
+// logs.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// EventType classifies a trace record.
+type EventType string
+
+const (
+	// EventSend is a wire transmission attempt.
+	EventSend EventType = "send"
+	// EventDeliver is a payload handed to an endpoint.
+	EventDeliver EventType = "deliver"
+	// EventDrop is a frame lost to failure or loss.
+	EventDrop EventType = "drop"
+	// EventNode is an interface state transition.
+	EventNode EventType = "node"
+)
+
+// Event is one JSONL record. Times are in virtual seconds to keep the
+// streams tool-friendly.
+type Event struct {
+	T         float64   `json:"t"`
+	Type      EventType `json:"type"`
+	From      int       `json:"from,omitempty"`
+	To        int       `json:"to,omitempty"`
+	Kind      string    `json:"kind,omitempty"`
+	Transport string    `json:"transport,omitempty"`
+	Counted   bool      `json:"counted,omitempty"`
+	Multicast bool      `json:"multicast,omitempty"`
+	Reason    string    `json:"reason,omitempty"`
+	Node      int       `json:"node,omitempty"`
+	State     string    `json:"state,omitempty"`
+}
+
+// Writer streams events to an io.Writer as JSON lines. It implements
+// netsim.Tracer. Errors are sticky: the first write error stops output
+// and is reported by Err.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewWriter creates a JSONL trace writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Flush drains buffered output; call it when the run completes.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Err reports the first write error, if any.
+func (t *Writer) Err() error { return t.err }
+
+func (t *Writer) emit(e Event) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(e)
+}
+
+// MessageSent implements netsim.Tracer.
+func (t *Writer) MessageSent(at sim.Time, m *netsim.Message) {
+	t.emit(Event{T: at.Sec(), Type: EventSend, From: int(m.From), To: int(m.To),
+		Kind: m.Kind, Transport: m.Transport.String(), Counted: m.Counted,
+		Multicast: m.Multicast})
+}
+
+// MessageDelivered implements netsim.Tracer.
+func (t *Writer) MessageDelivered(at sim.Time, m *netsim.Message) {
+	t.emit(Event{T: at.Sec(), Type: EventDeliver, From: int(m.From), To: int(m.To),
+		Kind: m.Kind, Transport: m.Transport.String()})
+}
+
+// MessageDropped implements netsim.Tracer.
+func (t *Writer) MessageDropped(at sim.Time, m *netsim.Message, reason string) {
+	t.emit(Event{T: at.Sec(), Type: EventDrop, From: int(m.From), To: int(m.To),
+		Kind: m.Kind, Transport: m.Transport.String(), Reason: reason})
+}
+
+// NodeEvent implements netsim.Tracer.
+func (t *Writer) NodeEvent(at sim.Time, node netsim.NodeID, event string) {
+	t.emit(Event{T: at.Sec(), Type: EventNode, Node: int(node), State: event})
+}
+
+// Read parses a JSONL trace stream back into events.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary aggregates a trace for quick inspection.
+type Summary struct {
+	Events    int
+	Sends     int
+	Delivered int
+	Drops     int
+	Counted   int
+	PerKind   map[string]int
+	DropsBy   map[string]int
+}
+
+// Summarize tallies a trace.
+func Summarize(events []Event) Summary {
+	s := Summary{PerKind: map[string]int{}, DropsBy: map[string]int{}}
+	for _, e := range events {
+		s.Events++
+		switch e.Type {
+		case EventSend:
+			s.Sends++
+			s.PerKind[e.Kind]++
+			if e.Counted {
+				s.Counted++
+			}
+		case EventDeliver:
+			s.Delivered++
+		case EventDrop:
+			s.Drops++
+			s.DropsBy[e.Reason]++
+		}
+	}
+	return s
+}

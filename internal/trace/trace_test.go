@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	k := sim.New(1)
+	nw := netsim.New(k, netsim.DefaultConfig())
+	a := nw.AddNode("a")
+	b := nw.AddNode("b")
+	got := 0
+	b.SetEndpoint(netsim.EndpointFunc(func(*netsim.Message) { got++ }))
+	nw.SetTracer(w)
+
+	nw.SendUDP(a.ID, b.ID, netsim.Outgoing{Kind: "ServiceUpdate", Counted: true})
+	k.At(sim.Second, func() { a.SetTx(false) })
+	k.At(2*sim.Second, func() { nw.SendUDP(a.ID, b.ID, netsim.Outgoing{Kind: "ServiceUpdate"}) })
+	k.Run(3 * sim.Second)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(events)
+	if sum.Sends != 2 || sum.Delivered != 1 || sum.Drops != 1 || sum.Counted != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.PerKind["ServiceUpdate"] != 2 {
+		t.Errorf("per-kind = %v", sum.PerKind)
+	}
+	if sum.DropsBy["tx down"] != 1 {
+		t.Errorf("drops-by = %v", sum.DropsBy)
+	}
+	// Node transition recorded.
+	foundNode := false
+	for _, e := range events {
+		if e.Type == EventNode && e.State == "Tx down" {
+			foundNode = true
+		}
+	}
+	if !foundNode {
+		t.Error("interface transition missing from trace")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	_, err := Read(strings.NewReader("{\"t\":1}\nnot json\n"))
+	if err == nil {
+		t.Error("garbage record accepted")
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&failingWriter{after: 1})
+	for i := 0; i < 10000; i++ {
+		w.MessageSent(0, &netsim.Message{Kind: "x"})
+	}
+	if w.Flush() == nil && w.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+func TestTraceTimesAreSeconds(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.NodeEvent(1500*sim.Millisecond, 3, "Rx down")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+	if events[0].T != 1.5 {
+		t.Errorf("T = %v, want 1.5 seconds", events[0].T)
+	}
+}

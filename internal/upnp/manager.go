@@ -1,0 +1,193 @@
+package upnp
+
+import (
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Manager is a UPnP device hosting one service. It announces itself with
+// periodic ssdp:alive trains, answers M-SEARCH queries, serves description
+// GETs, and notifies subscribers with invalidation NOTIFYs when the
+// service changes.
+type Manager struct {
+	cfg  Config
+	node *netsim.Node
+	nw   *netsim.Network
+	k    *sim.Kernel
+
+	sd        discovery.ServiceDescription
+	announcer *core.Announcer
+
+	// subs holds the eventing subscriptions keyed by subscriber; UPnP has
+	// no Registry, so the Manager is the lessee (2-party subscription).
+	subs *discovery.LeaseTable[netsim.NodeID, struct{}]
+}
+
+// NewManager attaches a Manager to a node. Call Start to boot it.
+func NewManager(node *netsim.Node, cfg Config, sd discovery.ServiceDescription) *Manager {
+	m := &Manager{
+		cfg:  cfg,
+		node: node,
+		nw:   node.Network(),
+		k:    node.Kernel(),
+		sd:   sd.Clone(),
+	}
+	if m.sd.Version == 0 {
+		m.sd.Version = 1
+	}
+	m.subs = discovery.NewLeaseTable[netsim.NodeID, struct{}](m.k, nil)
+	node.SetEndpoint(m)
+	m.nw.Join(node.ID, DiscoveryGroup)
+	m.announcer = core.NewAnnouncer(m.nw, node.ID, DiscoveryGroup,
+		cfg.AnnouncePeriod, cfg.AnnounceCopies, m.announcement)
+	// SSDP requires a device to advertise when network connectivity is
+	// (re)established: announce as soon as the transmitter recovers. This
+	// drives PR5's strength at high failure rates — "Users ... can get
+	// updated when the Manager recovers from failures and announces its
+	// presence."
+	node.OnInterfaceChange(func(txUp, _ bool) {
+		if txUp && m.announcer.Running() {
+			m.announcer.AnnounceNow()
+		}
+	})
+	return m
+}
+
+// Start boots the device: the first announcement train leaves after the
+// given delay and repeats every AnnouncePeriod.
+func (m *Manager) Start(bootDelay sim.Duration) { m.announcer.Start(bootDelay) }
+
+// ID reports the Manager's node ID.
+func (m *Manager) ID() netsim.NodeID { return m.node.ID }
+
+// SD returns a copy of the current service description.
+func (m *Manager) SD() discovery.ServiceDescription { return m.sd.Clone() }
+
+// Version reports the current service version.
+func (m *Manager) Version() uint64 { return m.sd.Version }
+
+// Subscribers reports the current number of eventing subscriptions.
+func (m *Manager) Subscribers() int { return m.subs.Len() }
+
+// ChangeService applies an attribute mutation, bumps the version, and
+// notifies every subscriber with an invalidation NOTIFY: "the Manager
+// notifies the interested User that a change has occurred, whenever the
+// service changes. Consecutive polling by the User retrieves the updated
+// data."
+func (m *Manager) ChangeService(mutate func(attrs map[string]string)) {
+	if m.sd.Attributes == nil {
+		m.sd.Attributes = map[string]string{}
+	}
+	if mutate != nil {
+		mutate(m.sd.Attributes)
+	}
+	m.sd.Version++
+	m.subs.Each(func(user netsim.NodeID, _ struct{}) {
+		m.notify(user)
+	})
+}
+
+// notify sends the invalidation over TCP. A REX is final: UPnP has no
+// SRN2, so a notification that fails leaves the subscriber inconsistent
+// until a purge-rediscovery technique runs (the §6.2 case study).
+func (m *Manager) notify(user netsim.NodeID) {
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Invalidate{}),
+		Counted: true,
+		Payload: discovery.Invalidate{Manager: m.node.ID, Version: m.sd.Version},
+	}
+	m.nw.SendTCPWith(m.cfg.TCP, m.node.ID, user, out, nil)
+}
+
+func (m *Manager) announcement() netsim.Outgoing {
+	return netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Announce{}),
+		Counted: true,
+		Payload: discovery.Announce{Role: discovery.RoleManager, CacheLease: m.cfg.CacheLease},
+	}
+}
+
+// Deliver implements netsim.Endpoint.
+func (m *Manager) Deliver(msg *netsim.Message) {
+	switch p := msg.Payload.(type) {
+	case discovery.Search:
+		m.onSearch(msg.From, p)
+	case discovery.Get:
+		m.onGet(msg)
+	case discovery.Subscribe:
+		m.onSubscribe(msg)
+	case discovery.Renew:
+		m.onRenew(msg)
+	}
+}
+
+// onSearch answers a matching M-SEARCH with a unicast response, which in
+// SSDP carries the device location but not the description; the User
+// fetches the SD with a GET.
+func (m *Manager) onSearch(from netsim.NodeID, s discovery.Search) {
+	if !s.Q.Matches(m.sd) {
+		return
+	}
+	m.nw.SendUDP(m.node.ID, from, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.SearchReply{}),
+		Counted: true,
+		Payload: discovery.SearchReply{Recs: []discovery.ServiceRecord{{Manager: m.node.ID}}},
+	})
+}
+
+// onGet serves the description over the requesting connection.
+func (m *Manager) onGet(msg *netsim.Message) {
+	reply := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.GetReply{}),
+		Counted: true,
+		Payload: discovery.GetReply{Rec: discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd.Clone()}},
+	}
+	m.respond(msg, reply)
+}
+
+// onSubscribe accepts the eventing subscription; the acceptance carries
+// the current service state, as UPnP's initial event message does. That
+// initial state is what makes PR4 recover consistency.
+func (m *Manager) onSubscribe(msg *netsim.Message) {
+	m.subs.Put(msg.From, struct{}{}, m.cfg.SubscriptionLease)
+	rec := discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd.Clone()}
+	m.respond(msg, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.SubscribeAck{}),
+		Counted: true,
+		Payload: discovery.SubscribeAck{Rec: &rec},
+	})
+}
+
+// onRenew extends a live subscription. A renewal for a purged
+// subscription triggers PR4 when enabled: "the Manager requests purged
+// Users to resubscribe"; with PR4 ablated the renewal is silently
+// rejected.
+func (m *Manager) onRenew(msg *netsim.Message) {
+	if m.subs.Renew(msg.From, m.cfg.SubscriptionLease) {
+		m.respond(msg, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.RenewAck{}),
+			Counted: false, // lease upkeep, excluded from update effort
+			Payload: discovery.RenewAck{Manager: m.node.ID},
+		})
+		return
+	}
+	if m.cfg.Techniques.Has(core.PR4) {
+		m.respond(msg, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.ResubscribeRequest{}),
+			Counted: true,
+			Payload: discovery.ResubscribeRequest{Manager: m.node.ID},
+		})
+	}
+}
+
+// respond answers over the inbound TCP connection when there is one,
+// otherwise by UDP (search responses).
+func (m *Manager) respond(msg *netsim.Message, out netsim.Outgoing) {
+	if msg.Conn != nil {
+		msg.Conn.Reply(out, nil)
+		return
+	}
+	m.nw.SendUDP(m.node.ID, msg.From, out)
+}

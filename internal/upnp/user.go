@@ -1,0 +1,293 @@
+package upnp
+
+import (
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// User is a UPnP control point with one service requirement. It discovers
+// the Manager with M-SEARCH and ssdp:alive announcements, caches the
+// description, subscribes for eventing, and recovers from failures with
+// PR4 (resubscription on the Manager's request) and PR5 (rediscovery by
+// multicast query or announcement).
+type User struct {
+	cfg      Config
+	node     *netsim.Node
+	nw       *netsim.Network
+	k        *sim.Kernel
+	query    discovery.Query
+	listener discovery.ConsistencyListener
+
+	// cache holds the discovered service; its lease is refreshed by
+	// announcements (CACHE-CONTROL) and expires into PR5 rediscovery.
+	cache *discovery.LeaseTable[netsim.NodeID, discovery.ServiceRecord]
+
+	// subscribedTo is the Manager the user holds an eventing subscription
+	// with (NoNode when unsubscribed); renewTick refreshes the lease.
+	subscribedTo netsim.NodeID
+	renewTick    *sim.Ticker
+
+	// searchTick repeats M-SEARCH while the requirement is unmet (PR5).
+	searchTick *sim.Ticker
+
+	// staleVersion is nonzero when an invalidation announced a version the
+	// user has not fetched yet; getTick retries the fetch.
+	staleVersion uint64
+	getTick      *sim.Ticker
+	getting      bool
+
+	// pollTick drives CM2 when configured: a persistent periodic re-fetch
+	// of the cached description.
+	pollTick *sim.Ticker
+}
+
+// NewUser attaches a control point to a node.
+func NewUser(node *netsim.Node, cfg Config, q discovery.Query, l discovery.ConsistencyListener) *User {
+	if l == nil {
+		l = discovery.NopListener{}
+	}
+	u := &User{
+		cfg:          cfg,
+		node:         node,
+		nw:           node.Network(),
+		k:            node.Kernel(),
+		query:        q,
+		listener:     l,
+		subscribedTo: netsim.NoNode,
+	}
+	u.cache = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](u.k, u.onCachePurge)
+	node.SetEndpoint(u)
+	u.nw.Join(node.ID, DiscoveryGroup)
+	u.renewTick = sim.NewTicker(u.k, core.RenewInterval(cfg.SubscriptionLease), u.renew)
+	u.searchTick = sim.NewTicker(u.k, cfg.SearchRetryPeriod, u.search)
+	u.getTick = sim.NewTicker(u.k, cfg.GetRetryPeriod, u.retryGet)
+	if cfg.PollPeriod > 0 {
+		u.pollTick = sim.NewTicker(u.k, cfg.PollPeriod, u.poll)
+	}
+	return u
+}
+
+// poll is CM2: re-fetch every cached description, persistently — even
+// while the lower layers report failures (the GET simply REXes and the
+// next poll tries again).
+func (u *User) poll() {
+	for _, mgr := range u.cache.Keys() {
+		u.fetch(mgr)
+	}
+}
+
+// Start boots the control point: it begins searching for its service
+// unless an announcement already led to discovery, and arms CM2 polling
+// when configured.
+func (u *User) Start(bootDelay sim.Duration) {
+	u.k.After(bootDelay, func() {
+		if u.cache.Len() == 0 {
+			u.searchTick.Start(0)
+		}
+		if u.pollTick != nil {
+			u.pollTick.Start(u.pollTick.Period())
+		}
+	})
+}
+
+// ID reports the User's node ID.
+func (u *User) ID() netsim.NodeID { return u.node.ID }
+
+// CachedVersion reports the version of the cached description for the
+// Manager, zero if none.
+func (u *User) CachedVersion(manager netsim.NodeID) uint64 {
+	rec, ok := u.cache.Get(manager)
+	if !ok {
+		return 0
+	}
+	return rec.SD.Version
+}
+
+// Subscribed reports whether the user currently holds a subscription.
+func (u *User) Subscribed() bool { return u.subscribedTo != netsim.NoNode }
+
+// Deliver implements netsim.Endpoint.
+func (u *User) Deliver(msg *netsim.Message) {
+	switch p := msg.Payload.(type) {
+	case discovery.Announce:
+		u.onAnnounce(msg.From, p)
+	case discovery.SearchReply:
+		u.onSearchReply(msg.From)
+	case discovery.GetReply:
+		u.onGetReply(p)
+	case discovery.SubscribeAck:
+		u.onSubscribeAck(msg.From, p)
+	case discovery.ResubscribeRequest:
+		u.onResubscribeRequest(msg.From)
+	case discovery.Invalidate:
+		u.onInvalidate(p)
+	}
+}
+
+// onAnnounce refreshes the cache lease for a known Manager; an unknown
+// Manager while the requirement is unmet triggers a description fetch
+// (PR5b: rediscovery by listening for the Manager's announcements).
+func (u *User) onAnnounce(from netsim.NodeID, a discovery.Announce) {
+	if a.Role != discovery.RoleManager {
+		return
+	}
+	lease := a.CacheLease
+	if lease <= 0 {
+		lease = u.cfg.CacheLease
+	}
+	if u.cache.Renew(from, lease) {
+		return
+	}
+	u.fetch(from)
+}
+
+// onSearchReply reacts to an M-SEARCH response: the response locates the
+// device, the description still has to be fetched.
+func (u *User) onSearchReply(from netsim.NodeID) {
+	if _, ok := u.cache.Get(from); ok {
+		return
+	}
+	u.fetch(from)
+}
+
+// fetch GETs the description from a discovered device.
+func (u *User) fetch(manager netsim.NodeID) {
+	if u.getting {
+		return
+	}
+	u.getting = true
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Get{}),
+		Counted: true,
+		Payload: discovery.Get{Manager: manager},
+	}
+	u.nw.SendTCPWith(u.cfg.TCP, u.node.ID, manager, out, func(err error) {
+		u.getting = false
+	})
+}
+
+// onGetReply stores the description if it matches the requirement,
+// subscribes if needed, and clears any pending staleness.
+func (u *User) onGetReply(p discovery.GetReply) {
+	if !u.query.Matches(p.Rec.SD) {
+		return
+	}
+	u.storeRec(p.Rec)
+	if p.Rec.SD.Version >= u.staleVersion {
+		u.staleVersion = 0
+		u.getTick.Stop()
+	}
+	if u.subscribedTo == netsim.NoNode {
+		u.subscribe(p.Rec.Manager)
+	}
+}
+
+// subscribe opens the eventing subscription.
+func (u *User) subscribe(manager netsim.NodeID) {
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Subscribe{}),
+		Counted: true,
+		Payload: discovery.Subscribe{Manager: manager, Lease: u.cfg.SubscriptionLease},
+	}
+	u.nw.SendTCPWith(u.cfg.TCP, u.node.ID, manager, out, nil)
+}
+
+// onSubscribeAck records the subscription and stores the initial event
+// state carried with the acceptance.
+func (u *User) onSubscribeAck(from netsim.NodeID, p discovery.SubscribeAck) {
+	u.subscribedTo = from
+	u.renewTick.Start(core.RenewInterval(u.cfg.SubscriptionLease))
+	if p.Rec != nil && u.query.Matches(p.Rec.SD) {
+		u.storeRec(*p.Rec)
+		if p.Rec.SD.Version >= u.staleVersion {
+			u.staleVersion = 0
+			u.getTick.Stop()
+		}
+	}
+}
+
+// renew refreshes the eventing lease. The result is deliberately ignored:
+// if the Manager purged the subscription, PR4 has it answer with a
+// resubscription request.
+func (u *User) renew() {
+	if u.subscribedTo == netsim.NoNode {
+		return
+	}
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Renew{}),
+		Counted: false, // lease upkeep, excluded from update effort
+		Payload: discovery.Renew{Manager: u.subscribedTo, Lease: u.cfg.SubscriptionLease},
+	}
+	u.nw.SendTCPWith(u.cfg.TCP, u.node.ID, u.subscribedTo, out, nil)
+}
+
+// onResubscribeRequest is PR4: the Manager saw our renewal but had purged
+// the subscription; resubscribing returns the current service state.
+func (u *User) onResubscribeRequest(from netsim.NodeID) {
+	if !u.cfg.Techniques.Has(core.PR4) {
+		return
+	}
+	u.subscribedTo = netsim.NoNode
+	u.subscribe(from)
+}
+
+// onInvalidate handles the eventing NOTIFY: the service changed, fetch the
+// new description. If the fetch fails the user knows it is stale and
+// keeps retrying (getTick) — unlike a lost NOTIFY, which leaves it
+// unknowingly inconsistent.
+func (u *User) onInvalidate(p discovery.Invalidate) {
+	if p.Version <= u.CachedVersion(p.Manager) {
+		return
+	}
+	u.staleVersion = p.Version
+	u.fetch(p.Manager)
+	u.getTick.Start(u.cfg.GetRetryPeriod)
+}
+
+func (u *User) retryGet() {
+	if u.staleVersion == 0 {
+		u.getTick.Stop()
+		return
+	}
+	if _, ok := u.cache.Get(u.subscribedTo); !ok && u.subscribedTo == netsim.NoNode {
+		u.getTick.Stop()
+		return
+	}
+	if u.subscribedTo != netsim.NoNode {
+		u.fetch(u.subscribedTo)
+	}
+}
+
+// onCachePurge is PR5: the Manager disappeared (no announcements within
+// the cache lease). Drop the subscription — "the User purges the Manager
+// when the service lease expires" — and return to active search.
+func (u *User) onCachePurge(manager netsim.NodeID, _ discovery.ServiceRecord) {
+	if u.subscribedTo == manager {
+		u.subscribedTo = netsim.NoNode
+		u.renewTick.Stop()
+	}
+	u.staleVersion = 0
+	u.getTick.Stop()
+	if u.cfg.Techniques.Has(core.PR5) {
+		u.searchTick.Start(0)
+	}
+}
+
+// search multicasts an M-SEARCH for the requirement.
+func (u *User) search() {
+	u.nw.Multicast(u.node.ID, DiscoveryGroup, netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Search{}),
+		Counted: true,
+		Payload: discovery.Search{Q: u.query},
+	}, 1)
+}
+
+// storeRec caches the record, ends any active search, and reports the
+// write to the consistency listener.
+func (u *User) storeRec(rec discovery.ServiceRecord) {
+	u.cache.Put(rec.Manager, rec.Clone(), u.cfg.CacheLease)
+	u.searchTick.Stop()
+	u.listener.CacheUpdated(u.k.Now(), u.node.ID, rec.Manager, rec.SD.Version)
+}

@@ -1,0 +1,107 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/netsim"
+)
+
+// FRODO satisfies the Configuration Update Principles across the whole
+// single-outage grid: whenever connectivity is restored with enough time
+// left, every User eventually regains consistency. This reproduces the
+// paper's claim that "FRODO is the first service discovery protocol that
+// provides guarantees" [24].
+func TestFrodoSatisfiesConfigurationUpdatePrinciples(t *testing.T) {
+	for _, sys := range []experiment.System{experiment.Frodo3P, experiment.Frodo2P} {
+		res := Check(sys, DefaultGrid())
+		if res.Scenarios == 0 {
+			t.Fatalf("%v: empty grid", sys)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v", v)
+		}
+		if !res.Holds() {
+			t.Errorf("%v: %d/%d scenarios violate the principles", sys,
+				len(res.Violations), res.Scenarios)
+		}
+	}
+}
+
+// First-generation systems do not provide the guarantee: the grid finds
+// scenarios in which a User stays inconsistent forever although all
+// nodes recovered — reproducing Dabrowski and Mills' finding reported in
+// §2 ("first-generation service discovery systems do not provide
+// guarantees of correct behavior").
+func TestFirstGenerationSystemsViolatePrinciples(t *testing.T) {
+	for _, sys := range []experiment.System{experiment.UPnP, experiment.Jini1, experiment.Jini2} {
+		res := Check(sys, DefaultGrid())
+		if res.Holds() {
+			t.Errorf("%v: expected guarantee violations, found none in %d scenarios",
+				sys, res.Scenarios)
+		}
+		t.Logf("%v: %d violations across %d scenarios", sys, len(res.Violations), res.Scenarios)
+	}
+}
+
+// The canonical violation shape: the silent missed-notification class
+// (the §6.2 scenario generalized). The violating scenarios must include
+// an outage overlapping the change with the subscription surviving.
+func TestUPnPViolationsIncludeMissedNotificationClass(t *testing.T) {
+	res := Check(experiment.UPnP, DefaultGrid())
+	found := false
+	for _, v := range res.Violations {
+		overlapsChange := v.Failure.Start <= 1000e9 && v.Failure.End() >= 1000e9
+		short := v.Failure.Duration <= 900e9 // too short to expire leases
+		if overlapsChange && short {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no short outage-across-change violation found; the §6.2 class should appear")
+	}
+}
+
+func TestGridSkipsRegistryTargetForUPnP(t *testing.T) {
+	grid := DefaultGrid()
+	grid.Targets = []Target{TargetRegistry}
+	res := Check(experiment.UPnP, grid)
+	if res.Scenarios != 0 {
+		t.Errorf("UPnP has no registry; %d scenarios ran", res.Scenarios)
+	}
+}
+
+func TestGridRespectsRecoverySlack(t *testing.T) {
+	grid := DefaultGrid()
+	grid.Durations = append(grid.Durations, grid.Horizon) // never fits
+	res := Check(experiment.Frodo3P, grid)
+	for _, v := range res.Violations {
+		if v.Failure.End()+4200e9 > 12000e9 {
+			t.Errorf("scenario without recovery slack was checked: %v", v)
+		}
+	}
+}
+
+func TestTargetNodeMapping(t *testing.T) {
+	cases := []struct {
+		sys    experiment.System
+		target Target
+		want   netsim.NodeID
+		ok     bool
+	}{
+		{experiment.UPnP, TargetManager, 0, true},
+		{experiment.UPnP, TargetUser, 1, true},
+		{experiment.UPnP, TargetRegistry, 0, false},
+		{experiment.Jini2, TargetManager, 2, true},
+		{experiment.Frodo2P, TargetManager, 2, true},
+		{experiment.Frodo2P, TargetUser, 3, true},
+		{experiment.Frodo2P, TargetRegistry, 0, true},
+	}
+	for _, c := range cases {
+		got, ok := targetNode(c.sys, c.target)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("targetNode(%v, %v) = %v,%v want %v,%v", c.sys, c.target, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package sdsim
+
+import (
+	"repro/internal/core"
+	"repro/internal/frodo"
+	"repro/internal/jini"
+	"repro/internal/upnp"
+)
+
+// Technique is a recovery-technique set (Table 1): SRC1/SRC2 and
+// SRN1/SRN2 subscription-recovery plus PR1–PR5 purge-rediscovery.
+type Technique = core.TechniqueSet
+
+// The individual techniques, for building ablations.
+const (
+	SRC1 = core.SRC1
+	SRC2 = core.SRC2
+	SRN1 = core.SRN1
+	SRN2 = core.SRN2
+	PR1  = core.PR1
+	PR2  = core.PR2
+	PR3  = core.PR3
+	PR4  = core.PR4
+	PR5  = core.PR5
+)
+
+// Ablate returns Options that remove the given techniques from every
+// protocol — the control-experiment mechanism behind Fig. 7 and the
+// ablation benchmarks.
+func Ablate(ts Technique) Options {
+	return Options{
+		UPnP:  func(c *upnp.Config) { c.Techniques = c.Techniques.Without(ts) },
+		Jini:  func(c *jini.Config) { c.Techniques = c.Techniques.Without(ts) },
+		Frodo: func(c *frodo.Config) { c.Techniques = c.Techniques.Without(ts) },
+	}
+}
+
+// AblateFrodo removes techniques from FRODO only (Fig. 7 removes PR1).
+func AblateFrodo(ts Technique) Options {
+	return Options{Frodo: func(c *frodo.Config) { c.Techniques = c.Techniques.Without(ts) }}
+}
+
+// WithFrodoAnnouncePeriod overrides the Central's announcement period —
+// the sensitivity knob the paper discusses in §5 Step 4 ("short enough
+// for the discovery process, but long enough [not to] imbalance the
+// system").
+func WithFrodoAnnouncePeriod(d Duration) Options {
+	return Options{Frodo: func(c *frodo.Config) { c.AnnouncePeriod = d }}
+}
+
+// CriticalUpdates switches FRODO into the critical-update scenario:
+// SRC1's unlimited retransmission replaces SRN1's bounded schedule,
+// updates carry sequence numbers, receivers monitor for gaps (SRC2) and
+// the Manager keeps the update history until all interested Users have
+// confirmed it.
+func CriticalUpdates() Options {
+	return Options{Frodo: func(c *frodo.Config) { c.CriticalUpdates = true }}
+}
+
+// WithLoss sets the i.i.d. per-frame drop probability of the companion
+// message-loss model [25].
+func WithLoss(p float64) Options { return Options{Loss: p} }
+
+// WithPolling enables CM2, pull-based consistency maintenance (§4.2), in
+// every protocol: Users persistently re-fetch their cached descriptions
+// on the given period, in addition to notification. The paper cites
+// Dabrowski and Mills: persistent polling is the more effective method
+// but slower and, for rarely-changing services, wasteful — the polling
+// extension experiment quantifies all three effects.
+func WithPolling(period Duration) Options {
+	return Options{
+		UPnP:  func(c *upnp.Config) { c.PollPeriod = period },
+		Jini:  func(c *jini.Config) { c.PollPeriod = period },
+		Frodo: func(c *frodo.Config) { c.PollPeriod = period },
+	}
+}
+
+// MergeOptions composes option sets left to right (later mutators run
+// after earlier ones).
+func MergeOptions(opts ...Options) Options {
+	var out Options
+	for _, o := range opts {
+		o := o
+		if o.Loss != 0 {
+			out.Loss = o.Loss
+		}
+		out.UPnP = chain(out.UPnP, o.UPnP)
+		out.Jini = chain(out.Jini, o.Jini)
+		out.Frodo = chain(out.Frodo, o.Frodo)
+	}
+	return out
+}
+
+func chain[T any](a, b func(*T)) func(*T) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(c *T) { a(c); b(c) }
+}

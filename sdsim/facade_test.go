@@ -1,0 +1,105 @@
+package sdsim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/sdsim"
+)
+
+func TestFacadeChart(t *testing.T) {
+	res := sdsim.Sweep(sdsim.SweepConfig{Params: fastParams(2, 0, 0.5)})
+	for _, m := range []sdsim.Metric{
+		sdsim.MetricEffectiveness, sdsim.MetricResponsiveness, sdsim.MetricDegradation,
+	} {
+		out := sdsim.Chart(res, m)
+		if !strings.Contains(out, "FRODO") || !strings.Contains(out, "UPnP") {
+			t.Errorf("chart for %v missing legend entries", m)
+		}
+	}
+}
+
+func TestFacadeRunTraced(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := sdsim.RunTraced(sdsim.RunSpec{
+		System: sdsim.UPnP, Lambda: 0.2, Seed: 4, Params: sdsim.DefaultParams(),
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effort == 0 {
+		t.Error("traced run reported zero effort")
+	}
+	events, err := sdsim.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sdsim.TraceSummary(events)
+	if sum.Sends == 0 || sum.Delivered == 0 {
+		t.Errorf("trace summary empty: %+v", sum)
+	}
+	// At λ=0.2 every node fails once: drops must appear.
+	if sum.Drops == 0 {
+		t.Error("no drops traced despite interface failures")
+	}
+	if sum.PerKind["Announce"] == 0 {
+		t.Error("announcements missing from trace")
+	}
+}
+
+func TestFacadeFigure7Sweep(t *testing.T) {
+	with, without := sdsim.Figure7Sweep(fastParams(3, 0.3), 2, nil)
+	tab := sdsim.Figure7(with, without)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "frodo3p-noPR1") {
+		t.Error("ablation column missing")
+	}
+}
+
+func TestFacadeCheckGuarantees(t *testing.T) {
+	grid := sdsim.DefaultGuaranteeGrid()
+	// Shrink the grid so the facade test stays fast.
+	grid.Durations = grid.Durations[:1]
+	grid.Starts = grid.Starts[:1]
+	res := sdsim.CheckGuarantees(sdsim.Frodo2P, grid)
+	if res.Scenarios == 0 {
+		t.Fatal("no scenarios ran")
+	}
+	if !res.Holds() {
+		for _, v := range res.Violations {
+			t.Errorf("%v", v)
+		}
+	}
+}
+
+func TestFacadeTable2(t *testing.T) {
+	tab := sdsim.Table2(sdsim.DefaultParams())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != row[2] {
+			t.Errorf("%s: measured %s != paper %s", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestFacadeWithPolling(t *testing.T) {
+	params := sdsim.DefaultParams()
+	res := sdsim.Run(sdsim.RunSpec{System: sdsim.UPnP, Lambda: 0, Seed: 2,
+		Params: params, Opts: sdsim.WithPolling(600 * sdsim.Second)})
+	for _, u := range res.Users {
+		if !u.Reached {
+			t.Error("polling run failed at λ=0")
+		}
+	}
+	// Polling adds discovery traffic over the run.
+	base := sdsim.Run(sdsim.RunSpec{System: sdsim.UPnP, Lambda: 0, Seed: 2, Params: params})
+	if res.TotalDiscoverySends <= base.TotalDiscoverySends {
+		t.Errorf("polling sends (%d) not above baseline (%d)",
+			res.TotalDiscoverySends, base.TotalDiscoverySends)
+	}
+}

@@ -1,0 +1,158 @@
+package sdsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/sdsim"
+)
+
+func fastParams(runs int, lambdas ...float64) sdsim.Params {
+	p := sdsim.DefaultParams()
+	p.Runs = runs
+	p.Lambdas = lambdas
+	return p
+}
+
+func TestFacadeSingleRun(t *testing.T) {
+	for _, sys := range sdsim.Systems() {
+		res := sdsim.Run(sdsim.RunSpec{System: sys, Lambda: 0, Seed: 3, Params: sdsim.DefaultParams()})
+		if len(res.Users) != 5 {
+			t.Fatalf("%v: %d users", sys, len(res.Users))
+		}
+		for _, u := range res.Users {
+			if !u.Reached {
+				t.Errorf("%v: user %d not consistent at λ=0", sys, u.User)
+			}
+		}
+		if res.Effort != sdsim.PaperMPrime(sys) {
+			t.Errorf("%v: effort %d != paper m' %d", sys, res.Effort, sdsim.PaperMPrime(sys))
+		}
+	}
+}
+
+func TestFacadeRunLogged(t *testing.T) {
+	res, log := sdsim.RunLogged(sdsim.RunSpec{
+		System: sdsim.UPnP, Lambda: 0.3, Seed: 9, Params: sdsim.DefaultParams(),
+	}, false)
+	if len(log) == 0 {
+		t.Fatal("empty event log")
+	}
+	joined := strings.Join(log, "\n")
+	if !strings.Contains(joined, "service changed at") {
+		t.Error("log missing change annotation")
+	}
+	if !strings.Contains(joined, "update effort") {
+		t.Error("log missing effort annotation")
+	}
+	// Interface transitions must appear at λ=0.3 (every node fails once).
+	if !strings.Contains(joined, "down") {
+		t.Error("log missing interface failure events")
+	}
+	_ = res
+}
+
+func TestFacadeSweepAndFigures(t *testing.T) {
+	res := sdsim.Sweep(sdsim.SweepConfig{Params: fastParams(2, 0, 0.5)})
+	for _, tab := range []sdsim.Table{
+		sdsim.Figure4(res), sdsim.Figure5(res), sdsim.Figure6(res), sdsim.Table5(res),
+	} {
+		if len(tab.Rows) == 0 {
+			t.Errorf("table %q empty", tab.Title)
+		}
+		if !strings.Contains(tab.CSV(), ",") {
+			t.Errorf("table %q CSV malformed", tab.Title)
+		}
+	}
+	if res.M != 7 {
+		t.Errorf("m = %d", res.M)
+	}
+}
+
+func TestFacadeAblationChangesBehavior(t *testing.T) {
+	params := fastParams(6, 0.15)
+	base := sdsim.Sweep(sdsim.SweepConfig{
+		Systems: []sdsim.System{sdsim.Frodo2P}, Params: params})
+	ablated := sdsim.Sweep(sdsim.SweepConfig{
+		Systems: []sdsim.System{sdsim.Frodo2P}, Params: params,
+		Opts: sdsim.AblateFrodo(sdsim.SRN2 | sdsim.PR4 | sdsim.PR1)})
+	fb := base.Curves[sdsim.Frodo2P].Points[0].Effectiveness
+	fa := ablated.Curves[sdsim.Frodo2P].Points[0].Effectiveness
+	if fa > fb {
+		t.Errorf("ablating SRN2+PR4+PR1 improved effectiveness: %v > %v", fa, fb)
+	}
+	if fa == fb {
+		// Identical would mean the options never reached the protocol.
+		t.Logf("warning: ablation produced identical effectiveness %v at this sample size", fa)
+	}
+}
+
+func TestFacadeMergeOptions(t *testing.T) {
+	merged := sdsim.MergeOptions(sdsim.WithLoss(0.1), sdsim.AblateFrodo(sdsim.PR1))
+	if merged.Loss != 0.1 {
+		t.Errorf("Loss = %v", merged.Loss)
+	}
+	if merged.Frodo == nil {
+		t.Error("Frodo mutator lost in merge")
+	}
+	if merged.UPnP != nil {
+		t.Error("unexpected UPnP mutator")
+	}
+}
+
+func TestFacadeMultiChange(t *testing.T) {
+	params := sdsim.DefaultParams()
+	params.Changes = 3
+	res := sdsim.Run(sdsim.RunSpec{System: sdsim.Frodo2P, Lambda: 0, Seed: 5, Params: params})
+	for _, u := range res.Users {
+		if !u.Reached {
+			t.Fatalf("user %d never reached version 4 after 3 changes", u.User)
+		}
+	}
+}
+
+func TestFacadeCriticalUpdates(t *testing.T) {
+	params := sdsim.DefaultParams()
+	params.Changes = 3
+	res := sdsim.Run(sdsim.RunSpec{System: sdsim.Frodo2P, Lambda: 0, Seed: 5,
+		Params: params, Opts: sdsim.CriticalUpdates()})
+	for _, u := range res.Users {
+		if !u.Reached {
+			t.Fatalf("critical mode: user %d never consistent", u.User)
+		}
+	}
+}
+
+func TestFacadeLossModel(t *testing.T) {
+	res := sdsim.Run(sdsim.RunSpec{System: sdsim.Frodo2P, Lambda: 0, Seed: 5,
+		Params: sdsim.DefaultParams(), Opts: sdsim.WithLoss(0.2)})
+	reached := 0
+	for _, u := range res.Users {
+		if u.Reached {
+			reached++
+		}
+	}
+	if reached < 4 {
+		t.Errorf("only %d/5 users consistent at 20%% loss; SRN1 should carry FRODO", reached)
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	spec := sdsim.RunSpec{System: sdsim.Jini2, Lambda: 0.45, Seed: 77, Params: sdsim.DefaultParams()}
+	a, b := sdsim.Run(spec), sdsim.Run(spec)
+	if a.Effort != b.Effort || a.ChangeAt != b.ChangeAt {
+		t.Error("facade runs are not deterministic")
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Errorf("user %d diverged", i)
+		}
+	}
+}
+
+func TestFacadeParseSystem(t *testing.T) {
+	sys, err := sdsim.ParseSystem("frodo3p")
+	if err != nil || sys != sdsim.Frodo3P {
+		t.Errorf("ParseSystem = %v, %v", sys, err)
+	}
+}
