@@ -1,0 +1,33 @@
+# Development targets. `make check` is the CI gate: vet + build + race
+# tests. Benchmarks (including the N=100/N=1000 scale sweeps) only run
+# via `make bench`; they are additionally guarded with testing.Short()
+# so `go test -short -bench ...` skips the expensive ones.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-scale clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (slow: full-scale sweeps per iteration).
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Just the scale trajectory points recorded in EXPERIMENTS.md.
+bench-scale:
+	$(GO) test -bench 'Scale' -benchtime 1x -run xxx .
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/sdsim"
@@ -144,6 +145,52 @@ func BenchmarkSingleRun(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sdsim.Run(sdsim.RunSpec{System: sys, Lambda: 0.30,
 					Seed: int64(i + 1), Params: params})
+			}
+		})
+	}
+}
+
+// BenchmarkSweepScale measures the scenario engine at population scale:
+// a FRODO 2-party sweep (λ ∈ {0, 0.30}, 2 runs per point) with churn at
+// N=100 and N=1000 Users — the first points of the perf trajectory
+// EXPERIMENTS.md records. Guarded so `go test -short -bench` stays fast.
+func BenchmarkSweepScale(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("scale benchmark skipped in short mode")
+			}
+			p := sdsim.DefaultParams()
+			p.Runs = 2
+			p.Lambdas = []float64{0, 0.30}
+			p.Topology = sdsim.Topology{Users: n}
+			p.Churn = sdsim.Churn{Departures: 0.3, MeanAbsence: 600 * sdsim.Second,
+				Arrivals: float64(n) / 20}
+			var res sdsim.SweepResult
+			for i := 0; i < b.N; i++ {
+				res = sdsim.Sweep(sdsim.SweepConfig{
+					Systems: []sdsim.System{sdsim.Frodo2P}, Params: p})
+			}
+			_, f, _ := res.Curves[sdsim.Frodo2P].Average()
+			b.ReportMetric(f, "F(avg)")
+			b.ReportMetric(float64(res.MPrime[sdsim.Frodo2P]), "mprime")
+		})
+	}
+}
+
+// BenchmarkSingleRunScale measures one 5400-virtual-second FRODO run at
+// growing N — the unit of work whose cost bounds any sweep.
+func BenchmarkSingleRunScale(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("scale benchmark skipped in short mode")
+			}
+			p := sdsim.DefaultParams()
+			p.Topology = sdsim.Topology{Users: n}
+			for i := 0; i < b.N; i++ {
+				sdsim.Run(sdsim.RunSpec{System: sdsim.Frodo2P, Lambda: 0.30,
+					Seed: int64(i + 1), Params: p})
 			}
 		})
 	}

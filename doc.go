@@ -5,10 +5,13 @@
 // The public API lives in package repro/sdsim; the substrates are under
 // internal/ (discrete-event kernel, simulated LAN with the paper's UDP
 // and TCP failure models, the FRODO, Jini and UPnP protocol models, the
-// Update Metrics and the experiment harness). See DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+// Update Metrics and the experiment harness). DESIGN.md documents the
+// system inventory and the scenario engine (topology spec, churn model,
+// streaming aggregation); EXPERIMENTS.md keeps the paper-vs-measured
+// record and the performance trajectory.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation at reduced scale; the cmd/sdsweep and
-// cmd/sdtables binaries run them at full scale.
+// cmd/sdtables binaries run them at full scale, including the scale-out
+// scenarios (-users, -managers, -churn).
 package repro

@@ -221,33 +221,12 @@ func Chart(res SweepResult, m Metric) string {
 }
 
 // AverageWindow reports the mean recovery-window length at each λ for a
-// system — a diagnostic series used by the ablation benches.
+// system — a diagnostic series used by the ablation benches. It reads
+// the streaming cell summaries, so it works without RetainRaw.
 func AverageWindow(res SweepResult, sys System) []sim.Duration {
 	out := make([]sim.Duration, len(res.Params.Lambdas))
-	for li := range res.Params.Lambdas {
-		var sum sim.Duration
-		runs := res.Raw[sys][li]
-		for _, r := range runs {
-			end := r.Deadline
-			all := true
-			var last sim.Time
-			for _, u := range r.Users {
-				if !u.Reached {
-					all = false
-					break
-				}
-				if u.At > last {
-					last = u.At
-				}
-			}
-			if all {
-				end = last
-			}
-			sum += end - r.ChangeAt
-		}
-		if len(runs) > 0 {
-			out[li] = sum / sim.Duration(len(runs))
-		}
+	for li, cell := range res.Cells[sys] {
+		out[li] = cell.AvgWindow()
 	}
 	return out
 }

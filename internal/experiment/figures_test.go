@@ -62,7 +62,7 @@ func TestAverageWindowShrinksWithHealth(t *testing.T) {
 
 func TestTopologyMatchesBuild(t *testing.T) {
 	for _, sys := range Systems() {
-		regs, mgr, firstUser := Topology(sys)
+		regs, mgr, firstUser := PaperLayout(sys)
 		k := sim.New(1)
 		sc := Build(sys, k, 5, Options{})
 		if sc.ManagerID != mgr {

@@ -31,6 +31,12 @@ type Params struct {
 	Lambdas []float64
 	// BaseSeed derives all run seeds; same BaseSeed ⇒ identical sweep.
 	BaseSeed int64
+	// Topology generalizes the Table 4 scenario shape; the zero value
+	// reproduces the paper (Topology.Users falls back to Users above).
+	Topology Topology
+	// Churn adds Poisson User arrivals and departures during the run;
+	// the zero value keeps the paper's static population.
+	Churn Churn
 	// EffortPad extends the effort window so frames of the final
 	// exchange still in flight when the last User turns consistent are
 	// counted (see DESIGN.md).
@@ -53,6 +59,44 @@ func DefaultParams() Params {
 		BaseSeed:           1,
 		EffortPad:          sim.Second,
 	}
+}
+
+// withDefaults fills every unset field from DefaultParams while
+// preserving what the caller set — notably Topology and Churn, which a
+// wholesale DefaultParams replacement would silently discard.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Users == 0 {
+		p.Users = d.Users
+	}
+	if p.RunDuration == 0 {
+		p.RunDuration = d.RunDuration
+	}
+	if p.ChangeMin == 0 {
+		p.ChangeMin = d.ChangeMin
+	}
+	if p.ChangeMax == 0 {
+		p.ChangeMax = d.ChangeMax
+	}
+	if p.FailureWindowStart == 0 {
+		p.FailureWindowStart = d.FailureWindowStart
+	}
+	if p.FailureWindowEnd == 0 {
+		p.FailureWindowEnd = d.FailureWindowEnd
+	}
+	if p.Runs == 0 {
+		p.Runs = d.Runs
+	}
+	if len(p.Lambdas) == 0 {
+		p.Lambdas = d.Lambdas
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = d.BaseSeed
+	}
+	if p.EffortPad == 0 {
+		p.EffortPad = d.EffortPad
+	}
+	return p
 }
 
 // DefaultLambdas returns 0.00, 0.05, …, 0.90.
@@ -113,10 +157,17 @@ func RunLogged(spec RunSpec, verbose bool) (metrics.RunResult, []string) {
 
 func run(spec RunSpec) (metrics.RunResult, *Scenario) {
 	k := sim.New(spec.Seed)
-	sc := Build(spec.System, k, spec.Params.Users, spec.Opts)
+	topo := spec.Params.Topology
+	if topo.Users <= 0 {
+		topo.Users = spec.Params.Users
+	}
+	sc := BuildTopology(spec.System, k, topo, spec.Opts)
 	if spec.MakeTracer != nil {
 		sc.Net.SetTracer(spec.MakeTracer(sc.Net))
 	}
+	// Churn draws its whole schedule now, before the failure plan, so a
+	// given seed yields one fixed event timeline.
+	sc.ScheduleChurn(spec.Params.Churn, spec.Params.RunDuration)
 
 	// Plan the interface failures (§5 Step 2): one outage per node — or
 	// use the caller's fixed schedule.
@@ -162,7 +213,11 @@ func run(spec RunSpec) (metrics.RunResult, *Scenario) {
 	allReached := true
 	for _, uid := range sc.UserIDs {
 		at, ok := sc.ReachedAt(uid)
-		res.Users = append(res.Users, metrics.UserOutcome{User: uid, Reached: ok, At: at})
+		excluded := !ok && sc.AbsentAtEnd(uid)
+		res.Users = append(res.Users, metrics.UserOutcome{User: uid, Reached: ok, At: at, Excluded: excluded})
+		if excluded {
+			continue // churned out: no U(i,j) sample, no effort-window claim
+		}
 		if !ok {
 			allReached = false
 		} else if at > allDone {

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"repro/internal/discovery"
 	"repro/internal/frodo"
 	"repro/internal/jini"
@@ -26,6 +28,7 @@ type Options struct {
 // Scenario is one built system instance on its own kernel and network.
 type Scenario struct {
 	System System
+	Topo   Topology
 	K      *sim.Kernel
 	Net    *netsim.Network
 
@@ -38,16 +41,28 @@ type Scenario struct {
 	TargetVersion uint64
 
 	rec *recorder
+
+	// makeUser spawns one more User of this system's kind, booting
+	// immediately; the churn engine uses it for Poisson arrivals.
+	makeUser func(name string) netsim.NodeID
+	// absent tracks Users currently churned out of the network.
+	absent map[netsim.NodeID]bool
 }
 
 // recorder observes User cache writes and keeps the first time each User
-// reached the target version — the U(i,j) samples.
+// reached the target version — the U(i,j) samples. With background
+// Managers in the topology it filters on the measured Manager so
+// unrelated services never count as consistency.
 type recorder struct {
-	target uint64
-	first  map[netsim.NodeID]sim.Time
+	target  uint64
+	manager netsim.NodeID // NoNode until the measured Manager is built
+	first   map[netsim.NodeID]sim.Time
 }
 
-func (r *recorder) CacheUpdated(t sim.Time, user, _ netsim.NodeID, version uint64) {
+func (r *recorder) CacheUpdated(t sim.Time, user, manager netsim.NodeID, version uint64) {
+	if r.manager != netsim.NoNode && manager != r.manager {
+		return
+	}
 	if version < r.target {
 		return
 	}
@@ -80,23 +95,53 @@ func printerSD() discovery.ServiceDescription {
 
 var printerQuery = discovery.Query{ServiceType: "ColorPrinter"}
 
+// auxSD is a background service hosted by Manager j ≥ 1: one of the
+// topology's Services distinct types, assigned round-robin, never
+// matching the measured printer query.
+func auxSD(topo Topology, j int) discovery.ServiceDescription {
+	kind := 1 + (j-1)%topo.Services
+	return discovery.ServiceDescription{
+		DeviceType:  "Aux",
+		ServiceType: fmt.Sprintf("AuxService%d", kind),
+		Attributes:  map[string]string{"Slot": fmt.Sprintf("%d", j)},
+	}
+}
+
 // changePrinter is the §4 example change: the paper tray empties / the
 // service type flips — any attribute mutation bumps the version.
 func changePrinter(attrs map[string]string) { attrs["ServiceType2"] = "Black&WhitePrinter" }
 
 // Build constructs one of the five systems with the Table 4 topology on a
-// fresh network owned by kernel k. nUsers is 5 in the paper.
+// fresh network owned by kernel k. nUsers is 5 in the paper. It is the
+// fixed-shape wrapper around BuildTopology.
 func Build(sys System, k *sim.Kernel, nUsers int, opts Options) *Scenario {
+	return BuildTopology(sys, k, Topology{Users: nUsers}, opts)
+}
+
+// BuildTopology constructs a system instance of arbitrary shape: Registry
+// and Manager counts, background services and the User population all
+// come from the topology spec. The zero-value spec rebuilds the paper's
+// design, including the boot order (Registries, then Managers, then
+// Users) and its randomized per-node jitter, so default runs replay the
+// seed experiments bit-for-bit.
+func BuildTopology(sys System, k *sim.Kernel, topo Topology, opts Options) *Scenario {
+	topo = topo.normalized(sys, 0)
 	netCfg := netsim.DefaultConfig()
 	netCfg.Loss = opts.Loss
 	nw := netsim.New(k, netCfg)
-	sc := &Scenario{System: sys, K: k, Net: nw, TargetVersion: 2,
-		rec: &recorder{target: 2, first: map[netsim.NodeID]sim.Time{}}}
+	sc := &Scenario{System: sys, Topo: topo, K: k, Net: nw, TargetVersion: 2,
+		rec:    &recorder{target: 2, manager: netsim.NoNode, first: make(map[netsim.NodeID]sim.Time, topo.Users)},
+		absent: map[netsim.NodeID]bool{}}
 
-	boot := func(slot int) sim.Duration {
-		// Nodes boot staggered inside the first few seconds; discovery
-		// completes well within the failure-free first 100s.
-		return sim.Duration(slot)*sim.Second + k.UniformDuration(0, sim.Second)
+	// Nodes boot staggered inside the first seconds; discovery completes
+	// well within the failure-free first 100s. Infrastructure takes the
+	// first slots, Users follow on their own (usually denser) spacing.
+	infraBoot := func(slot int) sim.Duration {
+		return sim.Duration(slot)*topo.BootSpacing + k.UniformDuration(0, topo.BootJitter)
+	}
+	userBase := sim.Duration(topo.Registries+topo.Managers) * topo.BootSpacing
+	userBoot := func(i int) sim.Duration {
+		return userBase + sim.Duration(i)*topo.UserBootSpacing + k.UniformDuration(0, topo.BootJitter)
 	}
 
 	switch sys {
@@ -105,13 +150,26 @@ func Build(sys System, k *sim.Kernel, nUsers int, opts Options) *Scenario {
 		if opts.UPnP != nil {
 			opts.UPnP(&cfg)
 		}
-		m := upnp.NewManager(nw.AddNode("Manager"), cfg, printerSD())
-		m.Start(boot(0))
-		sc.ManagerID = m.ID()
-		sc.Change = func() { m.ChangeService(changePrinter) }
-		for i := 0; i < nUsers; i++ {
+		for j := 0; j < topo.Managers; j++ {
+			sd := printerSD()
+			if j > 0 {
+				sd = auxSD(topo, j)
+			}
+			m := upnp.NewManager(nw.AddNode(managerName(j)), cfg, sd)
+			m.Start(infraBoot(j))
+			if j == 0 {
+				sc.ManagerID = m.ID()
+				sc.Change = func() { m.ChangeService(changePrinter) }
+			}
+		}
+		sc.makeUser = func(name string) netsim.NodeID {
+			u := upnp.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
+			u.Start(0)
+			return u.ID()
+		}
+		for i := 0; i < topo.Users; i++ {
 			u := upnp.NewUser(nw.AddNode(userName(i)), cfg, printerQuery, sc.rec)
-			u.Start(boot(i + 1))
+			u.Start(userBoot(i))
 			sc.UserIDs = append(sc.UserIDs, u.ID())
 		}
 
@@ -120,71 +178,81 @@ func Build(sys System, k *sim.Kernel, nUsers int, opts Options) *Scenario {
 		if opts.Jini != nil {
 			opts.Jini(&cfg)
 		}
-		nRegs := 1
-		if sys == Jini2 {
-			nRegs = 2
+		for i := 0; i < topo.Registries; i++ {
+			reg := jini.NewRegistry(nw.AddNode(registryName(sys, i)), cfg)
+			reg.Start(infraBoot(i))
 		}
-		for i := 0; i < nRegs; i++ {
-			reg := jini.NewRegistry(nw.AddNode("Registry"), cfg)
-			reg.Start(boot(i))
+		for j := 0; j < topo.Managers; j++ {
+			sd := printerSD()
+			if j > 0 {
+				sd = auxSD(topo, j)
+			}
+			m := jini.NewManager(nw.AddNode(managerName(j)), cfg, sd)
+			m.Start(infraBoot(topo.Registries + j))
+			if j == 0 {
+				sc.ManagerID = m.ID()
+				sc.Change = func() { m.ChangeService(changePrinter) }
+			}
 		}
-		m := jini.NewManager(nw.AddNode("Manager"), cfg, printerSD())
-		m.Start(boot(nRegs))
-		sc.ManagerID = m.ID()
-		sc.Change = func() { m.ChangeService(changePrinter) }
-		for i := 0; i < nUsers; i++ {
+		sc.makeUser = func(name string) netsim.NodeID {
+			u := jini.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
+			u.Start(0)
+			return u.ID()
+		}
+		for i := 0; i < topo.Users; i++ {
 			u := jini.NewUser(nw.AddNode(userName(i)), cfg, printerQuery, sc.rec)
-			u.Start(boot(nRegs + 1 + i))
+			u.Start(userBoot(i))
 			sc.UserIDs = append(sc.UserIDs, u.ID())
 		}
 
-	case Frodo3P:
+	case Frodo3P, Frodo2P:
 		cfg := frodo.DefaultConfig()
+		mgrClass, mgrPower := frodo.Class3D, 5
+		userClass := frodo.Class3D
+		if sys == Frodo2P {
+			cfg = frodo.TwoPartyConfig()
+			mgrClass, mgrPower = frodo.Class300D, 5
+			userClass = frodo.Class300D
+		}
 		if opts.Frodo != nil {
 			opts.Frodo(&cfg)
 		}
-		central := frodo.NewNode(nw.AddNode("Registry"), cfg, frodo.Class300D, 100)
-		central.Start(boot(0))
-		mn := frodo.NewNode(nw.AddNode("Manager"), cfg, frodo.Class3D, 5)
-		m := mn.AttachManager(printerSD())
-		mn.Start(boot(1))
-		sc.ManagerID = m.ID()
-		sc.Change = func() { m.ChangeService(changePrinter) }
-		for i := 0; i < nUsers; i++ {
-			un := frodo.NewNode(nw.AddNode(userName(i)), cfg, frodo.Class3D, 1)
-			u := un.AttachUser(printerQuery, sc.rec)
-			un.Start(boot(2 + i))
-			sc.UserIDs = append(sc.UserIDs, u.ID())
+		for i := 0; i < topo.Registries; i++ {
+			reg := frodo.NewNode(nw.AddNode(registryName(sys, i)), cfg, frodo.Class300D, registryPower(i))
+			reg.Start(infraBoot(i))
 		}
-
-	case Frodo2P:
-		cfg := frodo.TwoPartyConfig()
-		if opts.Frodo != nil {
-			opts.Frodo(&cfg)
+		for j := 0; j < topo.Managers; j++ {
+			sd := printerSD()
+			if j > 0 {
+				sd = auxSD(topo, j)
+			}
+			mn := frodo.NewNode(nw.AddNode(managerName(j)), cfg, mgrClass, mgrPower)
+			m := mn.AttachManager(sd)
+			mn.Start(infraBoot(topo.Registries + j))
+			if j == 0 {
+				sc.ManagerID = m.ID()
+				sc.Change = func() { m.ChangeService(changePrinter) }
+			}
 		}
-		central := frodo.NewNode(nw.AddNode("Registry"), cfg, frodo.Class300D, 100)
-		central.Start(boot(0))
-		backup := frodo.NewNode(nw.AddNode("Backup"), cfg, frodo.Class300D, 50)
-		backup.Start(boot(1))
-		mn := frodo.NewNode(nw.AddNode("Manager"), cfg, frodo.Class300D, 5)
-		m := mn.AttachManager(printerSD())
-		mn.Start(boot(2))
-		sc.ManagerID = m.ID()
-		sc.Change = func() { m.ChangeService(changePrinter) }
-		for i := 0; i < nUsers; i++ {
-			un := frodo.NewNode(nw.AddNode(userName(i)), cfg, frodo.Class300D, 1)
+		sc.makeUser = func(name string) netsim.NodeID {
+			un := frodo.NewNode(nw.AddNode(name), cfg, userClass, 1)
 			u := un.AttachUser(printerQuery, sc.rec)
-			un.Start(boot(3 + i))
+			un.Start(0)
+			return u.ID()
+		}
+		for i := 0; i < topo.Users; i++ {
+			un := frodo.NewNode(nw.AddNode(userName(i)), cfg, userClass, 1)
+			u := un.AttachUser(printerQuery, sc.rec)
+			un.Start(userBoot(i))
 			sc.UserIDs = append(sc.UserIDs, u.ID())
 		}
 
 	default:
 		panic("experiment: unknown system")
 	}
+	sc.rec.manager = sc.ManagerID
 	return sc
 }
-
-func userName(i int) string { return "User" + string(rune('1'+i)) }
 
 // AllNodeIDs lists every node for the failure planner.
 func (s *Scenario) AllNodeIDs() []netsim.NodeID {
@@ -195,10 +263,11 @@ func (s *Scenario) AllNodeIDs() []netsim.NodeID {
 	return ids
 }
 
-// Topology reports the Build node ordering for a system without building
-// it: the Registry IDs, the Manager's ID and the first User's ID. Used
-// by callers that inject explicit failures (the guarantee checker).
-func Topology(sys System) (registries []netsim.NodeID, manager, firstUser netsim.NodeID) {
+// PaperLayout reports the Build node ordering for a system's default
+// topology without building it: the Registry IDs, the Manager's ID and
+// the first User's ID. Used by callers that inject explicit failures
+// (the guarantee checker).
+func PaperLayout(sys System) (registries []netsim.NodeID, manager, firstUser netsim.NodeID) {
 	switch sys {
 	case UPnP:
 		return nil, 0, 1

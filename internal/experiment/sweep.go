@@ -19,6 +19,11 @@ type SweepConfig struct {
 	Workers int
 	// Progress, when set, is called after each completed run.
 	Progress func(done, total int)
+	// RetainRaw keeps every run's full RunResult in SweepResult.Raw. Off
+	// by default: the sweep then retains only the streaming per-cell
+	// summaries, so memory stays flat in the number of Users — the mode
+	// the scale scenarios (thousands of Users, many cells) require.
+	RetainRaw bool
 }
 
 // SweepResult holds the aggregated curves and efficiency baselines.
@@ -31,21 +36,25 @@ type SweepResult struct {
 	// minimum across systems (the paper's m = 7).
 	MPrime map[System]int
 	M      int
-	// Raw keeps every run's observations, indexed [system][lambdaIdx].
+	// Cells holds the streaming per-cell accumulators, indexed
+	// [system][lambdaIdx] — per-run summaries slotted by run index, so
+	// derived statistics are identical at any worker count.
+	Cells map[System][]*metrics.Cell
+	// Raw keeps every run's observations, indexed [system][lambdaIdx][run].
+	// Nil unless SweepConfig.RetainRaw is set.
 	Raw map[System][][]metrics.RunResult
 }
 
 // Sweep runs the full experiment grid on a parallel worker pool: every
 // (system, λ, run) cell is an independent simulation with its own kernel
-// and derived seed, so the sweep is deterministic regardless of
-// parallelism.
+// and derived seed, and results are aggregated into per-cell streaming
+// accumulators in run-index order, so the sweep is deterministic
+// regardless of parallelism.
 func Sweep(cfg SweepConfig) SweepResult {
 	if len(cfg.Systems) == 0 {
 		cfg.Systems = Systems()
 	}
-	if cfg.Params.Runs == 0 {
-		cfg.Params = DefaultParams()
-	}
+	cfg.Params = cfg.Params.withDefaults()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,28 +107,45 @@ func Sweep(cfg SweepConfig) SweepResult {
 		close(outcomes)
 	}()
 
-	raw := map[System][][]metrics.RunResult{}
+	cells := map[System][]*metrics.Cell{}
+	var raw map[System][][]metrics.RunResult
+	if cfg.RetainRaw {
+		raw = map[System][][]metrics.RunResult{}
+	}
 	for _, sys := range cfg.Systems {
-		raw[sys] = make([][]metrics.RunResult, len(cfg.Params.Lambdas))
+		cells[sys] = make([]*metrics.Cell, len(cfg.Params.Lambdas))
+		for li, l := range cfg.Params.Lambdas {
+			cells[sys][li] = metrics.NewCell(l, cfg.Params.Runs)
+		}
+		if cfg.RetainRaw {
+			raw[sys] = make([][]metrics.RunResult, len(cfg.Params.Lambdas))
+			for li := range cfg.Params.Lambdas {
+				raw[sys][li] = make([]metrics.RunResult, cfg.Params.Runs)
+			}
+		}
 	}
 	done := 0
 	for o := range outcomes {
-		raw[o.sys][o.lambdaIdx] = append(raw[o.sys][o.lambdaIdx], o.res)
+		cells[o.sys][o.lambdaIdx].Add(o.run, metrics.Summarize(o.res))
+		if cfg.RetainRaw {
+			raw[o.sys][o.lambdaIdx][o.run] = o.res
+		}
 		done++
 		if cfg.Progress != nil {
 			cfg.Progress(done, total)
 		}
 	}
 
-	return aggregate(cfg, raw)
+	return aggregate(cfg, cells, raw)
 }
 
-func aggregate(cfg SweepConfig, raw map[System][][]metrics.RunResult) SweepResult {
+func aggregate(cfg SweepConfig, cells map[System][]*metrics.Cell, raw map[System][][]metrics.RunResult) SweepResult {
 	res := SweepResult{
 		Systems: cfg.Systems,
 		Params:  cfg.Params,
 		Curves:  map[System]metrics.Curve{},
 		MPrime:  map[System]int{},
+		Cells:   cells,
 		Raw:     raw,
 	}
 
@@ -135,8 +161,8 @@ func aggregate(cfg SweepConfig, raw map[System][][]metrics.RunResult) SweepResul
 	res.M = 1 << 30
 	for _, sys := range cfg.Systems {
 		mp := PaperMPrime(sys)
-		if zeroIdx >= 0 && len(raw[sys][zeroIdx]) > 0 {
-			mp = metrics.MeasureMPrime(raw[sys][zeroIdx])
+		if zeroIdx >= 0 && cells[sys][zeroIdx].Runs() > 0 {
+			mp = cells[sys][zeroIdx].MinPositiveEffort()
 		}
 		res.MPrime[sys] = mp
 		if mp < res.M {
@@ -147,9 +173,7 @@ func aggregate(cfg SweepConfig, raw map[System][][]metrics.RunResult) SweepResul
 	for _, sys := range cfg.Systems {
 		curve := metrics.Curve{System: sys.String()}
 		for li := range cfg.Params.Lambdas {
-			p := metrics.Compute(raw[sys][li], res.M, res.MPrime[sys])
-			p.Lambda = cfg.Params.Lambdas[li]
-			curve.Points = append(curve.Points, p)
+			curve.Points = append(curve.Points, cells[sys][li].Point(res.M, res.MPrime[sys]))
 		}
 		res.Curves[sys] = curve
 	}

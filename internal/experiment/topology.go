@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology parameterizes the scenario shape. The zero value reproduces
+// the paper's Table 4 design exactly (per-system Registry counts, one
+// Manager with the printer service, Params.Users Users, 1s boot slots),
+// so every existing experiment is the fixed point of this generator.
+//
+// Managers beyond the first host background services: the measured
+// printer stays on Manager 0 and the Update Metrics are still taken
+// against it, while the extra Managers load the Registries and the
+// multicast medium the way a populated network would.
+type Topology struct {
+	// Users is N, the number of Users discovering the printer. 0 falls
+	// back to Params.Users (5 in the paper).
+	Users int
+	// Managers is the number of Manager nodes, each hosting one service.
+	// Manager 0 hosts the measured printer; 0 means 1.
+	Managers int
+	// Registries is the number of Registry nodes. 0 means the system
+	// default: none for UPnP, 1 for Jini1, 2 for Jini2, 1 Central for
+	// FRODO 3-party, Central+Backup for FRODO 2-party. UPnP has no
+	// Registry role, so the value is forced to 0 there. For FRODO the
+	// nodes are 300D Registry-capable devices in descending election
+	// power; the strongest wins the Central election and appoints the
+	// next as Backup.
+	Registries int
+	// Services is the number of distinct background service types spread
+	// round-robin over Managers 1..Managers−1. 0 means one type per
+	// background Manager; fewer types than background Managers makes the
+	// surplus Managers replicas of existing types.
+	Services int
+	// BootSpacing separates consecutive infrastructure boots (Registries,
+	// then Managers), one slot each. 0 means the paper's 1s.
+	BootSpacing sim.Duration
+	// UserBootSpacing separates consecutive User boots after the
+	// infrastructure. 0 means 1s up to 60 Users, and 60s/Users beyond
+	// that so even huge populations finish booting inside the first
+	// failure-free 100s.
+	UserBootSpacing sim.Duration
+	// BootJitter is the uniform per-node jitter added to every boot slot.
+	// 0 means the paper's 1s.
+	BootJitter sim.Duration
+}
+
+// DefaultRegistries reports the Table 4 Registry count for a system.
+func DefaultRegistries(sys System) int {
+	switch sys {
+	case UPnP:
+		return 0
+	case Jini1:
+		return 1
+	case Jini2:
+		return 2
+	case Frodo3P:
+		return 1
+	case Frodo2P:
+		return 2 // Central plus Backup
+	default:
+		panic("experiment: unknown system")
+	}
+}
+
+// normalized resolves all defaults against a system and a fallback User
+// count (Params.Users).
+func (t Topology) normalized(sys System, fallbackUsers int) Topology {
+	if t.Users <= 0 {
+		t.Users = fallbackUsers
+	}
+	if t.Users <= 0 {
+		t.Users = 5
+	}
+	if t.Managers <= 0 {
+		t.Managers = 1
+	}
+	if t.Registries <= 0 {
+		t.Registries = DefaultRegistries(sys)
+	}
+	if sys == UPnP {
+		t.Registries = 0 // UPnP is peer-to-peer; there is no Registry role.
+	}
+	background := t.Managers - 1
+	if t.Services <= 0 || t.Services > background {
+		t.Services = background
+	}
+	if t.BootSpacing <= 0 {
+		t.BootSpacing = sim.Second
+	}
+	if t.UserBootSpacing <= 0 {
+		if t.Users <= 60 {
+			t.UserBootSpacing = sim.Second
+		} else {
+			t.UserBootSpacing = 60 * sim.Second / sim.Duration(t.Users)
+		}
+	}
+	if t.BootJitter <= 0 {
+		t.BootJitter = sim.Second
+	}
+	return t
+}
+
+// Nodes reports how many nodes the normalized topology builds at boot
+// (churn arrivals come on top).
+func (t Topology) Nodes() int { return t.Registries + t.Managers + t.Users }
+
+func userName(i int) string { return fmt.Sprintf("User%d", i+1) }
+
+func managerName(j int) string {
+	if j == 0 {
+		return "Manager"
+	}
+	return fmt.Sprintf("Manager%d", j+1)
+}
+
+func registryName(sys System, i int) string {
+	if i == 0 {
+		return "Registry"
+	}
+	if sys == Frodo2P && i == 1 {
+		return "Backup"
+	}
+	return fmt.Sprintf("Registry%d", i+1)
+}
+
+// registryPower orders FRODO 300D Registry-capable nodes for the Central
+// election: the paper's Central (100) and Backup (50), then weaker spares.
+func registryPower(i int) int {
+	switch {
+	case i == 0:
+		return 100
+	case 50-10*(i-1) > 10:
+		return 50 - 10*(i-1)
+	default:
+		return 10
+	}
+}

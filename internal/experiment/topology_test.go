@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// The zero-value topology must normalize to the paper's Table 4 design.
+func TestTopologyZeroValueIsPaperDesign(t *testing.T) {
+	for _, sys := range Systems() {
+		topo := Topology{}.normalized(sys, 5)
+		if topo.Users != 5 || topo.Managers != 1 || topo.Services != 0 {
+			t.Errorf("%v: normalized = %+v", sys, topo)
+		}
+		if topo.Registries != DefaultRegistries(sys) {
+			t.Errorf("%v: registries = %d, want %d", sys, topo.Registries, DefaultRegistries(sys))
+		}
+		if topo.BootSpacing != sim.Second || topo.UserBootSpacing != sim.Second || topo.BootJitter != sim.Second {
+			t.Errorf("%v: boot stagger = %+v", sys, topo)
+		}
+	}
+	// Huge populations densify the User boot schedule automatically.
+	big := Topology{Users: 1200}.normalized(Frodo2P, 5)
+	if big.UserBootSpacing >= sim.Second {
+		t.Errorf("1200 users: spacing %v did not shrink", big.UserBootSpacing)
+	}
+	if got := big.UserBootSpacing * 1200; got > 60*sim.Second {
+		t.Errorf("1200 users: boots span %v, want ≤ 60s", got)
+	}
+}
+
+// Regression for the old rune-arithmetic userName: names must be
+// readable and unique well past i=9 (string(rune('1'+i)) yielded
+// "User:", "User;"… garbage there).
+func TestUserNamesAtScale(t *testing.T) {
+	if got := userName(9); got != "User10" {
+		t.Fatalf("userName(9) = %q, want User10", got)
+	}
+	if got := userName(49); got != "User50" {
+		t.Fatalf("userName(49) = %q, want User50", got)
+	}
+	k := sim.New(1)
+	sc := Build(Frodo2P, k, 50, Options{})
+	seen := map[string]bool{}
+	for _, uid := range sc.UserIDs {
+		name := sc.Net.Node(uid).Name
+		if seen[name] {
+			t.Fatalf("duplicate user name %q at N=50", name)
+		}
+		seen[name] = true
+	}
+	if !seen["User50"] {
+		t.Error("User50 missing from a 50-user build")
+	}
+}
+
+// Background Managers must not disturb the measured metrics: the printer
+// stays on Manager 0 and the recorder ignores background services.
+func TestBackgroundManagersKeepMetricsClean(t *testing.T) {
+	for _, sys := range Systems() {
+		p := DefaultParams()
+		p.Topology = Topology{Users: 5, Managers: 3, Services: 2}
+		res := Run(RunSpec{System: sys, Lambda: 0, Seed: 3, Params: p})
+		for _, u := range res.Users {
+			if !u.Reached {
+				t.Errorf("%v: user %d not consistent at λ=0 with background managers", sys, u.User)
+			}
+		}
+	}
+}
+
+// SeedFor must be collision-free across the paper's full default grid.
+func TestSeedForCollisionFree(t *testing.T) {
+	p := DefaultParams()
+	seen := map[int64]string{}
+	for _, sys := range Systems() {
+		for li := range p.Lambdas {
+			for r := 0; r < p.Runs; r++ {
+				s := SeedFor(p.BaseSeed, sys, li, r)
+				key := fmt.Sprintf("%v/%d/%d", sys, li, r)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed %d collides: %s vs %s", s, key, prev)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+// Sweep curves must be byte-identical at any worker count, including
+// under a generalized topology with churn: per-cell summaries are
+// slotted by run index, so float folds happen in one fixed order.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	p := fastParams(3, []float64{0, 0.3})
+	p.Topology = Topology{Users: 20, Managers: 2}
+	p.Churn = Churn{Departures: 0.5, MeanAbsence: 300 * sim.Second, Arrivals: 3}
+	cfg := func(w int) SweepConfig {
+		return SweepConfig{Systems: []System{UPnP, Frodo2P}, Params: p, Workers: w}
+	}
+	a := Sweep(cfg(1))
+	b := Sweep(cfg(runtime.GOMAXPROCS(0)))
+	sa := fmt.Sprintf("%#v %d %v", a.Curves, a.M, a.MPrime)
+	sb := fmt.Sprintf("%#v %d %v", b.Curves, b.M, b.MPrime)
+	if sa != sb {
+		t.Errorf("curves differ across worker counts:\n%s\nvs\n%s", sa, sb)
+	}
+}
+
+// Raw run results are retained only on request.
+func TestSweepRawIsOptIn(t *testing.T) {
+	p := fastParams(2, []float64{0})
+	lean := Sweep(SweepConfig{Systems: []System{UPnP}, Params: p})
+	if lean.Raw != nil {
+		t.Error("Raw retained without RetainRaw")
+	}
+	if lean.Cells[UPnP][0].Runs() != 2 {
+		t.Errorf("cell holds %d runs, want 2", lean.Cells[UPnP][0].Runs())
+	}
+	full := Sweep(SweepConfig{Systems: []System{UPnP}, Params: p, RetainRaw: true})
+	if len(full.Raw[UPnP][0]) != 2 {
+		t.Fatalf("RetainRaw kept %d runs", len(full.Raw[UPnP][0]))
+	}
+	// Both paths aggregate identically.
+	if fmt.Sprintf("%#v", lean.Curves) != fmt.Sprintf("%#v", full.Curves) {
+		t.Error("RetainRaw changed the curves")
+	}
+}
+
+// A sweep given only Topology/Churn (no Runs etc.) must default the
+// unset design fields without discarding the scenario shape.
+func TestSweepPreservesTopologyWhenDefaulting(t *testing.T) {
+	res := Sweep(SweepConfig{
+		Systems: []System{UPnP},
+		Params: Params{
+			Runs:     1,
+			Lambdas:  []float64{0},
+			Topology: Topology{Users: 9},
+		},
+	})
+	if res.Params.RunDuration != DefaultParams().RunDuration {
+		t.Errorf("RunDuration not defaulted: %v", res.Params.RunDuration)
+	}
+	if res.Params.Topology.Users != 9 {
+		t.Fatalf("Topology discarded by defaulting: %+v", res.Params.Topology)
+	}
+	if got := res.Cells[UPnP][0].Runs(); got != 1 {
+		t.Fatalf("cell runs = %d", got)
+	}
+	// The run really had 9 users: check via a retained-raw repeat.
+	raw := Sweep(SweepConfig{Systems: []System{UPnP},
+		Params:    Params{Runs: 1, Lambdas: []float64{0}, Topology: Topology{Users: 9}},
+		RetainRaw: true})
+	if n := len(raw.Raw[UPnP][0][0].Users); n != 9 {
+		t.Errorf("run built %d users, want 9", n)
+	}
+}
+
+// Property: under zero loss and λ=0 every generated topology reaches
+// full consistency — the Configuration Update Principles hold across the
+// whole scenario space, not just the paper's point design.
+func TestQuickGeneratedTopologiesConverge(t *testing.T) {
+	f := func(seedRaw uint16, usersRaw, mgrsRaw, regsRaw, svcRaw, sysRaw uint8) bool {
+		sys := Systems()[int(sysRaw)%len(Systems())]
+		p := DefaultParams()
+		p.RunDuration = 1800 * sim.Second
+		p.ChangeMax = 600 * sim.Second
+		p.Topology = Topology{
+			Users:      1 + int(usersRaw)%12,
+			Managers:   1 + int(mgrsRaw)%3,
+			Registries: int(regsRaw) % 3, // 0 = system default
+			Services:   int(svcRaw) % 3,
+		}
+		res := Run(RunSpec{System: sys, Lambda: 0, Seed: int64(seedRaw) + 1, Params: p})
+		if len(res.Users) != p.Topology.Users {
+			return false
+		}
+		for _, u := range res.Users {
+			if !u.Reached || u.Excluded {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: churned-out Users are excluded from the U(i,j) samples —
+// exactly those absent at the deadline without having reached
+// consistency — and excluded Users contribute no responsiveness sample.
+func TestQuickChurnedOutUsersExcluded(t *testing.T) {
+	f := func(seedRaw uint16, depRaw uint8) bool {
+		p := DefaultParams()
+		p.RunDuration = 1800 * sim.Second
+		p.ChangeMax = 600 * sim.Second
+		p.Topology = Topology{Users: 8}
+		p.Churn = Churn{Departures: 0.5 + float64(depRaw%4)} // permanent departures
+		res, sc := run(RunSpec{System: Frodo2P, Lambda: 0, Seed: int64(seedRaw) + 1, Params: p})
+		nonExcluded := 0
+		for _, u := range res.Users {
+			wantExcluded := sc.AbsentAtEnd(u.User) && !u.Reached
+			if u.Excluded != wantExcluded {
+				return false
+			}
+			if !u.Excluded {
+				nonExcluded++
+			}
+		}
+		return len(res.Responsivenesses()) == nonExcluded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Churned Users that rejoin re-discover the service on their own: with a
+// bounded absence every User still ends the run consistent or excluded,
+// and high churn plus rejoining must not deadlock the sweep.
+func TestChurnRejoinRediscovers(t *testing.T) {
+	p := DefaultParams()
+	p.Topology = Topology{Users: 10}
+	p.Churn = Churn{Departures: 1.5, MeanAbsence: 400 * sim.Second, Arrivals: 5}
+	res := Run(RunSpec{System: Frodo2P, Lambda: 0, Seed: 7, Params: p})
+	if len(res.Users) <= 10 {
+		t.Errorf("no arrivals materialized: %d users", len(res.Users))
+	}
+	reached := 0
+	for _, u := range res.Users {
+		if u.Reached {
+			reached++
+		}
+	}
+	if reached < 8 {
+		t.Errorf("only %d/%d churned users regained consistency", reached, len(res.Users))
+	}
+}
+
+// The acceptance scenario: a 1000-User FRODO run with churn is
+// deterministic — same seed, identical metrics at any worker count.
+func TestScale1000UserFrodoChurnDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.Runs = 1
+	p.Lambdas = []float64{0.2}
+	p.Topology = Topology{Users: 1000}
+	p.Churn = Churn{Departures: 0.3, MeanAbsence: 600 * sim.Second, Arrivals: 50}
+	cfg := func(w int) SweepConfig {
+		return SweepConfig{Systems: []System{Frodo2P}, Params: p, Workers: w}
+	}
+	a := Sweep(cfg(1))
+	b := Sweep(cfg(runtime.GOMAXPROCS(0)))
+	sa := fmt.Sprintf("%#v", a.Curves[Frodo2P])
+	sb := fmt.Sprintf("%#v", b.Curves[Frodo2P])
+	if sa != sb {
+		t.Errorf("1000-user churn sweep diverged across worker counts:\n%s\nvs\n%s", sa, sb)
+	}
+	if pt := a.Curves[Frodo2P].Points[0]; pt.Effectiveness < 0.5 {
+		t.Errorf("effectiveness %v at λ=0.2 with churn: scenario collapsed", pt.Effectiveness)
+	}
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RunSummary is the per-run digest the sweep aggregation retains instead
+// of the full RunResult: a handful of counters plus the responsiveness
+// samples. Everything that feeds a mean is folded through streaming
+// (Welford) accumulators at aggregation time; the responsiveness samples
+// are kept because the paper's R(λ) is a median — an order statistic that
+// cannot be streamed in O(1).
+type RunSummary struct {
+	// Effort is y(i,λ), the counted discovery sends in the recovery window.
+	Effort int
+	// Reached and Counted tally the non-excluded Users that reached the
+	// target version before the deadline, and all non-excluded Users.
+	Reached, Counted int
+	// Window is the recovery-window length min(t_allConsistent, D) − C.
+	Window sim.Duration
+	// Resp holds the per-User responsiveness samples 1 − L.
+	Resp []float64
+}
+
+// Summarize digests one run into the retained per-cell form.
+func Summarize(r RunResult) RunSummary {
+	s := RunSummary{Effort: r.Effort, Resp: r.Responsivenesses()}
+	end := r.Deadline
+	all := true
+	var last sim.Time
+	for _, u := range r.Users {
+		if u.Excluded {
+			continue
+		}
+		s.Counted++
+		if u.Reached && u.At < r.Deadline {
+			s.Reached++
+		}
+		if !u.Reached {
+			all = false
+			continue
+		}
+		if u.At > last {
+			last = u.At
+		}
+	}
+	if s.Counted == 0 {
+		// Every User churned out: there was no recovery to measure.
+		return s
+	}
+	if all {
+		end = last
+	}
+	s.Window = end - r.ChangeAt
+	return s
+}
+
+// Cell accumulates one (system, λ) grid cell of a sweep. Summaries are
+// slotted by run index so that aggregation is bit-identical regardless of
+// the order workers complete runs in: floating-point folds happen in run
+// order at Point time, never in arrival order.
+type Cell struct {
+	Lambda float64
+	perRun []RunSummary
+	have   []bool
+	filled int
+}
+
+// NewCell creates an accumulator for up to runs runs at failure rate
+// lambda. Adding beyond runs grows the cell.
+func NewCell(lambda float64, runs int) *Cell {
+	if runs < 0 {
+		runs = 0
+	}
+	return &Cell{Lambda: lambda, perRun: make([]RunSummary, runs), have: make([]bool, runs)}
+}
+
+// Add slots one run's summary at its run index.
+func (c *Cell) Add(run int, s RunSummary) {
+	for run >= len(c.perRun) {
+		c.perRun = append(c.perRun, RunSummary{})
+		c.have = append(c.have, false)
+	}
+	if !c.have[run] {
+		c.filled++
+	}
+	c.perRun[run] = s
+	c.have[run] = true
+}
+
+// Runs reports how many summaries have been added.
+func (c *Cell) Runs() int { return c.filled }
+
+// MinPositiveEffort reports the smallest positive effort across the
+// cell's runs — the measured m′ when the cell is the λ=0 column — with
+// the same fallback of 1 as MeasureMPrime.
+func (c *Cell) MinPositiveEffort() int {
+	min := math.MaxInt
+	for i, s := range c.perRun {
+		if c.have[i] && s.Effort > 0 && s.Effort < min {
+			min = s.Effort
+		}
+	}
+	if min == math.MaxInt {
+		return 1
+	}
+	return min
+}
+
+// AvgWindow reports the mean recovery-window length across the cell's
+// runs, 0 when empty.
+func (c *Cell) AvgWindow() sim.Duration {
+	var sum sim.Duration
+	n := 0
+	for i, s := range c.perRun {
+		if c.have[i] {
+			sum += s.Window
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Duration(n)
+}
+
+// Point aggregates the cell into the paper's metrics. m is the global
+// minimum zero-failure effort; mPrime the system's own.
+func (c *Cell) Point(m, mPrime int) Point {
+	if c.filled == 0 {
+		return Point{Lambda: c.Lambda, Responsiveness: math.NaN(), Effectiveness: math.NaN(),
+			Efficiency: math.NaN(), Degradation: math.NaN()}
+	}
+	p := Point{Lambda: c.Lambda, Runs: c.filled}
+
+	var resp []float64
+	reached, total := 0, 0
+	var eff, deg, perRunF stats.Welford
+	for i, s := range c.perRun {
+		if !c.have[i] {
+			continue
+		}
+		resp = append(resp, s.Resp...)
+		reached += s.Reached
+		total += s.Counted
+		if s.Counted > 0 {
+			perRunF.Add(float64(s.Reached) / float64(s.Counted))
+		}
+		if s.Effort > 0 {
+			eff.Add(float64(m) / float64(s.Effort))
+			deg.Add(float64(mPrime) / float64(s.Effort))
+		} else {
+			// No effort spent can only mean nothing was propagated at
+			// all; treat as fully efficient to avoid division by zero.
+			eff.Add(1)
+			deg.Add(1)
+		}
+	}
+	p.Responsiveness = stats.Median(resp)
+	if total > 0 {
+		p.Effectiveness = float64(reached) / float64(total)
+	} else {
+		// Every User churned out: there are no U(i,j) samples at all,
+		// which is "no data", not zero effectiveness.
+		p.Effectiveness = math.NaN()
+	}
+	p.EffectivenessCI = perRunF.CI95()
+	p.Efficiency = stats.Clamp(eff.Mean(), 0, 1)
+	p.Degradation = stats.Clamp(deg.Mean(), 0, 1)
+	return p
+}

@@ -26,6 +26,11 @@ type UserOutcome struct {
 	// before the deadline; At is when.
 	Reached bool
 	At      sim.Time
+	// Excluded marks a User that churned out of the network and was still
+	// absent at the deadline without having reached consistency. Such
+	// Users contribute no U(i,j) sample: they left, so their staleness is
+	// departure, not a protocol failure.
+	Excluded bool
 }
 
 // RunResult is the raw observation of a single simulation run.
@@ -44,11 +49,15 @@ type RunResult struct {
 }
 
 // Responsivenesses returns the per-User responsiveness samples 1 − L of
-// one run (0 for Users that never reached consistency).
+// one run (0 for Users that never reached consistency). Excluded
+// (churned-out) Users contribute no sample.
 func (r RunResult) Responsivenesses() []float64 {
 	out := make([]float64, 0, len(r.Users))
 	avail := float64(r.Deadline - r.ChangeAt)
 	for _, u := range r.Users {
+		if u.Excluded {
+			continue
+		}
 		if !u.Reached || u.At >= r.Deadline || avail <= 0 {
 			out = append(out, 0)
 			continue
@@ -75,49 +84,19 @@ type Point struct {
 }
 
 // Compute aggregates the runs of one (system, λ) cell. m is the global
-// minimum zero-failure effort; mPrime the system's own.
+// minimum zero-failure effort; mPrime the system's own. It is the
+// retained-raw counterpart of Cell.Point and routes through the same
+// accumulation so both paths agree exactly.
 func Compute(runs []RunResult, m, mPrime int) Point {
-	if len(runs) == 0 {
-		return Point{Responsiveness: math.NaN(), Effectiveness: math.NaN(),
-			Efficiency: math.NaN(), Degradation: math.NaN()}
+	var lambda float64
+	if len(runs) > 0 {
+		lambda = runs[0].Lambda
 	}
-	p := Point{Lambda: runs[0].Lambda, Runs: len(runs)}
-
-	var resp []float64
-	reached, total := 0, 0
-	var eff, deg, perRunF []float64
-	for _, r := range runs {
-		resp = append(resp, r.Responsivenesses()...)
-		runReached, runTotal := 0, 0
-		for _, u := range r.Users {
-			total++
-			runTotal++
-			if u.Reached && u.At < r.Deadline {
-				reached++
-				runReached++
-			}
-		}
-		if runTotal > 0 {
-			perRunF = append(perRunF, float64(runReached)/float64(runTotal))
-		}
-		if r.Effort > 0 {
-			eff = append(eff, float64(m)/float64(r.Effort))
-			deg = append(deg, float64(mPrime)/float64(r.Effort))
-		} else {
-			// No effort spent can only mean nothing was propagated at
-			// all; treat as fully efficient to avoid division by zero.
-			eff = append(eff, 1)
-			deg = append(deg, 1)
-		}
+	c := NewCell(lambda, len(runs))
+	for i, r := range runs {
+		c.Add(i, Summarize(r))
 	}
-	p.Responsiveness = stats.Median(resp)
-	if total > 0 {
-		p.Effectiveness = float64(reached) / float64(total)
-	}
-	_, p.EffectivenessCI = stats.MeanCI95(perRunF)
-	p.Efficiency = stats.Clamp(stats.Mean(eff), 0, 1)
-	p.Degradation = stats.Clamp(stats.Mean(deg), 0, 1)
-	return p
+	return c.Point(m, mPrime)
 }
 
 // Curve is a metric series over failure rates for one system — one line

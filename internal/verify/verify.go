@@ -155,7 +155,7 @@ func Check(sys experiment.System, grid GridConfig) Result {
 
 // targetNode maps a Target to the node index of the Build order.
 func targetNode(sys experiment.System, t Target) (netsim.NodeID, bool) {
-	registries, manager, firstUser := experiment.Topology(sys)
+	registries, manager, firstUser := experiment.PaperLayout(sys)
 	switch t {
 	case TargetRegistry:
 		if len(registries) == 0 {

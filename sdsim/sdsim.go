@@ -48,6 +48,13 @@ const (
 type (
 	// Params fixes the experimental design (§5 Step 5).
 	Params = experiment.Params
+	// Topology parameterizes the scenario shape (Users, Managers,
+	// Registries, background Services, boot stagger); the zero value is
+	// the paper's Table 4 design. Set it on Params.Topology.
+	Topology = experiment.Topology
+	// Churn is the Poisson arrival/departure population model; the zero
+	// value is the paper's static population. Set it on Params.Churn.
+	Churn = experiment.Churn
 	// Options customizes protocol configurations (ablations, message
 	// loss).
 	Options = experiment.Options
@@ -89,6 +96,9 @@ func DefaultParams() Params { return experiment.DefaultParams() }
 
 // DefaultLambdas returns the paper's failure-rate grid.
 func DefaultLambdas() []float64 { return experiment.DefaultLambdas() }
+
+// DefaultRegistries reports the Table 4 Registry count for a system.
+func DefaultRegistries(s System) int { return experiment.DefaultRegistries(s) }
 
 // Run executes one scenario.
 func Run(spec RunSpec) RunResult { return experiment.Run(spec) }
