@@ -2,10 +2,18 @@
 # tests. Benchmarks (including the N=100/N=1000 scale sweeps) only run
 # via `make bench`; they are additionally guarded with testing.Short()
 # so `go test -short -bench ...` skips the expensive ones.
+#
+# `make bench` also records the perf trajectory: it runs the scale
+# benchmarks plus the kernel/netsim microbenchmarks with -benchmem and
+# writes BENCH_$(BENCH_PR).json (see EXPERIMENTS.md, "Perf trajectory").
+# Bump BENCH_PR in the PR that changes the hot path, pass the previous
+# snapshot as BENCH_BASELINE, and commit the refreshed file.
 
 GO ?= go
+BENCH_PR ?= 2
+BENCH_BASELINE ?= BENCH_1.json
 
-.PHONY: check vet build test race bench bench-scale clean
+.PHONY: check vet build test race bench bench-all bench-scale clean
 
 check: vet build race
 
@@ -21,13 +29,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark suite (slow: full-scale sweeps per iteration).
+# Record the perf trajectory: scale benchmarks + hot-path
+# microbenchmarks, with allocation stats, written to BENCH_<pr>.json.
 bench:
+	{ $(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout' -benchtime 200000x -benchmem -run xxx ./internal/sim ./internal/netsim && \
+	  $(GO) test -bench 'BenchmarkSingleRunScale|BenchmarkSweepScale' -benchtime 5x -benchmem -run xxx . ; } | tee /dev/stderr | \
+	  $(GO) run ./cmd/benchjson -pr $(BENCH_PR) -baseline $(BENCH_BASELINE) > BENCH_$(BENCH_PR).json
+
+# Full benchmark suite (slow: full-scale sweeps per iteration).
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
 # Just the scale trajectory points recorded in EXPERIMENTS.md.
 bench-scale:
-	$(GO) test -bench 'Scale' -benchtime 1x -run xxx .
+	$(GO) test -bench 'Scale' -benchtime 1x -benchmem -run xxx .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the repository's perf-trajectory record format. Each PR
+// that touches the hot path appends a BENCH_<pr>.json snapshot:
+//
+//	go test -bench ... -benchmem ./... | go run ./cmd/benchjson \
+//	    -pr 2 -baseline BENCH_1.json > BENCH_2.json
+//
+// The -baseline flag embeds a previous snapshot's benchmarks, so one
+// file carries both sides of the comparison the PR claims. See
+// EXPERIMENTS.md, "Perf trajectory".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one BENCH_<pr>.json file.
+type Record struct {
+	PR         int               `json:"pr"`
+	Note       string            `json:"note,omitempty"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	// Baseline carries the benchmarks of the snapshot this record is
+	// compared against (a previous BENCH_*.json), if any.
+	BaselinePR *int        `json:"baseline_pr,omitempty"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number this snapshot records (required)")
+	note := flag.String("note", "", "free-form annotation stored in the record")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to embed as the comparison baseline")
+	flag.Parse()
+	if *pr <= 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -pr is required")
+		os.Exit(2)
+	}
+
+	rec := Record{PR: *pr, Note: *note, Env: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			rec.Env[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(pkg, line); ok {
+				rec.Benchmarks = append(rec.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var prev Record
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		rec.BaselinePR = &prev.PR
+		rec.Baseline = prev.Benchmarks
+	}
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   1234   56.7 ns/op   8 B/op   0 allocs/op   1.5 events/op
+func parseBenchLine(pkg, line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix go test appends.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Pkg: pkg, Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

@@ -53,6 +53,12 @@ func (r *Retry) Start() {
 }
 
 func (r *Retry) attempt() {
+	// Pooled-event ownership rule: when attempt runs off the timer, that
+	// event has fired and the kernel will recycle it — drop the reference
+	// now so a later Stop cannot cancel a recycled (foreign) event. In
+	// particular the exhausted branch below used to leave the fired event
+	// in r.timer forever.
+	r.timer = nil
 	if !r.active {
 		return
 	}
@@ -73,7 +79,7 @@ func (r *Retry) attempt() {
 // change.
 func (r *Retry) Stop() {
 	r.active = false
-	r.timer.Cancel()
+	r.timer.Cancel() // always pending (or nil): attempt nils the fired event
 	r.timer = nil
 }
 

@@ -79,6 +79,18 @@ func (t *LeaseTable[K, V]) Update(key K, v V) bool {
 	return true
 }
 
+// Clear drops every entry without invoking expiry callbacks, disarming
+// all lease deadlines. Protocols use it to quiesce an instance whose
+// node is being retired: afterwards the table owns no pending kernel
+// events.
+func (t *LeaseTable[K, V]) Clear() {
+	for _, e := range t.entries {
+		e.deadline.Clear()
+	}
+	clear(t.entries)
+	t.order = t.order[:0]
+}
+
 // Drop removes the entry without invoking the expiry callback.
 func (t *LeaseTable[K, V]) Drop(key K) {
 	if e, ok := t.entries[key]; ok {

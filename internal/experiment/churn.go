@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -70,7 +71,8 @@ func (s *Scenario) ScheduleChurn(c Churn, runDuration sim.Duration) {
 }
 
 // scheduleUserChurn draws one User's alternating present/absent renewal
-// process up to the horizon and arms the transitions.
+// process up to the horizon and arms the transitions. A permanent
+// departure (no rejoin) retires the node so its slot can be recycled.
 func (s *Scenario) scheduleUserChurn(uid netsim.NodeID, meanUp, meanAbsence sim.Duration, horizon sim.Time) {
 	t := sim.Time(0)
 	for {
@@ -78,16 +80,45 @@ func (s *Scenario) scheduleUserChurn(uid netsim.NodeID, meanUp, meanAbsence sim.
 		if t >= horizon {
 			return
 		}
-		s.K.At(t, func() { s.setPresent(uid, false) })
 		if meanAbsence <= 0 {
-			return // permanent departure
+			s.K.At(t, func() { s.departForever(uid) })
+			return
 		}
+		s.K.At(t, func() { s.setPresent(uid, false) })
 		t = s.expAfter(t, float64(meanAbsence))
 		if t >= horizon {
 			return
 		}
 		s.K.At(t, func() { s.setPresent(uid, true) })
 	}
+}
+
+// departForever handles a departure with no scheduled rejoin: the device
+// left for good. When the protocol instance can be quiesced, the User's
+// outcome is frozen (nothing can change once its interfaces are pinned
+// down), its ledgers are released and the node slot is retired so a later
+// Poisson arrival reuses it — keeping the node table bounded by the peak
+// population instead of growing for the whole run. A node that cannot be
+// quiesced (a FRODO 300D User serving as Central or Backup) just goes
+// dark like before, keeping its slot.
+func (s *Scenario) departForever(uid netsim.NodeID) {
+	s.setPresent(uid, false)
+	stop := s.stopUser[uid]
+	if stop == nil || !stop() {
+		return
+	}
+	at, reached := s.rec.first[uid]
+	s.retired = append(s.retired, metrics.UserOutcome{User: uid, Reached: reached, At: at, Excluded: !reached})
+	delete(s.rec.first, uid)
+	delete(s.absent, uid)
+	delete(s.stopUser, uid)
+	for i, id := range s.UserIDs {
+		if id == uid {
+			s.UserIDs = append(s.UserIDs[:i], s.UserIDs[i+1:]...)
+			break
+		}
+	}
+	s.Net.Retire(uid)
 }
 
 // expAfter draws the next event of an exponential inter-arrival process.

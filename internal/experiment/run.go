@@ -125,9 +125,21 @@ type RunSpec struct {
 	MakeTracer func(*netsim.Network) netsim.Tracer
 }
 
-// Run executes one full scenario and returns the raw observations.
+// Run executes one full scenario and returns the raw observations. It
+// draws a pooled Workspace, so callers that loop over Run reuse kernel,
+// network and recorder capacity across iterations.
 func Run(spec RunSpec) metrics.RunResult {
-	res, _ := run(spec)
+	ws := wsPool.Get().(*Workspace)
+	res, _ := runInWorkspace(ws, spec)
+	wsPool.Put(ws)
+	return res
+}
+
+// RunInto executes one run on the caller's workspace. Sweep workers use
+// it to reuse simulation scratch across consecutive runs on one
+// goroutine.
+func RunInto(ws *Workspace, spec RunSpec) metrics.RunResult {
+	res, _ := runInWorkspace(ws, spec)
 	return res
 }
 
@@ -155,13 +167,24 @@ func RunLogged(spec RunSpec, verbose bool) (metrics.RunResult, []string) {
 	return res, rec.Lines()
 }
 
+// run executes one run on fresh storage; the returned Scenario stays
+// valid indefinitely (RunLogged inspects it after the run).
 func run(spec RunSpec) (metrics.RunResult, *Scenario) {
-	k := sim.New(spec.Seed)
+	return runInWorkspace(nil, spec)
+}
+
+func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) {
+	var k *sim.Kernel
+	if ws != nil {
+		k = ws.kernel(spec.Seed)
+	} else {
+		k = sim.New(spec.Seed)
+	}
 	topo := spec.Params.Topology
 	if topo.Users <= 0 {
 		topo.Users = spec.Params.Users
 	}
-	sc := BuildTopology(spec.System, k, topo, spec.Opts)
+	sc := buildTopology(ws, spec.System, k, topo, spec.Opts)
 	if spec.MakeTracer != nil {
 		sc.Net.SetTracer(spec.MakeTracer(sc.Net))
 	}
@@ -224,6 +247,17 @@ func run(spec RunSpec) (metrics.RunResult, *Scenario) {
 			allDone = at
 		}
 	}
+	// Permanently departed Users whose slots were recycled: outcomes were
+	// frozen at departure, same exclusion rule as live absent Users.
+	for _, o := range sc.RetiredOutcomes() {
+		res.Users = append(res.Users, o)
+		if o.Excluded {
+			continue
+		}
+		if o.At > allDone {
+			allDone = o.At
+		}
+	}
 	winEnd := deadline
 	if allReached {
 		winEnd = allDone + spec.Params.EffortPad
@@ -235,6 +269,9 @@ func run(spec RunSpec) (metrics.RunResult, *Scenario) {
 	res.Effort = c.CountedInWindow(changeAt, winEnd)
 	res.TotalDiscoverySends = c.DiscoverySends
 	res.TotalTransport = c.TransportFrames
+	if ws != nil {
+		ws.adopt(sc)
+	}
 	return res, sc
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/frodo"
 	"repro/internal/jini"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/upnp"
@@ -47,6 +48,13 @@ type Scenario struct {
 	makeUser func(name string) netsim.NodeID
 	// absent tracks Users currently churned out of the network.
 	absent map[netsim.NodeID]bool
+	// stopUser quiesces one User's protocol instance so its node can be
+	// retired; it reports false when the node cannot be detached (e.g. a
+	// FRODO 300D node currently serving as Central or Backup).
+	stopUser map[netsim.NodeID]func() bool
+	// retired freezes the outcomes of permanently departed Users whose
+	// node slots were recycled for later arrivals.
+	retired []metrics.UserOutcome
 }
 
 // recorder observes User cache writes and keeps the first time each User
@@ -76,6 +84,12 @@ func (s *Scenario) ReachedAt(user netsim.NodeID) (sim.Time, bool) {
 	at, ok := s.rec.first[user]
 	return at, ok
 }
+
+// RetiredOutcomes reports the Users that departed permanently and whose
+// node slots were recycled. Their outcomes were frozen at departure
+// (interfaces pinned down, so nothing can change afterwards); the run
+// result appends them after the live Users.
+func (s *Scenario) RetiredOutcomes() []metrics.UserOutcome { return s.retired }
 
 // SetTargetVersion adjusts the version the consistency recorder waits
 // for (1 + number of changes).
@@ -125,13 +139,27 @@ func Build(sys System, k *sim.Kernel, nUsers int, opts Options) *Scenario {
 // Users) and its randomized per-node jitter, so default runs replay the
 // seed experiments bit-for-bit.
 func BuildTopology(sys System, k *sim.Kernel, topo Topology, opts Options) *Scenario {
+	return buildTopology(nil, sys, k, topo, opts)
+}
+
+// buildTopology is BuildTopology with an optional workspace: with ws set
+// the scenario borrows the workspace's network, recorder and ledgers
+// (reset, capacity retained) instead of allocating fresh ones.
+func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts Options) *Scenario {
 	topo = topo.normalized(sys, 0)
 	netCfg := netsim.DefaultConfig()
 	netCfg.Loss = opts.Loss
-	nw := netsim.New(k, netCfg)
-	sc := &Scenario{System: sys, Topo: topo, K: k, Net: nw, TargetVersion: 2,
-		rec:    &recorder{target: 2, manager: netsim.NoNode, first: make(map[netsim.NodeID]sim.Time, topo.Users)},
-		absent: map[netsim.NodeID]bool{}}
+	sc := &Scenario{System: sys, Topo: topo, K: k, TargetVersion: 2}
+	if ws != nil {
+		sc.Net = ws.network(k, netCfg)
+		sc.rec, sc.absent, sc.stopUser, sc.UserIDs, sc.retired = ws.scratch(topo.Users)
+	} else {
+		sc.Net = netsim.New(k, netCfg)
+		sc.rec = &recorder{target: 2, manager: netsim.NoNode, first: make(map[netsim.NodeID]sim.Time, topo.Users)}
+		sc.absent = map[netsim.NodeID]bool{}
+		sc.stopUser = map[netsim.NodeID]func() bool{}
+	}
+	nw := sc.Net
 
 	// Nodes boot staggered inside the first seconds; discovery completes
 	// well within the failure-free first 100s. Infrastructure takes the
@@ -162,15 +190,15 @@ func BuildTopology(sys System, k *sim.Kernel, topo Topology, opts Options) *Scen
 				sc.Change = func() { m.ChangeService(changePrinter) }
 			}
 		}
-		sc.makeUser = func(name string) netsim.NodeID {
+		newUser := func(name string, boot sim.Duration) netsim.NodeID {
 			u := upnp.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
-			u.Start(0)
+			u.Start(boot)
+			sc.stopUser[u.ID()] = func() bool { u.Stop(); return true }
 			return u.ID()
 		}
+		sc.makeUser = func(name string) netsim.NodeID { return newUser(name, 0) }
 		for i := 0; i < topo.Users; i++ {
-			u := upnp.NewUser(nw.AddNode(userName(i)), cfg, printerQuery, sc.rec)
-			u.Start(userBoot(i))
-			sc.UserIDs = append(sc.UserIDs, u.ID())
+			sc.UserIDs = append(sc.UserIDs, newUser(userName(i), userBoot(i)))
 		}
 
 	case Jini1, Jini2:
@@ -194,15 +222,15 @@ func BuildTopology(sys System, k *sim.Kernel, topo Topology, opts Options) *Scen
 				sc.Change = func() { m.ChangeService(changePrinter) }
 			}
 		}
-		sc.makeUser = func(name string) netsim.NodeID {
+		newUser := func(name string, boot sim.Duration) netsim.NodeID {
 			u := jini.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
-			u.Start(0)
+			u.Start(boot)
+			sc.stopUser[u.ID()] = func() bool { u.Stop(); return true }
 			return u.ID()
 		}
+		sc.makeUser = func(name string) netsim.NodeID { return newUser(name, 0) }
 		for i := 0; i < topo.Users; i++ {
-			u := jini.NewUser(nw.AddNode(userName(i)), cfg, printerQuery, sc.rec)
-			u.Start(userBoot(i))
-			sc.UserIDs = append(sc.UserIDs, u.ID())
+			sc.UserIDs = append(sc.UserIDs, newUser(userName(i), userBoot(i)))
 		}
 
 	case Frodo3P, Frodo2P:
@@ -234,17 +262,16 @@ func BuildTopology(sys System, k *sim.Kernel, topo Topology, opts Options) *Scen
 				sc.Change = func() { m.ChangeService(changePrinter) }
 			}
 		}
-		sc.makeUser = func(name string) netsim.NodeID {
+		newUser := func(name string, boot sim.Duration) netsim.NodeID {
 			un := frodo.NewNode(nw.AddNode(name), cfg, userClass, 1)
 			u := un.AttachUser(printerQuery, sc.rec)
-			un.Start(0)
+			un.Start(boot)
+			sc.stopUser[u.ID()] = un.Detach
 			return u.ID()
 		}
+		sc.makeUser = func(name string) netsim.NodeID { return newUser(name, 0) }
 		for i := 0; i < topo.Users; i++ {
-			un := frodo.NewNode(nw.AddNode(userName(i)), cfg, userClass, 1)
-			u := un.AttachUser(printerQuery, sc.rec)
-			un.Start(userBoot(i))
-			sc.UserIDs = append(sc.UserIDs, u.ID())
+			sc.UserIDs = append(sc.UserIDs, newUser(userName(i), userBoot(i)))
 		}
 
 	default:

@@ -78,12 +78,16 @@ func Sweep(cfg SweepConfig) SweepResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One workspace per worker: consecutive runs on this goroutine
+			// reuse the kernel's event pool, the network's node and group
+			// storage, and the recorder maps instead of reallocating them.
+			ws := NewWorkspace()
 			for j := range jobs {
 				opts := cfg.Opts
 				if o, ok := cfg.OptsFor[j.sys]; ok {
 					opts = o
 				}
-				res := Run(RunSpec{
+				res := RunInto(ws, RunSpec{
 					System: j.sys,
 					Lambda: cfg.Params.Lambdas[j.lambdaIdx],
 					Seed:   SeedFor(cfg.Params.BaseSeed, j.sys, j.lambdaIdx, j.run),

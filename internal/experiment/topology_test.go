@@ -193,6 +193,9 @@ func TestQuickGeneratedTopologiesConverge(t *testing.T) {
 // Property: churned-out Users are excluded from the U(i,j) samples —
 // exactly those absent at the deadline without having reached
 // consistency — and excluded Users contribute no responsiveness sample.
+// Permanently departed Users whose node slots were retired and recycled
+// appear after the live Users, with their outcome frozen at departure:
+// reached (keeps its sample) or excluded, never both and never neither.
 func TestQuickChurnedOutUsersExcluded(t *testing.T) {
 	f := func(seedRaw uint16, depRaw uint8) bool {
 		p := DefaultParams()
@@ -201,10 +204,20 @@ func TestQuickChurnedOutUsersExcluded(t *testing.T) {
 		p.Topology = Topology{Users: 8}
 		p.Churn = Churn{Departures: 0.5 + float64(depRaw%4)} // permanent departures
 		res, sc := run(RunSpec{System: Frodo2P, Lambda: 0, Seed: int64(seedRaw) + 1, Params: p})
+		retired := sc.RetiredOutcomes()
+		live := res.Users[:len(res.Users)-len(retired)]
 		nonExcluded := 0
-		for _, u := range res.Users {
+		for _, u := range live {
 			wantExcluded := sc.AbsentAtEnd(u.User) && !u.Reached
 			if u.Excluded != wantExcluded {
+				return false
+			}
+			if !u.Excluded {
+				nonExcluded++
+			}
+		}
+		for _, u := range res.Users[len(live):] {
+			if u.Excluded == u.Reached { // frozen outcome: exactly one holds
 				return false
 			}
 			if !u.Excluded {

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Workspace is the reusable scratch of one simulation worker. A sweep
+// runs thousands of independent simulations; building each one used to
+// reallocate the kernel's event heap, the RNG, the network's node table
+// and group membership, and the recorder maps from scratch. A Workspace
+// keeps all of that capacity alive between runs on one goroutine:
+// Kernel.Reset and Network.Reset recycle the structures, so consecutive
+// runs settle into a steady state with almost no fixed-cost allocation.
+//
+// A Workspace is single-owner and not safe for concurrent use. The
+// Scenario returned by a run borrows the workspace's storage — it is
+// valid only until the workspace's next run.
+type Workspace struct {
+	k  *sim.Kernel
+	nw *netsim.Network
+
+	rec      recorder
+	absent   map[netsim.NodeID]bool
+	stopUser map[netsim.NodeID]func() bool
+	userIDs  []netsim.NodeID
+	retired  []metrics.UserOutcome
+}
+
+// NewWorkspace returns an empty workspace; capacity accretes over runs.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// kernel returns the workspace kernel reset to seed.
+func (ws *Workspace) kernel(seed int64) *sim.Kernel {
+	if ws.k == nil {
+		ws.k = sim.New(seed)
+	} else {
+		ws.k.Reset(seed)
+	}
+	return ws.k
+}
+
+// network returns the workspace network reset for kernel k.
+func (ws *Workspace) network(k *sim.Kernel, cfg netsim.Config) *netsim.Network {
+	if ws.nw == nil {
+		ws.nw = netsim.New(k, cfg)
+	} else {
+		ws.nw.Reset(k, cfg)
+	}
+	return ws.nw
+}
+
+// scratch hands the recorder, ledgers and slices to a new scenario,
+// cleared but with capacity intact.
+func (ws *Workspace) scratch(topoUsers int) (rec *recorder, absent map[netsim.NodeID]bool,
+	stopUser map[netsim.NodeID]func() bool, userIDs []netsim.NodeID, retired []metrics.UserOutcome) {
+	if ws.absent == nil {
+		ws.absent = make(map[netsim.NodeID]bool)
+		ws.stopUser = make(map[netsim.NodeID]func() bool)
+	} else {
+		clear(ws.absent)
+		clear(ws.stopUser)
+	}
+	if ws.rec.first == nil {
+		ws.rec.first = make(map[netsim.NodeID]sim.Time, topoUsers)
+	} else {
+		clear(ws.rec.first)
+	}
+	ws.rec.target = 2
+	ws.rec.manager = netsim.NoNode
+	return &ws.rec, ws.absent, ws.stopUser, ws.userIDs[:0], ws.retired[:0]
+}
+
+// adopt takes the (possibly regrown) slices back from a finished
+// scenario so their capacity carries into the next run.
+func (ws *Workspace) adopt(sc *Scenario) {
+	ws.userIDs = sc.UserIDs[:0]
+	ws.retired = sc.retired[:0]
+}
+
+// wsPool recycles workspaces across one-shot Run calls, so callers that
+// loop over Run (benchmarks, tables, the guarantee checker) get the same
+// steady-state reuse as a sweep worker without threading a workspace.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}

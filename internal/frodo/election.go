@@ -48,6 +48,10 @@ func (e *elector) centralKnown() {
 	e.waitWin.Clear()
 }
 
+// stop disarms the elector for good (node retirement). The jittered
+// candidacy event may still fire but checks running and does nothing.
+func (e *elector) stop() { e.centralKnown() }
+
 func (e *elector) startElection() {
 	if e.running || e.nd.IsCentral() || e.nd.central != netsim.NoNode {
 		return

@@ -92,6 +92,7 @@ func (m *ManagerRole) centralLost() {
 		m.regRetry.Stop()
 	}
 	m.regRetryWait.Cancel()
+	m.regRetryWait = nil // pooled events: drop after cancel, never cancel twice
 	m.renewTick.Stop()
 	if m.centralRetry != nil {
 		m.centralRetry.Stop()
@@ -110,6 +111,7 @@ func (m *ManagerRole) register() {
 		m.regRetry.Stop()
 	}
 	m.regRetryWait.Cancel()
+	m.regRetryWait = nil
 	m.regVersion = m.sd.Version
 	m.regRetry = core.NewRetry(m.nd.k, m.nd.cfg.ControlRetry, func(int) {
 		m.nd.nw.SendUDP(m.nd.n.ID, central, netsim.Outgoing{
@@ -119,6 +121,10 @@ func (m *ManagerRole) register() {
 		})
 	}, func() {
 		m.regRetryWait = m.nd.k.After(m.nd.cfg.NodeAnnouncePeriod, func() {
+			// Pooled-event ownership: this event has fired; drop the
+			// reference before re-registering so centralLost/register
+			// never Cancel a recycled event.
+			m.regRetryWait = nil
 			if !m.registered && m.nd.central != netsim.NoNode {
 				m.register()
 			}
@@ -142,6 +148,7 @@ func (m *ManagerRole) onRegisterAck(from netsim.NodeID) {
 		m.regRetry.Stop()
 	}
 	m.regRetryWait.Cancel()
+	m.regRetryWait = nil
 	m.renewTick.Start(m.renewTick.Period())
 }
 

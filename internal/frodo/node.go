@@ -43,6 +43,10 @@ type Node struct {
 	known300D map[netsim.NodeID]int
 
 	started bool
+	// detached marks a quiesced device (Detach): late events — notably a
+	// boot still pending when the device permanently departed — must not
+	// restart the protocol on a retired (possibly recycled) node slot.
+	detached bool
 }
 
 // NewNode attaches a FRODO device of the given class to a network node.
@@ -93,6 +97,9 @@ func (nd *Node) AttachUser(q discovery.Query, l discovery.ConsistencyListener) *
 // Start boots the device after the given delay.
 func (nd *Node) Start(bootDelay sim.Duration) {
 	nd.k.After(bootDelay, func() {
+		if nd.detached {
+			return // departed permanently before the boot completed
+		}
 		nd.started = true
 		if nd.class == Class300D {
 			nd.elector.start()
@@ -103,6 +110,35 @@ func (nd *Node) Start(bootDelay sim.Duration) {
 			nd.user.start()
 		}
 	})
+}
+
+// Detach quiesces the whole device for node retirement after a permanent
+// churn departure: every role's timers and leases are disarmed so no
+// zombie event can later transmit under this node's (possibly reused)
+// identity. It reports whether detaching was possible — a node currently
+// serving as Central or Backup, or hosting a Manager role, declines, and
+// the caller must keep its slot alive.
+func (nd *Node) Detach() bool {
+	if nd.manager != nil {
+		return false
+	}
+	if nd.registry != nil && (nd.registry.active || nd.registry.backup) {
+		return false
+	}
+	if nd.elector != nil {
+		nd.elector.stop()
+	}
+	nd.nodeAnnounce.Stop()
+	nd.centralLease.Clear()
+	if nd.registry != nil {
+		nd.registry.quiesce()
+	}
+	if nd.user != nil {
+		nd.user.stop()
+	}
+	nd.started = false
+	nd.detached = true
+	return true
 }
 
 // ID reports the device's network node ID.

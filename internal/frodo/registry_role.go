@@ -139,6 +139,17 @@ func (r *RegistryRole) deactivate() {
 	r.prop.CancelAll()
 }
 
+// quiesce disarms every timer and lease the capability holds, for node
+// retirement. Only valid on a node that is neither Central nor Backup.
+func (r *RegistryRole) quiesce() {
+	r.backupMonitor.Clear()
+	r.announcer.Stop()
+	r.prop.CancelAll()
+	r.registrations.Clear()
+	r.subs.Clear()
+	r.interests.Clear()
+}
+
 // onCentralSeen refreshes the Backup's takeover timer on every sign of
 // life from the Central.
 func (r *RegistryRole) onCentralSeen() {

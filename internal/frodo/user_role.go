@@ -132,6 +132,27 @@ func (u *UserRole) startSearchBurst() {
 // ID reports the hosting node's ID.
 func (u *UserRole) ID() netsim.NodeID { return u.nd.n.ID }
 
+// stop quiesces the role for node retirement: every ticker, retry
+// schedule and cache lease is disarmed. The pending resubscribe back-off
+// event armed by subscribe's exhaustion handler (if any) fires into a
+// cleared cache and does nothing.
+func (u *UserRole) stop() {
+	u.searchTick.Stop()
+	u.renewTick.Stop()
+	u.interestTick.Stop()
+	if u.pollTick != nil {
+		u.pollTick.Stop()
+	}
+	if u.subRetry != nil {
+		u.subRetry.Stop()
+	}
+	u.cache.Clear()
+	u.subActive = false
+	u.subMgr = netsim.NoNode
+	u.lessee = netsim.NoNode
+	u.searchesLeft = 0
+}
+
 // CachedVersion reports the cached description version for a Manager.
 func (u *UserRole) CachedVersion(manager netsim.NodeID) uint64 {
 	rec, ok := u.cache.Get(manager)

@@ -46,6 +46,10 @@ type User struct {
 	// pollTick drives CM2 when configured: persistent periodic
 	// re-queries of the known Registries.
 	pollTick *sim.Ticker
+
+	// stopped marks a quiesced client (Stop): a boot event still pending
+	// when the device permanently departed must not restart it.
+	stopped bool
 }
 
 // NewUser attaches a Jini client to a node.
@@ -79,6 +83,9 @@ func (u *User) poll() {
 // Start boots the client; it waits for Registry announcements.
 func (u *User) Start(bootDelay sim.Duration) {
 	u.k.After(bootDelay, func() {
+		if u.stopped {
+			return // departed permanently before the boot completed
+		}
 		u.renewTick.Start(u.renewTick.Period())
 		if u.pollTick != nil {
 			u.pollTick.Start(u.pollTick.Period())
@@ -88,6 +95,22 @@ func (u *User) Start(bootDelay sim.Duration) {
 
 // ID reports the User's node ID.
 func (u *User) ID() netsim.NodeID { return u.node.ID }
+
+// Stop quiesces the client: timers disarmed, lease tables cleared
+// (without purge callbacks), so the node can be retired after a
+// permanent churn departure without leaving zombie events in the
+// kernel. The User must not be used afterwards.
+func (u *User) Stop() {
+	u.stopped = true
+	u.renewTick.Stop()
+	if u.pollTick != nil {
+		u.pollTick.Stop()
+	}
+	u.registries.Clear()
+	u.cache.Clear()
+	clear(u.subscribed)
+	clear(u.monitors)
+}
 
 // CachedVersion reports the cached description version for a Manager.
 func (u *User) CachedVersion(manager netsim.NodeID) uint64 {

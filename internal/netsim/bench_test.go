@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkMulticastFanout measures the multicast fast path at the group
+// sizes the scale scenarios produce: one wire transmission fanned out to
+// every member through the pooled delivery train. Steady state allocates
+// nothing per copy — -benchmem should report ~0 allocs/op.
+func BenchmarkMulticastFanout(b *testing.B) {
+	for _, members := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			k := sim.New(1)
+			nw := New(k, DefaultConfig())
+			ep := &countingEndpoint{}
+			for i := 0; i < members; i++ {
+				n := nw.AddNode("")
+				n.SetEndpoint(ep)
+				nw.Join(n.ID, Group(1))
+			}
+			out := Outgoing{Kind: "announce", Counted: true}
+			for i := 0; i < 4; i++ { // warm pools
+				nw.Multicast(0, Group(1), out, 1)
+				k.Run(k.Now() + sim.Second)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.Multicast(0, Group(1), out, 1)
+				k.Run(k.Now() + sim.Second)
+			}
+			b.ReportMetric(float64(members-1), "deliveries/op")
+		})
+	}
+}
+
+// BenchmarkUnicastFrame measures the pooled single-frame UDP path.
+func BenchmarkUnicastFrame(b *testing.B) {
+	k := sim.New(1)
+	nw := New(k, DefaultConfig())
+	nw.AddNode("a")
+	recv := nw.AddNode("b")
+	recv.SetEndpoint(&countingEndpoint{})
+	out := Outgoing{Kind: "ping", Counted: true}
+	for i := 0; i < 64; i++ {
+		nw.SendUDP(0, 1, out)
+	}
+	k.Run(k.Now() + sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.SendUDP(0, 1, out)
+		k.Run(k.Now() + sim.Second)
+	}
+}

@@ -47,6 +47,14 @@ type Counters struct {
 	PerKind map[string]int
 }
 
+// reset zeroes the counters while keeping slice and map capacity, for
+// network reuse across simulations.
+func (c *Counters) reset() {
+	ct, pk := c.countedTimes[:0], c.PerKind
+	*c = Counters{countedTimes: ct, PerKind: pk}
+	clear(pk)
+}
+
 func (c *Counters) recordSend(t sim.Time, m *Message) {
 	c.Sends++
 	if m.Transport == TCPControl || m.Retransmit {

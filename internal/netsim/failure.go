@@ -96,9 +96,17 @@ func PlanInterfaceFailures(k *sim.Kernel, nodes []NodeID, cfg FailurePlanConfig)
 }
 
 // ScheduleFailure arms the down/up transitions for one planned outage.
+// The outage is pinned to the node's current slot tenancy: if the node
+// is retired and its slot recycled before a transition fires, the new
+// tenant does not inherit the planned outage (arrivals receive no
+// failure draw).
 func (nw *Network) ScheduleFailure(f InterfaceFailure) {
 	node := nw.Node(f.Node)
+	gen := node.gen
 	nw.k.At(f.Start, func() {
+		if node.gen != gen {
+			return
+		}
 		if f.Mode == FailTx || f.Mode == FailBoth {
 			node.SetTx(false)
 		}
@@ -107,6 +115,9 @@ func (nw *Network) ScheduleFailure(f InterfaceFailure) {
 		}
 	})
 	nw.k.At(f.End(), func() {
+		if node.gen != gen {
+			return
+		}
 		if f.Mode == FailTx || f.Mode == FailBoth {
 			node.SetTx(true)
 		}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/sim"
 )
@@ -32,6 +33,47 @@ func DefaultConfig() Config {
 	}
 }
 
+// groupSet is a multicast group's membership: a dense slice for ordered,
+// allocation-free fan-out plus a map index so Join/Leave are O(1) instead
+// of scanning. Removal swap-deletes, so membership order is a
+// deterministic function of the join/leave sequence (which is all the
+// simulation needs — fan-out draws randomness in membership order, and
+// replays only have to match themselves).
+type groupSet struct {
+	members []NodeID
+	index   map[NodeID]int
+}
+
+func newGroupSet() *groupSet {
+	return &groupSet{index: make(map[NodeID]int)}
+}
+
+func (gs *groupSet) add(id NodeID) {
+	if _, ok := gs.index[id]; ok {
+		return
+	}
+	gs.index[id] = len(gs.members)
+	gs.members = append(gs.members, id)
+}
+
+func (gs *groupSet) remove(id NodeID) {
+	i, ok := gs.index[id]
+	if !ok {
+		return
+	}
+	last := len(gs.members) - 1
+	moved := gs.members[last]
+	gs.members[i] = moved
+	gs.index[moved] = i
+	gs.members = gs.members[:last]
+	delete(gs.index, id)
+}
+
+func (gs *groupSet) reset() {
+	gs.members = gs.members[:0]
+	clear(gs.index)
+}
+
 // Network is the simulated LAN. It is owned by a single kernel and is not
 // safe for concurrent use; run-level parallelism happens one network per
 // goroutine.
@@ -39,9 +81,18 @@ type Network struct {
 	k        *sim.Kernel
 	cfg      Config
 	nodes    []*Node
-	groups   map[Group][]NodeID
+	retired  []NodeID // node slots released by Retire, reused by AddNode
+	groups   map[Group]*groupSet
 	tracer   Tracer
 	counters Counters
+
+	// Free lists for the per-frame scratch records of the fast path. All
+	// single-threaded, like everything else here.
+	freeDelivery *delivery
+	freeFanout   *fanout
+	freeMcopy    *mcopy
+	// spareNodes recycles Node structs across Reset cycles.
+	spareNodes []*Node
 }
 
 // New creates an empty network on the given kernel.
@@ -49,7 +100,29 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	if cfg.MaxDelay < cfg.MinDelay {
 		panic("netsim: MaxDelay < MinDelay")
 	}
-	return &Network{k: k, cfg: cfg, groups: make(map[Group][]NodeID)}
+	return &Network{k: k, cfg: cfg, groups: make(map[Group]*groupSet)}
+}
+
+// Reset empties the network for a fresh simulation on kernel k while
+// keeping all allocated capacity — node structs, group membership
+// storage, counter slices and the frame-record pools — so a worker
+// goroutine can run many simulations back to back without rebuilding the
+// network from scratch. Any *Node, *TCPConn or Tracer from the previous
+// simulation is invalid afterwards.
+func (nw *Network) Reset(k *sim.Kernel, cfg Config) {
+	if cfg.MaxDelay < cfg.MinDelay {
+		panic("netsim: MaxDelay < MinDelay")
+	}
+	nw.k = k
+	nw.cfg = cfg
+	nw.spareNodes = append(nw.spareNodes, nw.nodes...)
+	nw.nodes = nw.nodes[:0]
+	nw.retired = nw.retired[:0]
+	for _, gs := range nw.groups {
+		gs.reset()
+	}
+	nw.tracer = nil
+	nw.counters.reset()
 }
 
 // Kernel reports the owning simulation kernel.
@@ -64,11 +137,50 @@ func (nw *Network) SetTracer(t Tracer) { nw.tracer = t }
 // Counters exposes the message accounting for this network.
 func (nw *Network) Counters() *Counters { return &nw.counters }
 
-// AddNode attaches a new node with both interfaces up.
+// AddNode attaches a new node with both interfaces up. Slots released by
+// Retire are reused — ID and all — so long-running scenarios with churn
+// keep the node table bounded by the peak population.
 func (nw *Network) AddNode(name string) *Node {
-	n := &Node{ID: NodeID(len(nw.nodes)), Name: name, txUp: true, rxUp: true, net: nw}
+	if n := len(nw.retired); n > 0 {
+		id := nw.retired[n-1]
+		nw.retired = nw.retired[:n-1]
+		node := nw.nodes[id]
+		*node = Node{ID: id, Name: name, txUp: true, rxUp: true, net: nw, gen: node.gen + 1}
+		return node
+	}
+	var n *Node
+	if s := len(nw.spareNodes); s > 0 {
+		n = nw.spareNodes[s-1]
+		nw.spareNodes[s-1] = nil
+		nw.spareNodes = nw.spareNodes[:s-1]
+	} else {
+		n = &Node{}
+	}
+	*n = Node{ID: NodeID(len(nw.nodes)), Name: name, txUp: true, rxUp: true, net: nw}
 	nw.nodes = append(nw.nodes, n)
 	return n
+}
+
+// Retire permanently detaches a node: its endpoint is dropped, both
+// interfaces are forced (and pinned) down, it leaves every multicast
+// group, and its slot becomes reusable by a later AddNode. The caller
+// must have quiesced the protocol instance first (stopped its timers) —
+// a retired slot may be handed to a brand-new device, and a zombie timer
+// would then transmit under the new device's identity.
+func (nw *Network) Retire(id NodeID) {
+	n := nw.Node(id)
+	if n.retired {
+		return
+	}
+	n.retired = true
+	n.txUp = false
+	n.rxUp = false
+	n.ep = nil
+	n.onInterfaceChange = nil
+	for _, gs := range nw.groups {
+		gs.remove(id)
+	}
+	nw.retired = append(nw.retired, id)
 }
 
 // Node returns the node with the given ID.
@@ -79,36 +191,108 @@ func (nw *Network) Node(id NodeID) *Node {
 	return nw.nodes[id]
 }
 
-// Nodes reports how many nodes are attached.
+// Nodes reports how many nodes are attached (including retired slots).
 func (nw *Network) Nodes() int { return len(nw.nodes) }
 
-// Join subscribes a node to a multicast group. Joining twice is a no-op.
-func (nw *Network) Join(id NodeID, g Group) {
-	for _, m := range nw.groups[g] {
-		if m == id {
-			return
-		}
+func (nw *Network) group(g Group) *groupSet {
+	gs := nw.groups[g]
+	if gs == nil {
+		gs = newGroupSet()
+		nw.groups[g] = gs
 	}
-	nw.groups[g] = append(nw.groups[g], id)
+	return gs
 }
+
+// Join subscribes a node to a multicast group. Joining twice is a no-op.
+func (nw *Network) Join(id NodeID, g Group) { nw.group(g).add(id) }
 
 // Leave removes a node from a multicast group.
 func (nw *Network) Leave(id NodeID, g Group) {
-	members := nw.groups[g]
-	for i, m := range members {
-		if m == id {
-			nw.groups[g] = append(members[:i], members[i+1:]...)
-			return
-		}
+	if gs := nw.groups[g]; gs != nil {
+		gs.remove(id)
 	}
 }
 
-// Members returns the current membership of a multicast group.
+// Members returns a copy of the current membership of a multicast group.
+// For tests and diagnostics; the fan-out path iterates the membership
+// in place via members.
 func (nw *Network) Members(g Group) []NodeID {
-	members := nw.groups[g]
+	members := nw.members(g)
 	out := make([]NodeID, len(members))
 	copy(out, members)
 	return out
+}
+
+// members is the no-copy accessor behind Members: it returns the live
+// membership slice, valid only until the next Join/Leave/Retire, and
+// must not be mutated.
+func (nw *Network) members(g Group) []NodeID {
+	if gs := nw.groups[g]; gs != nil {
+		return gs.members
+	}
+	return nil
+}
+
+// delivery is one in-flight unicast frame: the Message plus its pool
+// link. The Message is delivered by pointer and recycled as soon as the
+// endpoint's Deliver returns, so endpoints must not retain *Message past
+// the call (payloads are plain values and may be kept).
+type delivery struct {
+	nw   *Network
+	m    Message
+	gen  uint32 // receiver-slot tenancy the frame was aimed at
+	next *delivery
+}
+
+func (nw *Network) allocDelivery() *delivery {
+	d := nw.freeDelivery
+	if d == nil {
+		return &delivery{nw: nw}
+	}
+	nw.freeDelivery = d.next
+	d.next = nil
+	d.nw = nw
+	return d
+}
+
+func (nw *Network) releaseDelivery(d *delivery) {
+	d.m = Message{}
+	d.next = nw.freeDelivery
+	nw.freeDelivery = d
+}
+
+// deliverUDP is the static event callback for pooled unicast deliveries
+// (static + pooled argument = no per-frame closure allocation).
+func deliverUDP(x any) {
+	d := x.(*delivery)
+	d.nw.deliverNow(&d.m, d.gen)
+	d.nw.releaseDelivery(d)
+}
+
+// deliverNow runs the receive path for an application frame whose delay
+// has elapsed: slot-tenancy and Rx checks, then endpoint hand-off. gen
+// is the receiver slot's tenancy at send time — if the slot was retired
+// and recycled while the frame was in flight, the new tenant must not
+// receive its predecessor's traffic.
+func (nw *Network) deliverNow(m *Message, gen uint32) {
+	recv := nw.Node(m.To)
+	if recv.gen != gen {
+		nw.drop(m, "slot recycled")
+		return
+	}
+	if !recv.rxUp {
+		nw.drop(m, "rx down")
+		return
+	}
+	if recv.ep == nil {
+		nw.drop(m, "no endpoint")
+		return
+	}
+	nw.counters.recordDelivery(m)
+	if nw.tracer != nil {
+		nw.tracer.MessageDelivered(nw.k.Now(), m)
+	}
+	recv.ep.Deliver(m)
 }
 
 // SendUDP transmits one unreliable datagram (Table 3 UDP: "Message
@@ -116,10 +300,50 @@ func (nw *Network) Members(g Group) []NodeID {
 // transmitter is down — the device cannot know its interface has failed —
 // and the frame is then silently lost.
 func (nw *Network) SendUDP(from, to NodeID, out Outgoing) {
-	m := &Message{From: from, To: to, Kind: out.Kind, Counted: out.Counted,
+	d := nw.allocDelivery()
+	d.m = Message{From: from, To: to, Kind: out.Kind, Counted: out.Counted,
 		Payload: out.Payload, Transport: UDP, SentAt: nw.k.Now()}
-	nw.accountSend(m)
-	nw.transmit(m)
+	d.gen = nw.Node(to).gen
+	nw.accountSend(&d.m)
+	if !nw.Node(from).txUp {
+		nw.drop(&d.m, "tx down")
+		nw.releaseDelivery(d)
+		return
+	}
+	if nw.cfg.Loss > 0 && nw.k.Rand().Float64() < nw.cfg.Loss {
+		nw.drop(&d.m, "lost")
+		nw.releaseDelivery(d)
+		return
+	}
+	delay := nw.k.UniformDuration(nw.cfg.MinDelay, nw.cfg.MaxDelay)
+	nw.k.AfterArg(delay, deliverUDP, d)
+}
+
+// mcopy is a pending staggered multicast copy (copies 2..n of a
+// transmission, sent MulticastStagger apart), pinned to the sender
+// slot's tenancy at the time of the original transmission.
+type mcopy struct {
+	nw   *Network
+	from NodeID
+	gen  uint32
+	g    Group
+	out  Outgoing
+	next *mcopy
+}
+
+func runMulticastCopy(x any) {
+	c := x.(*mcopy)
+	nw := c.nw
+	// If the sender's slot was retired and recycled while this copy was
+	// pending, the new tenant must not transmit its predecessor's frame.
+	// (A retired-but-unrecycled sender keeps its gen and still runs the
+	// copy, dropping per receiver on Tx-down, like any frame.)
+	if nw.Node(c.from).gen == c.gen {
+		nw.multicastCopy(c.from, c.g, c.out)
+	}
+	c.out = Outgoing{}
+	c.next = nw.freeMcopy
+	nw.freeMcopy = c
 }
 
 // Multicast transmits copies redundant frames of the same discovery
@@ -127,31 +351,145 @@ func (nw *Network) SendUDP(from, to NodeID, out Outgoing) {
 // wire transmission (one counted send) fanned out to all members; each
 // member's reception sees an independent delay and loss draw.
 func (nw *Network) Multicast(from NodeID, g Group, out Outgoing, copies int) {
-	if copies < 1 {
-		copies = 1
-	}
-	for c := 0; c < copies; c++ {
+	nw.multicastCopy(from, g, out)
+	gen := nw.Node(from).gen
+	for c := 1; c < copies; c++ {
 		offset := sim.Duration(c) * nw.cfg.MulticastStagger
-		if offset == 0 {
-			nw.multicastCopy(from, g, out)
-			continue
+		mc := nw.freeMcopy
+		if mc == nil {
+			mc = &mcopy{}
+		} else {
+			nw.freeMcopy = mc.next
+			mc.next = nil
 		}
-		nw.k.After(offset, func() { nw.multicastCopy(from, g, out) })
+		mc.nw, mc.from, mc.gen, mc.g, mc.out = nw, from, gen, g, out
+		nw.k.AfterArg(offset, runMulticastCopy, mc)
 	}
 }
 
+// fanEntry is one receiver of a multicast copy, its arrival instant,
+// and the receiver slot's tenancy at send time.
+type fanEntry struct {
+	at  sim.Time
+	to  NodeID
+	gen uint32
+}
+
+// fanout is one multicast copy in flight: a single shared wire-message
+// fanned out to its receivers through one walking kernel event instead
+// of one event (plus message, plus closure) per receiver. Entries are
+// sorted by arrival time; same-instant arrivals are delivered in one
+// batch. The delivery Message handed to endpoints is the shared scratch,
+// re-pointed per receiver — valid only during Deliver, like every pooled
+// frame.
+type fanout struct {
+	nw      *Network
+	wire    Message // the shared immutable wire-message (To == NoNode)
+	scratch Message // per-receiver view for delivery and drop reporting
+	entries []fanEntry
+	i       int
+	next    *fanout
+}
+
+func (nw *Network) allocFanout() *fanout {
+	f := nw.freeFanout
+	if f == nil {
+		return &fanout{nw: nw}
+	}
+	nw.freeFanout = f.next
+	f.next = nil
+	f.nw = nw
+	return f
+}
+
+func (nw *Network) releaseFanout(f *fanout) {
+	f.wire = Message{}
+	f.scratch = Message{}
+	f.entries = f.entries[:0]
+	f.i = 0
+	f.next = nw.freeFanout
+	nw.freeFanout = f
+}
+
+// multicastCopy sends one wire transmission of a multicast message and
+// arms its delivery train. Loss and delay are drawn per receiver in
+// membership order, exactly as if each receiver's frame were scheduled
+// individually.
 func (nw *Network) multicastCopy(from NodeID, g Group, out Outgoing) {
-	wire := &Message{From: from, To: NoNode, Multicast: true, Kind: out.Kind,
+	f := nw.allocFanout()
+	f.wire = Message{From: from, To: NoNode, Multicast: true, Kind: out.Kind,
 		Counted: out.Counted, Payload: out.Payload, Transport: UDP, SentAt: nw.k.Now()}
-	nw.accountSend(wire)
-	for _, to := range nw.groups[g] {
+	nw.accountSend(&f.wire)
+
+	members := nw.members(g)
+	if !nw.Node(from).txUp {
+		// The transmitter is down: every receiver's frame is lost on the
+		// wire, one drop per would-be receiver (matching the per-frame
+		// accounting of the unbatched path).
+		for _, to := range members {
+			if to == from {
+				continue
+			}
+			f.scratch = f.wire
+			f.scratch.To = to
+			nw.drop(&f.scratch, "tx down")
+		}
+		nw.releaseFanout(f)
+		return
+	}
+	now := nw.k.Now()
+	for _, to := range members {
 		if to == from {
 			continue
 		}
-		m := &Message{From: from, To: to, Multicast: true, Kind: out.Kind,
-			Counted: false, Payload: out.Payload, Transport: UDP, SentAt: nw.k.Now()}
-		nw.transmit(m)
+		if nw.cfg.Loss > 0 && nw.k.Rand().Float64() < nw.cfg.Loss {
+			f.scratch = f.wire
+			f.scratch.To = to
+			nw.drop(&f.scratch, "lost")
+			continue
+		}
+		delay := nw.k.UniformDuration(nw.cfg.MinDelay, nw.cfg.MaxDelay)
+		f.entries = append(f.entries, fanEntry{at: now + delay, to: to, gen: nw.Node(to).gen})
 	}
+	if len(f.entries) == 0 {
+		nw.releaseFanout(f)
+		return
+	}
+	// Stable by arrival time: same-instant receivers keep membership
+	// order, the order their delay draws were made in. SortStableFunc is
+	// generic (no reflection, no closure captures), so this allocates
+	// nothing.
+	slices.SortStableFunc(f.entries, func(a, b fanEntry) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
+		default:
+			return 0
+		}
+	})
+	nw.k.AtArg(f.entries[0].at, deliverFanout, f)
+}
+
+// deliverFanout walks a fanout train: deliver every entry due now, then
+// re-arm for the next arrival instant.
+func deliverFanout(x any) {
+	f := x.(*fanout)
+	nw := f.nw
+	now := nw.k.Now()
+	for f.i < len(f.entries) && f.entries[f.i].at == now {
+		e := f.entries[f.i]
+		f.i++
+		f.scratch = f.wire
+		f.scratch.To = e.to
+		nw.deliverNow(&f.scratch, e.gen)
+	}
+	if f.i < len(f.entries) {
+		nw.k.AtArg(f.entries[f.i].at, deliverFanout, f)
+		return
+	}
+	nw.releaseFanout(f)
 }
 
 // accountSend records one wire transmission for the metrics.
@@ -160,23 +498,6 @@ func (nw *Network) accountSend(m *Message) {
 	if nw.tracer != nil {
 		nw.tracer.MessageSent(nw.k.Now(), m)
 	}
-}
-
-// transmit performs the frame path for application frames, handing the
-// message to the receiving endpoint on success.
-func (nw *Network) transmit(m *Message) {
-	nw.sendFrame(m, func() {
-		recv := nw.Node(m.To)
-		if recv.ep == nil {
-			nw.drop(m, "no endpoint")
-			return
-		}
-		nw.counters.recordDelivery(m)
-		if nw.tracer != nil {
-			nw.tracer.MessageDelivered(nw.k.Now(), m)
-		}
-		recv.ep.Deliver(m)
-	})
 }
 
 // sendFrame models one frame on the wire: drop on Tx-down or random loss,
@@ -193,8 +514,14 @@ func (nw *Network) sendFrame(m *Message, onDelivered func()) {
 		return
 	}
 	delay := nw.k.UniformDuration(nw.cfg.MinDelay, nw.cfg.MaxDelay)
+	gen := nw.Node(m.To).gen
 	nw.k.After(delay, func() {
-		if !nw.Node(m.To).rxUp {
+		recv := nw.Node(m.To)
+		if recv.gen != gen {
+			nw.drop(m, "slot recycled")
+			return
+		}
+		if !recv.rxUp {
 			nw.drop(m, "rx down")
 			return
 		}

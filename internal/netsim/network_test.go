@@ -24,7 +24,10 @@ func newHarness(t *testing.T, n int, cfg Config) *harness {
 		i := i
 		node := h.nw.AddNode("")
 		node.SetEndpoint(EndpointFunc(func(m *Message) {
-			h.inbox[i] = append(h.inbox[i], m)
+			// Delivered messages are pooled and recycled after Deliver
+			// returns; retain a copy, as real endpoints retain payloads.
+			cp := *m
+			h.inbox[i] = append(h.inbox[i], &cp)
 		}))
 		h.nodes = append(h.nodes, node)
 	}

@@ -13,6 +13,16 @@ type Node struct {
 
 	txUp bool
 	rxUp bool
+	// retired pins both interfaces down: the device left the network for
+	// good and its slot awaits reuse (Network.Retire). Interface events
+	// aimed at a retired slot are ignored.
+	retired bool
+	// gen counts slot tenancies: AddNode bumps it when recycling a
+	// retired slot. Frames in flight and planned interface failures
+	// capture the gen they were aimed at and no-op if the slot has
+	// changed hands since — a recycled slot's new tenant must never
+	// inherit its predecessor's traffic or outages.
+	gen uint32
 
 	ep  Endpoint
 	net *Network
@@ -40,9 +50,13 @@ func (n *Node) SetEndpoint(ep Endpoint) { n.ep = ep }
 // change.
 func (n *Node) OnInterfaceChange(fn func(txUp, rxUp bool)) { n.onInterfaceChange = fn }
 
+// Retired reports whether the node's slot has been released by
+// Network.Retire and not yet reused.
+func (n *Node) Retired() bool { return n.retired }
+
 // SetTx changes transmitter state, tracing the transition.
 func (n *Node) SetTx(up bool) {
-	if n.txUp == up {
+	if n.retired || n.txUp == up {
 		return
 	}
 	n.txUp = up
@@ -54,7 +68,7 @@ func (n *Node) SetTx(up bool) {
 
 // SetRx changes receiver state, tracing the transition.
 func (n *Node) SetRx(up bool) {
-	if n.rxUp == up {
+	if n.retired || n.rxUp == up {
 		return
 	}
 	n.rxUp = up

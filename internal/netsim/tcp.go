@@ -116,7 +116,8 @@ func (c *TCPConn) Abort() {
 	c.aborted = true
 	for _, tr := range c.transfers {
 		if !tr.acked {
-			tr.timer.Cancel()
+			tr.timer.Cancel() // nil before start, else the pending retransmission
+			tr.timer = nil
 			tr.finish(ErrAborted)
 		}
 	}
@@ -229,9 +230,12 @@ func (tr *tcpTransfer) send() {
 	nw.sendFrame(m, func() { tr.arrived(m) })
 
 	// Arm the retransmission timer: "retransmit until success, increasing
-	// timeout by 25% on each retry".
+	// timeout by 25% on each retry". Ownership rule for pooled events: the
+	// callback nils tr.timer first thing — its event has fired and will be
+	// recycled, so the reference must not outlive the callback.
 	tr.timer.Cancel()
 	tr.timer = nw.k.After(tr.rto, func() {
+		tr.timer = nil
 		tr.rto = sim.Duration(float64(tr.rto) * tr.conn.cfg.Backoff)
 		tr.send()
 	})
@@ -259,7 +263,8 @@ func (tr *tcpTransfer) arrived(m *Message) {
 		if tr.acked || tr.conn.aborted {
 			return
 		}
-		tr.timer.Cancel()
+		tr.timer.Cancel() // pending retransmission (send always re-arms)
+		tr.timer = nil
 		tr.finish(nil)
 	})
 }

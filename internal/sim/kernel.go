@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -9,20 +8,43 @@ import (
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so the caller can cancel it before it fires; timers that are renewed
 // (lease expirations, retransmissions) rely on this.
+//
+// # Ownership
+//
+// Events are pooled: the kernel recycles an Event as soon as it has fired
+// (or was popped after cancellation), and the same pointer will be handed
+// out again by a later At/After call. A *Event is therefore only valid
+//   - while the event is pending, and
+//   - inside the event's own callback (the kernel recycles it only after
+//     the callback returns, so a callback may Cancel or inspect its own
+//     event, which is a no-op).
+//
+// Callers that retain timer events across firings (lease renewal,
+// retransmission schedules) must drop their reference when the event
+// fires — conventionally by setting the field to nil at the top of the
+// callback — and must never Cancel a stored event after its firing time
+// has passed. Cancel on a stale pointer would cancel whatever event
+// currently owns the pooled slot. sim.Ticker, sim.Deadline, core.Retry
+// and the netsim TCP machinery all follow this rule; use them instead of
+// raw events where possible.
 type Event struct {
 	at       Time
 	seq      uint64 // tie-breaker: same-time events fire in schedule order
-	index    int    // heap index, -1 once removed
 	fn       func()
+	argFn    func(any)
+	arg      any
 	canceled bool
+	next     *Event // free-list link while recycled
 }
 
 // At reports the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
 // Cancel prevents the event from firing. Canceling an event that has
-// already fired or been canceled is a no-op, so callers may cancel
-// unconditionally.
+// already been canceled, or canceling from inside the event's own
+// callback, is a no-op, so callers may cancel unconditionally — but see
+// the ownership rule above: a pointer retained past the event's firing
+// must not be canceled.
 func (e *Event) Cancel() {
 	if e != nil {
 		e.canceled = true
@@ -35,10 +57,18 @@ func (e *Event) Canceled() bool { return e != nil && e.canceled }
 // Kernel is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; the experiment harness runs many kernels in parallel, one
 // per goroutine, each fully owning its kernel.
+//
+// The event queue is a 4-ary min-heap of pooled events: fired and
+// canceled events go onto a free list and are reused by later schedule
+// calls, so steady-state scheduling allocates nothing. Cancellation is
+// lazy — a canceled event stays queued until its time comes and is then
+// discarded and recycled.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []*Event
+	free    *Event
+	src     splitmix64
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
@@ -47,7 +77,27 @@ type Kernel struct {
 // New creates a kernel whose random stream is derived from seed. Two
 // kernels created with the same seed execute identically.
 func New(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k := &Kernel{}
+	k.src.Seed(seed)
+	k.rng = rand.New(&k.src)
+	return k
+}
+
+// Reset returns the kernel to its initial state with a fresh seed while
+// keeping the event pool and heap capacity, so a worker goroutine can run
+// many simulations back to back without reallocating. Pending events are
+// discarded (and recycled). Events retained by the previous simulation
+// are invalid after Reset.
+func (k *Kernel) Reset(seed int64) {
+	for _, e := range k.heap {
+		k.release(e)
+	}
+	k.heap = k.heap[:0]
+	k.now = 0
+	k.seq = 0
+	k.fired = 0
+	k.stopped = false
+	k.src.Seed(seed)
 }
 
 // Now reports the current virtual time.
@@ -55,23 +105,72 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Rand exposes the kernel's deterministic random stream. All model
 // randomness (delays, jitter, failure times) must come from this stream so
-// runs replay exactly.
+// runs replay exactly. The stream is backed by a SplitMix64 generator —
+// constant-size state, no per-kernel seeding cost (the stdlib source seeds
+// a 607-word lagged Fibonacci table per kernel, which dominates short
+// runs when a sweep creates thousands of kernels).
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Fired reports how many events have executed, a cheap progress and
 // complexity measure used by tests and benchmarks.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
+// alloc takes an event from the free list, or makes a new one. The
+// canceled flag is cleared here, on reuse, rather than on release, so a
+// caller that retained a canceled event's pointer still reads
+// Canceled() == true until the slot is actually handed out again.
+func (k *Kernel) alloc() *Event {
+	e := k.free
+	if e == nil {
+		return &Event{}
+	}
+	k.free = e.next
+	e.next = nil
+	e.canceled = false
+	return e
+}
+
+// release clears an event and returns it to the free list. Clearing fn
+// and arg matters: it releases the closure and its captures for GC even
+// while the event sits in the pool.
+func (k *Kernel) release(e *Event) {
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.next = k.free
+	k.free = e
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (or at
 // the current instant) panics: the models never need it and it always
 // indicates a bug.
 func (k *Kernel) At(t Time, fn func()) *Event {
+	e := k.schedule(t)
+	e.fn = fn
+	return e
+}
+
+// AtArg schedules fn(arg) at absolute time t. Unlike At, the callback is
+// a plain function plus an argument, so hot paths that would otherwise
+// allocate a fresh closure per event (the netsim delivery path) can pass
+// a pooled record through a static function for zero per-event
+// allocations.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) *Event {
+	e := k.schedule(t)
+	e.argFn = fn
+	e.arg = arg
+	return e
+}
+
+func (k *Kernel) schedule(t Time) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	e := k.alloc()
+	e.at = t
+	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.push(e)
 	return e
 }
 
@@ -81,6 +180,14 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return k.At(k.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) to run d from now. Negative d panics.
+func (k *Kernel) AfterArg(d Duration, fn func(any), arg any) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.AtArg(k.now+d, fn, arg)
 }
 
 // UniformDuration draws a duration uniformly from [lo, hi].
@@ -107,18 +214,24 @@ func (k *Kernel) Stop() { k.stopped = true }
 // code observing Now at the end of a run sees the full duration.
 func (k *Kernel) Run(horizon Time) {
 	k.stopped = false
-	for k.queue.Len() > 0 && !k.stopped {
-		e := k.queue.peek()
+	for len(k.heap) > 0 && !k.stopped {
+		e := k.heap[0]
 		if e.at > horizon {
 			break
 		}
-		heap.Pop(&k.queue)
+		k.pop()
 		if e.canceled {
+			k.release(e)
 			continue
 		}
 		k.now = e.at
 		k.fired++
-		e.fn()
+		if e.argFn != nil {
+			e.argFn(e.arg)
+		} else {
+			e.fn()
+		}
+		k.release(e)
 	}
 	if k.now < horizon {
 		k.now = horizon
@@ -127,40 +240,69 @@ func (k *Kernel) Run(horizon Time) {
 
 // Pending reports the number of queued events, including canceled events
 // that have not yet been discarded.
-func (k *Kernel) Pending() int { return k.queue.Len() }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
-// eventQueue is a min-heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess orders events by (time, seq): schedule order breaks ties, so
+// same-instant events fire in the order they were scheduled.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// push inserts an event into the 4-ary min-heap. A 4-ary heap halves the
+// tree depth of the binary heap and keeps the four children of a node on
+// one cache line's worth of pointers, which measures faster on the
+// simulator's churn of push/pop pairs; it needs no per-event index
+// because lazy cancellation never removes from the middle.
+func (k *Kernel) push(e *Event) {
+	h := append(k.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	k.heap = h
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// pop removes the minimum event (the caller has already read heap[0]).
+func (k *Kernel) pop() {
+	h := k.heap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	k.heap = h
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !eventLess(h[m], last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
 }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
-func (q eventQueue) peek() *Event { return q[0] }

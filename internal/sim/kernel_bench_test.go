@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernel measures raw scheduler throughput on the workload
+// shape the simulator produces: a population of self-rescheduling timers
+// (renewal tickers) plus a stream of one-shot events with random delays
+// (frames in flight), about a quarter of which are canceled before
+// firing (superseded retransmissions). Steady state allocates nothing —
+// -benchmem should report 0 allocs/op.
+func BenchmarkKernel(b *testing.B) {
+	const timers = 1024
+	k := New(1)
+	var tick func()
+	tick = func() { k.After(k.UniformDuration(Millisecond, Second), tick) }
+	for i := 0; i < timers; i++ {
+		k.After(k.UniformDuration(0, Second), tick)
+	}
+	k.Run(Second) // warm pool and heap
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired := k.Fired()
+	for i := 0; i < b.N; i++ {
+		e := k.AfterArg(k.UniformDuration(Microsecond, Millisecond), func(any) {}, nil)
+		if i&3 == 0 {
+			e.Cancel()
+		}
+		k.Run(k.Now() + Microsecond)
+	}
+	k.Run(k.Now() + Second)
+	b.ReportMetric(float64(k.Fired()-fired)/float64(b.N), "events/op")
+}
+
+// BenchmarkKernelChurn measures pure heap push/pop with no reuse of the
+// run loop: schedule a batch, drain it, repeat — the 4-ary heap's
+// sift costs dominate.
+func BenchmarkKernelChurn(b *testing.B) {
+	k := New(1)
+	nop := func(any) {}
+	const batch = 4096
+	// Warm.
+	for i := 0; i < batch; i++ {
+		k.AfterArg(k.UniformDuration(0, Second), nop, nil)
+	}
+	k.Run(k.Now() + 2*Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			k.AfterArg(k.UniformDuration(0, Second), nop, nil)
+		}
+		k.Run(k.Now() + 2*Second)
+	}
+	b.ReportMetric(batch, "events/op")
+}

@@ -223,3 +223,121 @@ func TestQuickUniformTimeInRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestKernelAtArg(t *testing.T) {
+	k := New(1)
+	var got []int
+	push := func(x any) { got = append(got, x.(int)) }
+	k.AtArg(2*Second, push, 2)
+	k.AfterArg(1*Second, push, 1)
+	k.AtArg(2*Second, push, 3) // same instant: schedule order
+	k.Run(5 * Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+// Fired events are recycled: steady-state scheduling reuses pool slots
+// instead of allocating.
+func TestKernelEventPoolRecycles(t *testing.T) {
+	k := New(1)
+	fn := func() {}
+	e1 := k.After(Second, fn)
+	k.Run(2 * Second)
+	e2 := k.After(Second, fn)
+	if e1 != e2 {
+		t.Error("fired event was not recycled by the next schedule")
+	}
+	// A canceled event is recycled once popped.
+	e2.Cancel()
+	k.Run(4 * Second)
+	if !e2.Canceled() {
+		t.Error("canceled flag lost before slot reuse")
+	}
+	if e3 := k.After(Second, fn); e3 != e2 {
+		t.Error("canceled+popped event was not recycled")
+	} else if e3.Canceled() {
+		t.Error("recycled event still marked canceled")
+	}
+}
+
+// Steady-state scheduling and firing allocates nothing once the pool is
+// warm (the closure here is static, so the only candidate allocations
+// are kernel-internal).
+func TestKernelZeroAllocSteadyState(t *testing.T) {
+	k := New(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < 8 {
+			k.After(Millisecond, fn)
+		}
+	}
+	// Warm the pool and the heap slice.
+	k.After(Millisecond, fn)
+	k.Run(Second)
+	allocs := testing.AllocsPerRun(100, func() {
+		n = 0
+		k.After(Millisecond, fn)
+		k.Run(k.Now() + Second)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state schedule/fire allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// Reset reuses the kernel: same seed, identical stream and scheduling as
+// a fresh kernel, with pending events of the previous run discarded.
+func TestKernelReset(t *testing.T) {
+	fresh := New(42)
+	reused := New(7)
+	reused.After(Second, func() {})
+	reused.After(5*Second, func() {})
+	reused.Run(2 * Second) // leave one event pending
+	reused.Reset(42)
+	if reused.Pending() != 0 || reused.Now() != 0 || reused.Fired() != 0 {
+		t.Fatalf("Reset left state: pending=%d now=%v fired=%d",
+			reused.Pending(), reused.Now(), reused.Fired())
+	}
+	for i := 0; i < 100; i++ {
+		a := fresh.UniformDuration(0, Hour)
+		b := reused.UniformDuration(0, Hour)
+		if a != b {
+			t.Fatalf("draw %d diverged after Reset: %v vs %v", i, a, b)
+		}
+	}
+	var seqA, seqB []Time
+	fresh.After(fresh.UniformDuration(0, Second), func() { seqA = append(seqA, fresh.Now()) })
+	reused.After(reused.UniformDuration(0, Second), func() { seqB = append(seqB, reused.Now()) })
+	fresh.Run(Hour)
+	reused.Run(Hour)
+	if len(seqA) != 1 || len(seqB) != 1 || seqA[0] != seqB[0] {
+		t.Fatalf("firing times diverged after Reset: %v vs %v", seqA, seqB)
+	}
+}
+
+// The splitmix source must be deterministic per seed and differ across
+// seeds.
+func TestSplitmixStream(t *testing.T) {
+	var a, b, c splitmix64
+	a.Seed(9)
+	b.Seed(9)
+	c.Seed(10)
+	same, diff := true, false
+	for i := 0; i < 64; i++ {
+		x, y, z := a.Uint64(), b.Uint64(), c.Uint64()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed diverged")
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}

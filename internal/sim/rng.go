@@ -1,0 +1,38 @@
+package sim
+
+// splitmix64 is the kernel's random source: Sebastiano Vigna's SplitMix64
+// (the seeding generator of the xoshiro family, and the stream-splitting
+// step of PCG-style generators). One 64-bit word of state, a three-xor
+// output mix, full 2^64 period, and it passes BigCrush — more than enough
+// for drawing delays and failure times, at a fraction of the cost of the
+// stdlib's default source:
+//
+//   - seeding is one store, where rand.NewSource fills a 607-word lagged
+//     Fibonacci table (a sweep creates one kernel per run, thousands per
+//     experiment, so per-kernel seeding is on the hot path);
+//   - state is 8 bytes instead of ~5 KiB per kernel;
+//   - Uint64 is an add and three xor-shift-multiplies, branch-free.
+//
+// It implements math/rand.Source64, so the kernel keeps exposing the
+// familiar *rand.Rand API while every draw bottoms out here.
+type splitmix64 struct {
+	state uint64
+}
+
+// Seed resets the stream. Part of the rand.Source interface.
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 advances the stream. Part of the rand.Source64 interface.
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Int63 is the rand.Source interface's 63-bit draw.
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }

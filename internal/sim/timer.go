@@ -32,6 +32,10 @@ func (t *Ticker) tick() {
 	if !t.running {
 		return
 	}
+	// Pooled-event ownership: the event that invoked us has fired and
+	// will be recycled; overwrite the reference before running fn so
+	// Stop/Start never cancel a recycled event. (A stopped ticker never
+	// reaches here — Stop cancels the pending event.)
 	t.pending = t.k.After(t.period, t.tick)
 	t.fn()
 }
@@ -99,6 +103,8 @@ func (d *Deadline) When() Time {
 }
 
 func (d *Deadline) fire() {
+	// Pooled-event ownership: drop the fired event before fn, so a
+	// Set/Clear from inside the callback never cancels a recycled event.
 	d.pending = nil
 	d.fn()
 }

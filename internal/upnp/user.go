@@ -41,6 +41,10 @@ type User struct {
 	// pollTick drives CM2 when configured: a persistent periodic re-fetch
 	// of the cached description.
 	pollTick *sim.Ticker
+
+	// stopped marks a quiesced control point (Stop): a boot event still
+	// pending when the device permanently departed must not restart it.
+	stopped bool
 }
 
 // NewUser attaches a control point to a node.
@@ -83,6 +87,9 @@ func (u *User) poll() {
 // when configured.
 func (u *User) Start(bootDelay sim.Duration) {
 	u.k.After(bootDelay, func() {
+		if u.stopped {
+			return // departed permanently before the boot completed
+		}
 		if u.cache.Len() == 0 {
 			u.searchTick.Start(0)
 		}
@@ -94,6 +101,23 @@ func (u *User) Start(bootDelay sim.Duration) {
 
 // ID reports the User's node ID.
 func (u *User) ID() netsim.NodeID { return u.node.ID }
+
+// Stop quiesces the control point: every timer is disarmed and the cache
+// dropped (without purge callbacks), so the node can be retired after a
+// permanent churn departure without leaving zombie events in the kernel.
+// The User must not be used afterwards.
+func (u *User) Stop() {
+	u.stopped = true
+	u.searchTick.Stop()
+	u.renewTick.Stop()
+	u.getTick.Stop()
+	if u.pollTick != nil {
+		u.pollTick.Stop()
+	}
+	u.cache.Clear()
+	u.subscribedTo = netsim.NoNode
+	u.staleVersion = 0
+}
 
 // CachedVersion reports the version of the cached description for the
 // Manager, zero if none.
