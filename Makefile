@@ -10,10 +10,10 @@
 # snapshot as BENCH_BASELINE, and commit the refreshed file.
 
 GO ?= go
-BENCH_PR ?= 2
-BENCH_BASELINE ?= BENCH_1.json
+BENCH_PR ?= 3
+BENCH_BASELINE ?= BENCH_2.json
 
-.PHONY: check vet build test race bench bench-all bench-scale clean
+.PHONY: check vet build test race bench bench-all bench-scale bench-gate clean
 
 check: vet build race
 
@@ -35,6 +35,15 @@ bench:
 	{ $(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout' -benchtime 200000x -benchmem -run xxx ./internal/sim ./internal/netsim && \
 	  $(GO) test -bench 'BenchmarkSingleRunScale|BenchmarkSweepScale' -benchtime 5x -benchmem -run xxx . ; } | tee /dev/stderr | \
 	  $(GO) run ./cmd/benchjson -pr $(BENCH_PR) -baseline $(BENCH_BASELINE) > BENCH_$(BENCH_PR).json
+
+# Regression gate: re-run the hot-path microbenchmarks and fail if
+# allocs/op regressed against the committed BENCH_$(BENCH_PR).json
+# snapshot (ns/op is not gated by default — CI runners are noisy).
+# 5000 iterations suffice: the gated metric, allocs/op, is deterministic
+# for these pooled paths, so this stays seconds-fast on every CI push.
+bench-gate:
+	$(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout' -benchtime 5000x -benchmem -run xxx ./internal/sim ./internal/netsim | \
+	  $(GO) run ./cmd/benchjson -check -baseline BENCH_$(BENCH_PR).json
 
 # Full benchmark suite (slow: full-scale sweeps per iteration).
 bench-all:

@@ -8,6 +8,16 @@
 // The -baseline flag embeds a previous snapshot's benchmarks, so one
 // file carries both sides of the comparison the PR claims. See
 // EXPERIMENTS.md, "Perf trajectory".
+//
+// With -check, benchjson additionally diffs the parsed results against
+// the baseline and exits nonzero when a shared benchmark regressed
+// beyond the configured thresholds. allocs/op is deterministic and
+// gated by default; ns/op gating is opt-in (-ns-threshold > 0) because
+// shared CI runners are noisy. In gate mode (-check with -pr 0) no
+// record is emitted — the command is purely a regression tripwire:
+//
+//	go test -bench ... -benchmem ./... | go run ./cmd/benchjson \
+//	    -check -baseline BENCH_3.json
 package main
 
 import (
@@ -41,12 +51,19 @@ type Benchmark struct {
 }
 
 func main() {
-	pr := flag.Int("pr", 0, "PR number this snapshot records (required)")
+	pr := flag.Int("pr", 0, "PR number this snapshot records (0 allowed only with -check: gate mode, no record emitted)")
 	note := flag.String("note", "", "free-form annotation stored in the record")
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to embed as the comparison baseline")
+	check := flag.Bool("check", false, "fail (exit 1) when a benchmark regresses against the baseline beyond the thresholds")
+	allocsThreshold := flag.Float64("allocs-threshold", 0.10, "with -check: allowed fractional allocs/op increase over baseline")
+	nsThreshold := flag.Float64("ns-threshold", 0, "with -check: allowed fractional ns/op increase over baseline (0 disables the ns gate)")
 	flag.Parse()
-	if *pr <= 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: -pr is required")
+	if *pr <= 0 && !*check {
+		fmt.Fprintln(os.Stderr, "benchjson: -pr is required (or use -check for gate mode)")
+		os.Exit(2)
+	}
+	if *check && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -check requires -baseline")
 		os.Exit(2)
 	}
 
@@ -92,12 +109,86 @@ func main() {
 		rec.Baseline = prev.Benchmarks
 	}
 
-	out, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	failed := false
+	if *check {
+		failed = regressions(os.Stderr, rec.Benchmarks, rec.Baseline, *allocsThreshold, *nsThreshold)
+	}
+
+	if *pr > 0 {
+		out, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	}
+	if failed {
 		os.Exit(1)
 	}
-	os.Stdout.Write(append(out, '\n'))
+}
+
+// regressions compares every benchmark shared with the baseline and
+// reports those whose allocs/op (always) or ns/op (when nsThreshold > 0)
+// grew past the allowed fraction. It returns whether any regressed.
+func regressions(w *os.File, current, baseline []Benchmark, allocsThreshold, nsThreshold float64) bool {
+	base := map[string]Benchmark{}
+	for _, b := range baseline {
+		base[b.Pkg+" "+b.Name] = b
+	}
+	failed := false
+	compared := 0
+	gate := func(b Benchmark, metric string, threshold, cur, prev float64, curOK, prevOK bool) {
+		if threshold <= 0 || !prevOK {
+			return
+		}
+		// The baseline gates this metric, so the current run must report
+		// it: a silently missing metric (e.g. -benchmem dropped from the
+		// gate invocation) would otherwise read as a perfect 0.
+		if !curOK {
+			failed = true
+			fmt.Fprintf(w, "benchjson: REGRESSION %s %s: %s missing from current output (baseline %.1f)\n",
+				b.Pkg, b.Name, metric, prev)
+			return
+		}
+		// A zero baseline is an absolute claim ("this path allocates
+		// nothing"): any nonzero current value is a regression — a ratio
+		// test against zero would wave everything through.
+		if prev == 0 {
+			if cur > 0 {
+				failed = true
+				fmt.Fprintf(w, "benchjson: REGRESSION %s %s: %s %.1f > 0 (baseline is zero)\n",
+					b.Pkg, b.Name, metric, cur)
+			}
+			return
+		}
+		limit := prev * (1 + threshold)
+		if cur > limit {
+			failed = true
+			fmt.Fprintf(w, "benchjson: REGRESSION %s %s: %s %.1f > %.1f (baseline %.1f +%.0f%%)\n",
+				b.Pkg, b.Name, metric, cur, limit, prev, threshold*100)
+		}
+	}
+	for _, b := range current {
+		prev, ok := base[b.Pkg+" "+b.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		curAllocs, curAllocsOK := b.Metrics["allocs/op"]
+		prevAllocs, prevAllocsOK := prev.Metrics["allocs/op"]
+		gate(b, "allocs/op", allocsThreshold, curAllocs, prevAllocs, curAllocsOK, prevAllocsOK)
+		curNs, curNsOK := b.Metrics["ns/op"]
+		prevNs, prevNsOK := prev.Metrics["ns/op"]
+		gate(b, "ns/op", nsThreshold, curNs, prevNs, curNsOK, prevNsOK)
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "benchjson: -check matched no benchmarks against the baseline")
+		return true
+	}
+	if !failed {
+		fmt.Fprintf(w, "benchjson: %d benchmarks within thresholds of baseline\n", compared)
+	}
+	return failed
 }
 
 // parseBenchLine parses one result line:

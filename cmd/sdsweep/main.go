@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/sdsim"
 )
@@ -31,6 +33,9 @@ func main() {
 		asPlot  = flag.Bool("plot", false, "render figures 4-6 as ASCII charts too")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
 		users      = flag.Int("users", 0, "number of Users N (0 = the paper's 5)")
 		managers   = flag.Int("managers", 0, "Manager nodes; extras host background services (0 = 1)")
 		registries = flag.Int("registries", 0, "Registry nodes (0 = the system's Table 4 count)")
@@ -40,6 +45,45 @@ func main() {
 		arrivals   = flag.Float64("arrivals", 0, "expected fresh User arrivals over the run (Poisson)")
 	)
 	flag.Parse()
+
+	// Validate before the profilers start: an os.Exit on a bad flag must
+	// not leave a started-but-unflushed (truncated) CPU profile behind.
+	switch *figure {
+	case "4", "5", "6", "7", "loss", "polling", "scale", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdsweep: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sdsweep: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdsweep: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "sdsweep: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	params := sdsim.DefaultParams()
 	params.Runs = *runs
@@ -120,8 +164,10 @@ func main() {
 		with, without := sdsim.Figure7Sweep(params, *workers, progress)
 		emit(sdsim.Figure7(with, without))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
-		os.Exit(2)
+		// Unreachable: the up-front validation rejected unknown figures
+		// before the profilers started. Panic (not os.Exit) so that if the
+		// two lists ever diverge, the deferred profile teardown still runs.
+		panic(fmt.Sprintf("figure %q passed validation but has no dispatch case", *figure))
 	}
 }
 

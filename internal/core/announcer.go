@@ -42,6 +42,9 @@ func (a *Announcer) Running() bool { return a.tick.Running() }
 // (used on boot and on Central takeover).
 func (a *Announcer) AnnounceNow() { a.announce() }
 
+// Rearm resets the announcer for workspace reuse after a Kernel.Reset.
+func (a *Announcer) Rearm() { a.tick.Rearm() }
+
 func (a *Announcer) announce() {
 	a.nw.Multicast(a.from, a.group, a.make(), a.copies)
 }

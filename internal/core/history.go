@@ -21,9 +21,11 @@ func NewUpdateHistory() *UpdateHistory {
 	return &UpdateHistory{obtained: make(map[netsim.NodeID]uint64)}
 }
 
-// Record appends a snapshot of the record after a service change.
+// Record appends the record after a service change. The record's SD is an
+// immutable shared snapshot, so retaining it costs nothing and needs no
+// copy.
 func (h *UpdateHistory) Record(rec discovery.ServiceRecord) {
-	h.entries = append(h.entries, rec.Clone())
+	h.entries = append(h.entries, rec)
 }
 
 // Since returns the recorded snapshots with version strictly greater than
@@ -32,11 +34,20 @@ func (h *UpdateHistory) Record(rec discovery.ServiceRecord) {
 func (h *UpdateHistory) Since(version uint64) []discovery.ServiceRecord {
 	out := []discovery.ServiceRecord{}
 	for _, e := range h.entries {
-		if e.SD.Version > version {
-			out = append(out, e.Clone())
+		if e.SD.Version() > version {
+			out = append(out, e)
 		}
 	}
 	return out
+}
+
+// Reset empties the history (workspace reuse), keeping capacity. The
+// tail is zeroed so the retained backing array does not pin the previous
+// run's snapshots.
+func (h *UpdateHistory) Reset() {
+	clear(h.entries)
+	h.entries = h.entries[:0]
+	clear(h.obtained)
 }
 
 // Confirm records that a User has obtained everything up to version, then
@@ -77,9 +88,14 @@ func (h *UpdateHistory) compact() {
 	}
 	keep := h.entries[:0]
 	for _, e := range h.entries {
-		if e.SD.Version > min {
+		if e.SD.Version() > min {
 			keep = append(keep, e)
 		}
+	}
+	// Release the dropped tail so the retained slice does not pin old
+	// snapshots.
+	for i := len(keep); i < len(h.entries); i++ {
+		h.entries[i] = discovery.ServiceRecord{}
 	}
 	h.entries = keep
 }

@@ -9,7 +9,7 @@ import (
 func rec(v uint64) discovery.ServiceRecord {
 	return discovery.ServiceRecord{Manager: 1, SD: discovery.ServiceDescription{
 		DeviceType: "Printer", ServiceType: "ColorPrinter",
-		Attributes: map[string]string{"v": "x"}, Version: v}}
+		Attributes: map[string]string{"v": "x"}, Version: v}.Freeze()}
 }
 
 func TestUpdateHistorySince(t *testing.T) {
@@ -18,7 +18,7 @@ func TestUpdateHistorySince(t *testing.T) {
 		h.Record(rec(v))
 	}
 	got := h.Since(2)
-	if len(got) != 2 || got[0].SD.Version != 3 || got[1].SD.Version != 4 {
+	if len(got) != 2 || got[0].SD.Version() != 3 || got[1].SD.Version() != 4 {
 		t.Fatalf("Since(2) = %v", got)
 	}
 	if len(h.Since(10)) != 0 {
@@ -63,18 +63,21 @@ func TestUpdateHistoryDisinterestedUnblocks(t *testing.T) {
 	}
 }
 
-func TestUpdateHistoryCopiesRecords(t *testing.T) {
+func TestUpdateHistorySharesImmutableSnapshots(t *testing.T) {
+	// The history shares the immutable snapshot by reference: nothing the
+	// caller can do to its own builder affects a recorded entry, and a
+	// described copy of an entry is independent storage.
 	h := NewUpdateHistory()
 	r := rec(1)
 	h.Record(r)
-	r.SD.Attributes["v"] = "mutated"
 	got := h.Since(0)
-	if got[0].SD.Attributes["v"] != "x" {
-		t.Error("history aliases caller's record")
+	if got[0].SD != r.SD {
+		t.Error("history should share the immutable snapshot pointer")
 	}
-	got[0].SD.Attributes["v"] = "mutated2"
-	if h.Since(0)[0].SD.Attributes["v"] != "x" {
-		t.Error("Since returns aliased records")
+	desc := got[0].SD.Describe()
+	desc.Attributes["v"] = "mutated"
+	if h.Since(0)[0].SD.Attr("v") != "x" {
+		t.Error("Describe returned aliased attribute storage")
 	}
 }
 

@@ -21,6 +21,12 @@ func NewInconsistentSet() *InconsistentSet {
 	return &InconsistentSet{users: make(map[netsim.NodeID]bool)}
 }
 
+// Reset empties the set entirely (workspace reuse), keeping capacity.
+func (s *InconsistentSet) Reset() {
+	s.version = 0
+	clear(s.users)
+}
+
 // ResetVersion clears the set for a fresh service version: a new change
 // restarts the whole notification process, so stale entries are dropped
 // ("the service changes again, requiring the Manager to reset the

@@ -21,7 +21,11 @@ type RetryPolicy struct {
 
 // Retry drives one acknowledged transmission: it sends immediately on
 // Start and retransmits on the policy's schedule until stopped (ack
-// received, superseded, lease expired) or exhausted.
+// received, superseded, lease expired) or exhausted. A Retry can be
+// embedded by value and initialized with Init, so pooled owners (the
+// FRODO propagator) carry their schedule without a separate allocation;
+// the retransmission timer goes through a static kernel callback, so the
+// schedule itself allocates nothing per attempt.
 type Retry struct {
 	k           *sim.Kernel
 	policy      RetryPolicy
@@ -37,11 +41,35 @@ type Retry struct {
 // onExhausted, which may be nil, runs when a finite policy runs out of
 // attempts — for FRODO this is the hand-off from SRN1 to SRN2.
 func NewRetry(k *sim.Kernel, policy RetryPolicy, send func(attempt int), onExhausted func()) *Retry {
+	r := &Retry{}
+	r.Init(k, policy, send, onExhausted)
+	return r
+}
+
+// Init prepares an embedded Retry in place; see NewRetry.
+func (r *Retry) Init(k *sim.Kernel, policy RetryPolicy, send func(attempt int), onExhausted func()) {
 	if policy.Interval <= 0 {
 		panic("core: retry interval must be positive")
 	}
-	return &Retry{k: k, policy: policy, send: send, onExhausted: onExhausted}
+	r.k = k
+	r.policy = policy
+	r.send = send
+	r.onExhausted = onExhausted
+	r.sent = 0
+	r.timer = nil
+	r.active = false
 }
+
+// SetPolicy replaces the schedule used by future Starts.
+func (r *Retry) SetPolicy(policy RetryPolicy) {
+	if policy.Interval <= 0 {
+		panic("core: retry interval must be positive")
+	}
+	r.policy = policy
+}
+
+// retryFire is the static kernel callback shared by every retry schedule.
+func retryFire(x any) { x.(*Retry).attempt() }
 
 // Start performs the first transmission and arms the schedule. Starting an
 // active retry restarts its attempt count.
@@ -71,7 +99,7 @@ func (r *Retry) attempt() {
 	}
 	r.sent++
 	r.send(r.sent)
-	r.timer = r.k.After(r.policy.Interval, r.attempt)
+	r.timer = r.k.AfterArg(r.policy.Interval, retryFire, r)
 }
 
 // Stop halts retransmission: the acknowledgement arrived, the
@@ -81,6 +109,14 @@ func (r *Retry) Stop() {
 	r.active = false
 	r.timer.Cancel() // always pending (or nil): attempt nils the fired event
 	r.timer = nil
+}
+
+// Rearm resets the schedule for workspace reuse after a Kernel.Reset: the
+// retained event reference is dropped without touching the kernel.
+func (r *Retry) Rearm() {
+	r.active = false
+	r.timer = nil
+	r.sent = 0
 }
 
 // Active reports whether the schedule is still running.

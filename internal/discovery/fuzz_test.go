@@ -4,7 +4,9 @@ import "testing"
 
 // FuzzQueryMatches exercises the matcher with arbitrary field contents:
 // it must never panic, must be deterministic, and an exact self-query
-// must always match.
+// must always match. Matching goes through frozen snapshots — the only
+// form protocol code matches against — and freezing must never change a
+// match result.
 func FuzzQueryMatches(f *testing.F) {
 	f.Add("Printer", "ColorPrinter", "PaperSize", "A4", "Location", "Study")
 	f.Add("", "", "", "", "", "")
@@ -15,29 +17,67 @@ func FuzzQueryMatches(f *testing.F) {
 			ServiceType: svc,
 			Attributes:  map[string]string{k1: v1, k2: v2},
 		}
+		snap := sd.Freeze()
 		self := Query{DeviceType: dev, ServiceType: svc,
 			Attributes: map[string]string{k1: v1}}
-		if !self.Matches(sd) {
-			t.Fatalf("self-query failed to match: %+v", sd)
+		if !self.Matches(snap) {
+			t.Fatalf("self-query failed to match: %v", snap)
 		}
-		a := Query{DeviceType: dev, Attributes: map[string]string{k2: v2}}.Matches(sd)
-		b := Query{DeviceType: dev, Attributes: map[string]string{k2: v2}}.Matches(sd)
+		a := Query{DeviceType: dev, Attributes: map[string]string{k2: v2}}.Matches(snap)
+		b := Query{DeviceType: dev, Attributes: map[string]string{k2: v2}}.Matches(snap)
 		if a != b {
 			t.Fatal("Matches is not deterministic")
 		}
-		// Cloning never changes match results.
-		if self.Matches(sd.Clone()) != self.Matches(sd) {
-			t.Fatal("Clone changed match result")
+		// Re-freezing (a fresh snapshot of the same builder) never changes
+		// match results.
+		if self.Matches(sd.Freeze()) != self.Matches(snap) {
+			t.Fatal("Freeze changed match result")
+		}
+		// A content-preserving mutation (version bump only) never changes
+		// match results either: queries are version-blind.
+		if self.Matches(snap.Mutate(nil)) != self.Matches(snap) {
+			t.Fatal("version-only Mutate changed match result")
+		}
+	})
+}
+
+// FuzzSnapshotMutate exercises copy-on-write: mutating a snapshot must
+// produce a new version without disturbing the original, for arbitrary
+// attribute contents.
+func FuzzSnapshotMutate(f *testing.F) {
+	f.Add("Printer", "ColorPrinter", "PaperSize", "A4", "Tray", "empty")
+	f.Add("", "", "", "", "", "")
+	f.Add("日本", "語", "k\x00", "v", "k\x00", "w")
+	f.Fuzz(func(t *testing.T, dev, svc, k, v, mk, mv string) {
+		base := ServiceDescription{DeviceType: dev, ServiceType: svc,
+			Attributes: map[string]string{k: v}}.Freeze()
+		before := base.Describe()
+		next := base.Mutate(func(attrs map[string]string) { attrs[mk] = mv })
+		if next.Version() != base.Version()+1 {
+			t.Fatalf("Mutate version %d, want %d", next.Version(), base.Version()+1)
+		}
+		if next.Attr(mk) != mv {
+			t.Fatalf("Mutate lost the mutation: %q != %q", next.Attr(mk), mv)
+		}
+		if !base.Describe().Equal(before) {
+			t.Fatalf("Mutate disturbed the original snapshot: %v != %v", base, before)
+		}
+		if mk != k && next.Attr(k) != v {
+			t.Fatal("Mutate dropped an unrelated attribute")
 		}
 	})
 }
 
 // FuzzSDString ensures rendering arbitrary descriptions never panics and
-// always carries the paper's notation markers.
+// always carries the paper's notation markers, in both builder and
+// snapshot form, and that the two renderings agree.
 func FuzzSDString(f *testing.F) {
 	f.Add("Printer", "ColorPrinter", "a", "b", uint64(3))
-	f.Add("", "", "", "", uint64(0))
+	f.Add("", "", "", "", uint64(1))
 	f.Fuzz(func(t *testing.T, dev, svc, k, v string, ver uint64) {
+		if ver == 0 {
+			ver = 1 // Freeze normalizes version 0 to 1
+		}
 		sd := ServiceDescription{DeviceType: dev, ServiceType: svc,
 			Attributes: map[string]string{k: v}, Version: ver}
 		s := sd.String()
@@ -48,6 +88,9 @@ func FuzzSDString(f *testing.F) {
 			if !containsStr(s, marker) {
 				t.Fatalf("rendering %q missing %q", s, marker)
 			}
+		}
+		if got := sd.Freeze().String(); got != s {
+			t.Fatalf("snapshot rendering %q != builder rendering %q", got, s)
 		}
 	})
 }

@@ -14,30 +14,68 @@ import (
 // Iteration (Each, Keys) follows insertion order: protocols fan messages
 // out while iterating, and a random order would draw network delays in a
 // different sequence on every run, breaking deterministic replay.
+//
+// Entries are pooled: Drop and expiry recycle the entry struct (and its
+// lease deadline) onto a free list for the next Put, so steady-state
+// membership churn allocates nothing.
 type LeaseTable[K comparable, V any] struct {
 	k        *sim.Kernel
 	onExpire func(K, V)
-	entries  map[K]*leaseEntry[V]
+	entries  map[K]*leaseEntry[K, V]
 	order    []K
+	free     *leaseEntry[K, V]
+
+	// scratch snapshots the key order for Each/EachKey so callbacks may
+	// mutate the table mid-iteration; iterating marks it in use so a
+	// nested iteration falls back to a private copy.
+	scratch   []K
+	iterating bool
 }
 
-type leaseEntry[V any] struct {
+type leaseEntry[K comparable, V any] struct {
+	key      K
 	value    V
 	deadline *sim.Deadline
+	next     *leaseEntry[K, V] // free-list link while recycled
 }
 
 // NewLeaseTable creates a table on the given kernel. onExpire may be nil.
 func NewLeaseTable[K comparable, V any](k *sim.Kernel, onExpire func(K, V)) *LeaseTable[K, V] {
-	return &LeaseTable[K, V]{k: k, onExpire: onExpire, entries: make(map[K]*leaseEntry[V])}
+	return &LeaseTable[K, V]{k: k, onExpire: onExpire, entries: make(map[K]*leaseEntry[K, V])}
+}
+
+// alloc takes an entry from the free list or makes a new one. The entry's
+// deadline is created once, bound to the entry, and follows it through
+// every recycle: the expiry callback reads the entry's current key.
+func (t *LeaseTable[K, V]) alloc() *leaseEntry[K, V] {
+	e := t.free
+	if e == nil {
+		e = &leaseEntry[K, V]{}
+		e.deadline = sim.NewDeadline(t.k, func() { t.expire(e.key) })
+		return e
+	}
+	t.free = e.next
+	e.next = nil
+	return e
+}
+
+// release returns an entry to the free list, dropping its value so the
+// pool does not pin payloads for GC.
+func (t *LeaseTable[K, V]) release(e *leaseEntry[K, V]) {
+	var zeroV V
+	var zeroK K
+	e.value = zeroV
+	e.key = zeroK
+	e.next = t.free
+	t.free = e
 }
 
 // Put inserts or replaces the entry and (re)starts its lease.
 func (t *LeaseTable[K, V]) Put(key K, v V, lease sim.Duration) {
 	e, ok := t.entries[key]
 	if !ok {
-		e = &leaseEntry[V]{}
-		key := key
-		e.deadline = sim.NewDeadline(t.k, func() { t.expire(key) })
+		e = t.alloc()
+		e.key = key
 		t.entries[key] = e
 		t.order = append(t.order, key)
 	}
@@ -86,9 +124,25 @@ func (t *LeaseTable[K, V]) Update(key K, v V) bool {
 func (t *LeaseTable[K, V]) Clear() {
 	for _, e := range t.entries {
 		e.deadline.Clear()
+		t.release(e)
 	}
 	clear(t.entries)
 	t.order = t.order[:0]
+}
+
+// Rearm resets the table for workspace reuse after a Kernel.Reset: every
+// entry is recycled and its deadline's event reference dropped without
+// touching the kernel (the old events no longer exist). Capacity — the
+// map, the order slice and the pooled entries — survives into the next
+// run.
+func (t *LeaseTable[K, V]) Rearm() {
+	for _, e := range t.entries {
+		e.deadline.Rearm()
+		t.release(e)
+	}
+	clear(t.entries)
+	t.order = t.order[:0]
+	t.iterating = false
 }
 
 // Drop removes the entry without invoking the expiry callback.
@@ -97,6 +151,7 @@ func (t *LeaseTable[K, V]) Drop(key K) {
 		e.deadline.Clear()
 		delete(t.entries, key)
 		t.unorder(key)
+		t.release(e)
 	}
 }
 
@@ -112,22 +167,51 @@ func (t *LeaseTable[K, V]) Expiry(key K) (sim.Time, bool) {
 // Len reports the number of live entries.
 func (t *LeaseTable[K, V]) Len() int { return len(t.entries) }
 
-// Keys returns the live keys in insertion order.
+// Keys returns the live keys in insertion order as a fresh slice.
 func (t *LeaseTable[K, V]) Keys() []K {
 	out := make([]K, len(t.order))
 	copy(out, t.order)
 	return out
 }
 
+// snapshotOrder captures the current key order into the reusable scratch
+// buffer (or a fresh copy when an iteration is already running), so the
+// iteration survives entries being added or removed by the callback.
+func (t *LeaseTable[K, V]) snapshotOrder() (keys []K, scratch bool) {
+	if t.iterating {
+		return t.Keys(), false
+	}
+	t.iterating = true
+	t.scratch = append(t.scratch[:0], t.order...)
+	return t.scratch, true
+}
+
 // Each calls fn for every live entry in insertion order. Entries removed
 // by fn (Drop, expiry cascades) are skipped; entries added by fn are not
 // visited.
 func (t *LeaseTable[K, V]) Each(fn func(K, V)) {
-	keys := t.Keys()
+	keys, scratch := t.snapshotOrder()
 	for _, k := range keys {
 		if e, ok := t.entries[k]; ok {
 			fn(k, e.value)
 		}
+	}
+	if scratch {
+		t.iterating = false
+	}
+}
+
+// EachKey calls fn for every live key in insertion order, with the same
+// mid-iteration mutation guarantees as Each and no value copies.
+func (t *LeaseTable[K, V]) EachKey(fn func(K)) {
+	keys, scratch := t.snapshotOrder()
+	for _, k := range keys {
+		if _, ok := t.entries[k]; ok {
+			fn(k)
+		}
+	}
+	if scratch {
+		t.iterating = false
 	}
 }
 
@@ -138,8 +222,10 @@ func (t *LeaseTable[K, V]) expire(key K) {
 	}
 	delete(t.entries, key)
 	t.unorder(key)
+	value := e.value
+	t.release(e)
 	if t.onExpire != nil {
-		t.onExpire(key, e.value)
+		t.onExpire(key, value)
 	}
 }
 

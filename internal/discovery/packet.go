@@ -87,10 +87,10 @@ type Subscribe struct {
 // subscriber can correlate. Rec carries the current service state when
 // the protocol delivers initial state on subscription (UPnP eventing,
 // FRODO resubscription): that is how PR3/PR4 recoveries restore
-// consistency. Jini leaves Rec nil — hence PR2.
+// consistency. Jini leaves Rec.SD nil — hence PR2.
 type SubscribeAck struct {
 	Manager netsim.NodeID
-	Rec     *ServiceRecord
+	Rec     ServiceRecord
 }
 
 // Renew refreshes a subscription lease (SubscriptionRenew in Fig. 1).

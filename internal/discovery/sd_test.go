@@ -78,19 +78,22 @@ func TestQueryMatching(t *testing.T) {
 		{"full match", Query{DeviceType: "Printer", ServiceType: "ColorPrinter",
 			Attributes: map[string]string{"PaperSize": "A4"}}, true},
 	}
+	snap := sd.Freeze()
 	for _, c := range cases {
-		if got := c.q.Matches(sd); got != c.want {
+		if got := c.q.Matches(snap); got != c.want {
 			t.Errorf("%s: Matches = %v, want %v", c.name, got, c.want)
 		}
 	}
 }
 
-func TestServiceRecordClone(t *testing.T) {
-	r := ServiceRecord{Manager: 3, SD: printerSD()}
-	cp := r.Clone()
-	cp.SD.Attributes["PaperSize"] = "A3"
-	if r.SD.Attributes["PaperSize"] != "A4" {
-		t.Error("record Clone aliases attributes")
+func TestServiceRecordSharesSnapshot(t *testing.T) {
+	r := ServiceRecord{Manager: 3, SD: printerSD().Freeze()}
+	cp := r // records are plain values; the snapshot behind SD is shared
+	if cp.SD != r.SD {
+		t.Error("record copy should share the snapshot pointer")
+	}
+	if cp.SD.Attr("PaperSize") != "A4" {
+		t.Error("snapshot lost attribute content")
 	}
 }
 
@@ -182,7 +185,7 @@ func TestQuickSubsetQueryMatches(t *testing.T) {
 		if useSvc {
 			q.ServiceType = svc
 		}
-		return q.Matches(sd)
+		return q.Matches(sd.Freeze())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

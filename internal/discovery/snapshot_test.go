@@ -1,0 +1,82 @@
+package discovery
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotMutateIsCopyOnWrite pins the core contract: Mutate derives
+// a new snapshot and the original is untouched, attribute by attribute.
+func TestSnapshotMutateIsCopyOnWrite(t *testing.T) {
+	base := printerSD().Freeze()
+	next := base.Mutate(func(attrs map[string]string) {
+		attrs["PaperSize"] = "Letter"
+		attrs["Tray"] = "empty"
+	})
+	if base.Version() != 1 || next.Version() != 2 {
+		t.Fatalf("versions = %d → %d, want 1 → 2", base.Version(), next.Version())
+	}
+	if base.Attr("PaperSize") != "A4" || base.Attr("Tray") != "" {
+		t.Errorf("Mutate disturbed the original: %v", base)
+	}
+	if next.Attr("PaperSize") != "Letter" || next.Attr("Tray") != "empty" {
+		t.Errorf("Mutate lost changes: %v", next)
+	}
+	if next == base {
+		t.Error("Mutate returned the receiver")
+	}
+}
+
+// TestSnapshotFreezeDetachesBuilder proves freezing copies the builder's
+// attribute map: later builder mutations are invisible to the snapshot.
+func TestSnapshotFreezeDetachesBuilder(t *testing.T) {
+	sd := printerSD()
+	snap := sd.Freeze()
+	sd.Attributes["PaperSize"] = "mutated"
+	if snap.Attr("PaperSize") != "A4" {
+		t.Error("Freeze aliases the builder's attribute map")
+	}
+}
+
+// TestSnapshotConcurrentReadersDuringMutate is the race proof behind the
+// share-by-reference design: many goroutines hammer a published snapshot
+// with reads while the writer keeps deriving new versions from it. Under
+// `go test -race` any mutation of shared state would be reported; the
+// absence of a report is the type-level guarantee the protocol caches
+// rely on when they hold a Manager's snapshot without copying it.
+func TestSnapshotConcurrentReadersDuringMutate(t *testing.T) {
+	published := printerSD().Freeze()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if published.Attr("PaperSize") != "A4" {
+					t.Error("reader observed a mutation of the published snapshot")
+					return
+				}
+				_ = published.String()
+				_ = published.Version()
+				_ = Query{ServiceType: "ColorPrinter"}.Matches(published)
+			}
+		}()
+	}
+	// The "Manager" changes the service many times; every change is a new
+	// snapshot, never a write to the published one.
+	cur := published
+	for i := 0; i < 1000; i++ {
+		cur = cur.Mutate(func(attrs map[string]string) { attrs["PaperSize"] = "Letter" })
+	}
+	close(stop)
+	wg.Wait()
+	if cur.Version() != 1001 || published.Version() != 1 {
+		t.Errorf("versions drifted: cur=%d published=%d", cur.Version(), published.Version())
+	}
+}

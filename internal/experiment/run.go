@@ -127,11 +127,15 @@ type RunSpec struct {
 
 // Run executes one full scenario and returns the raw observations. It
 // draws a pooled Workspace, so callers that loop over Run reuse kernel,
-// network and recorder capacity across iterations.
+// network, recorder and — for same-shape runs — whole protocol-instance
+// graphs across iterations. The deferred Put keeps a panicking run from
+// leaking its workspace; the panic still propagates, and the workspace's
+// next user rebuilds from a clean Reset, so a half-built scenario cannot
+// poison the pool.
 func Run(spec RunSpec) metrics.RunResult {
 	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
 	res, _ := runInWorkspace(ws, spec)
-	wsPool.Put(ws)
 	return res
 }
 

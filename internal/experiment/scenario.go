@@ -26,6 +26,11 @@ type Options struct {
 	Loss float64
 }
 
+// hasMutators reports whether any configuration hook is set.
+func (o Options) hasMutators() bool {
+	return o.UPnP != nil || o.Jini != nil || o.Frodo != nil
+}
+
 // Scenario is one built system instance on its own kernel and network.
 type Scenario struct {
 	System System
@@ -55,6 +60,24 @@ type Scenario struct {
 	// retired freezes the outcomes of permanently departed Users whose
 	// node slots were recycled for later arrivals.
 	retired []metrics.UserOutcome
+
+	// rearm replays construction for workspace reuse: one closure per
+	// boot entity in build order, each restoring the node slot's name,
+	// rearming the protocol instance and re-scheduling its boot with the
+	// same kernel calls (and RNG draws) the fresh build made. bootNodes
+	// is the node-slot count at the end of construction — slots beyond it
+	// belong to churn arrivals and are released on rearm.
+	rearm     []func()
+	bootNodes int
+}
+
+// rearmable is the replay surface shared by every protocol instance the
+// rearm plan manages: reset to construction state, reschedule the boot,
+// report the node slot.
+type rearmable interface {
+	Rearm()
+	Start(sim.Duration)
+	ID() netsim.NodeID
 }
 
 // recorder observes User cache writes and keeps the first time each User
@@ -144,11 +167,24 @@ func BuildTopology(sys System, k *sim.Kernel, topo Topology, opts Options) *Scen
 
 // buildTopology is BuildTopology with an optional workspace: with ws set
 // the scenario borrows the workspace's network, recorder and ledgers
-// (reset, capacity retained) instead of allocating fresh ones.
+// (reset, capacity retained) instead of allocating fresh ones — and,
+// when the workspace's cached scenario already has this exact shape, the
+// whole protocol-instance graph is rearmed in place instead of rebuilt.
 func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts Options) *Scenario {
 	topo = topo.normalized(sys, 0)
 	netCfg := netsim.DefaultConfig()
 	netCfg.Loss = opts.Loss
+	key := scenarioKey{sys: sys, topo: topo, loss: opts.Loss, hasMutators: opts.hasMutators()}
+	if ws != nil && ws.reusable(key) {
+		return rearmTopology(ws, k, netCfg)
+	}
+	if ws != nil {
+		// Invalidate before touching the network: a panic mid-build must
+		// not leave a stale cached scenario that a later same-shape run
+		// would rearm against rebuilt node slots.
+		ws.invalidate()
+	}
+
 	sc := &Scenario{System: sys, Topo: topo, K: k, TargetVersion: 2}
 	if ws != nil {
 		sc.Net = ws.network(k, netCfg)
@@ -159,6 +195,9 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 		sc.absent = map[netsim.NodeID]bool{}
 		sc.stopUser = map[netsim.NodeID]func() bool{}
 	}
+	// Rearm closures are only worth recording when a workspace may reuse
+	// them.
+	record := ws != nil
 	nw := sc.Net
 
 	// Nodes boot staggered inside the first seconds; discovery completes
@@ -172,6 +211,33 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 		return userBase + sim.Duration(i)*topo.UserBootSpacing + k.UniformDuration(0, topo.BootJitter)
 	}
 
+	// The recorded rearm closures: one per boot entity, replaying exactly
+	// what construction did — restore the slot name, reset the instance,
+	// re-draw the boot jitter and reschedule — in build order, so the
+	// kernel sees the same calls (and RNG draws) as a fresh build.
+	addInfraRearm := func(inst rearmable, name string, slot int) {
+		if !record {
+			return
+		}
+		sc.rearm = append(sc.rearm, func() {
+			nw.Node(inst.ID()).Name = name
+			inst.Rearm()
+			inst.Start(infraBoot(slot))
+		})
+	}
+	addUserRearm := func(u rearmable, name string, i int, stop func() bool) {
+		if !record {
+			return
+		}
+		sc.rearm = append(sc.rearm, func() {
+			nw.Node(u.ID()).Name = name
+			u.Rearm()
+			u.Start(userBoot(i))
+			sc.UserIDs = append(sc.UserIDs, u.ID())
+			sc.stopUser[u.ID()] = stop
+		})
+	}
+
 	switch sys {
 	case UPnP:
 		cfg := upnp.DefaultConfig()
@@ -179,26 +245,38 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 			opts.UPnP(&cfg)
 		}
 		for j := 0; j < topo.Managers; j++ {
+			j := j
 			sd := printerSD()
 			if j > 0 {
 				sd = auxSD(topo, j)
 			}
-			m := upnp.NewManager(nw.AddNode(managerName(j)), cfg, sd)
+			name := managerName(j)
+			m := upnp.NewManager(nw.AddNode(name), cfg, sd)
 			m.Start(infraBoot(j))
 			if j == 0 {
 				sc.ManagerID = m.ID()
 				sc.Change = func() { m.ChangeService(changePrinter) }
 			}
+			addInfraRearm(m, name, j)
 		}
-		newUser := func(name string, boot sim.Duration) netsim.NodeID {
+		newUser := func(name string) *upnp.User {
 			u := upnp.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
-			u.Start(boot)
 			sc.stopUser[u.ID()] = func() bool { u.Stop(); return true }
+			return u
+		}
+		sc.makeUser = func(name string) netsim.NodeID {
+			u := newUser(name)
+			u.Start(0)
 			return u.ID()
 		}
-		sc.makeUser = func(name string) netsim.NodeID { return newUser(name, 0) }
 		for i := 0; i < topo.Users; i++ {
-			sc.UserIDs = append(sc.UserIDs, newUser(userName(i), userBoot(i)))
+			i := i
+			name := userName(i)
+			u := newUser(name)
+			stop := sc.stopUser[u.ID()]
+			u.Start(userBoot(i))
+			sc.UserIDs = append(sc.UserIDs, u.ID())
+			addUserRearm(u, name, i, stop)
 		}
 
 	case Jini1, Jini2:
@@ -207,30 +285,45 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 			opts.Jini(&cfg)
 		}
 		for i := 0; i < topo.Registries; i++ {
-			reg := jini.NewRegistry(nw.AddNode(registryName(sys, i)), cfg)
+			i := i
+			name := registryName(sys, i)
+			reg := jini.NewRegistry(nw.AddNode(name), cfg)
 			reg.Start(infraBoot(i))
+			addInfraRearm(reg, name, i)
 		}
 		for j := 0; j < topo.Managers; j++ {
+			j := j
 			sd := printerSD()
 			if j > 0 {
 				sd = auxSD(topo, j)
 			}
-			m := jini.NewManager(nw.AddNode(managerName(j)), cfg, sd)
+			name := managerName(j)
+			m := jini.NewManager(nw.AddNode(name), cfg, sd)
 			m.Start(infraBoot(topo.Registries + j))
 			if j == 0 {
 				sc.ManagerID = m.ID()
 				sc.Change = func() { m.ChangeService(changePrinter) }
 			}
+			addInfraRearm(m, name, topo.Registries+j)
 		}
-		newUser := func(name string, boot sim.Duration) netsim.NodeID {
+		newUser := func(name string) *jini.User {
 			u := jini.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
-			u.Start(boot)
 			sc.stopUser[u.ID()] = func() bool { u.Stop(); return true }
+			return u
+		}
+		sc.makeUser = func(name string) netsim.NodeID {
+			u := newUser(name)
+			u.Start(0)
 			return u.ID()
 		}
-		sc.makeUser = func(name string) netsim.NodeID { return newUser(name, 0) }
 		for i := 0; i < topo.Users; i++ {
-			sc.UserIDs = append(sc.UserIDs, newUser(userName(i), userBoot(i)))
+			i := i
+			name := userName(i)
+			u := newUser(name)
+			stop := sc.stopUser[u.ID()]
+			u.Start(userBoot(i))
+			sc.UserIDs = append(sc.UserIDs, u.ID())
+			addUserRearm(u, name, i, stop)
 		}
 
 	case Frodo3P, Frodo2P:
@@ -246,38 +339,81 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 			opts.Frodo(&cfg)
 		}
 		for i := 0; i < topo.Registries; i++ {
-			reg := frodo.NewNode(nw.AddNode(registryName(sys, i)), cfg, frodo.Class300D, registryPower(i))
+			i := i
+			name := registryName(sys, i)
+			reg := frodo.NewNode(nw.AddNode(name), cfg, frodo.Class300D, registryPower(i))
 			reg.Start(infraBoot(i))
+			addInfraRearm(reg, name, i)
 		}
 		for j := 0; j < topo.Managers; j++ {
+			j := j
 			sd := printerSD()
 			if j > 0 {
 				sd = auxSD(topo, j)
 			}
-			mn := frodo.NewNode(nw.AddNode(managerName(j)), cfg, mgrClass, mgrPower)
+			name := managerName(j)
+			mn := frodo.NewNode(nw.AddNode(name), cfg, mgrClass, mgrPower)
 			m := mn.AttachManager(sd)
 			mn.Start(infraBoot(topo.Registries + j))
 			if j == 0 {
 				sc.ManagerID = m.ID()
 				sc.Change = func() { m.ChangeService(changePrinter) }
 			}
+			addInfraRearm(mn, name, topo.Registries+j)
 		}
-		newUser := func(name string, boot sim.Duration) netsim.NodeID {
+		newUser := func(name string) *frodo.Node {
 			un := frodo.NewNode(nw.AddNode(name), cfg, userClass, 1)
-			u := un.AttachUser(printerQuery, sc.rec)
-			un.Start(boot)
-			sc.stopUser[u.ID()] = un.Detach
-			return u.ID()
+			un.AttachUser(printerQuery, sc.rec)
+			sc.stopUser[un.ID()] = un.Detach
+			return un
 		}
-		sc.makeUser = func(name string) netsim.NodeID { return newUser(name, 0) }
+		sc.makeUser = func(name string) netsim.NodeID {
+			un := newUser(name)
+			un.Start(0)
+			return un.ID()
+		}
 		for i := 0; i < topo.Users; i++ {
-			sc.UserIDs = append(sc.UserIDs, newUser(userName(i), userBoot(i)))
+			i := i
+			name := userName(i)
+			un := newUser(name)
+			stop := sc.stopUser[un.ID()]
+			un.Start(userBoot(i))
+			sc.UserIDs = append(sc.UserIDs, un.ID())
+			addUserRearm(un, name, i, stop)
 		}
 
 	default:
 		panic("experiment: unknown system")
 	}
 	sc.rec.manager = sc.ManagerID
+	sc.bootNodes = nw.Nodes()
+	if record {
+		ws.cache(sc, key)
+	}
+	return sc
+}
+
+// rearmTopology replays the cached scenario's construction on the reset
+// kernel: the network keeps the boot node slots (endpoints re-bound by
+// each instance's rearm), the workspace ledgers are cleared, and the
+// recorded rearm closures re-run the boot schedule in build order — the
+// same kernel calls, the same RNG draws, the same event sequence numbers
+// as a fresh build, with ~no allocation.
+func rearmTopology(ws *Workspace, k *sim.Kernel, netCfg netsim.Config) *Scenario {
+	sc := ws.scen
+	key := ws.scenKey
+	// Same panic-safety rule as the cold build: only a fully rearmed
+	// scenario may stay cached.
+	ws.invalidate()
+	sc.K = k
+	sc.Net.Rearm(k, netCfg, sc.bootNodes)
+	sc.rec, sc.absent, sc.stopUser, sc.UserIDs, sc.retired = ws.scratch(sc.Topo.Users)
+	sc.TargetVersion = 2
+	for _, replay := range sc.rearm {
+		replay()
+	}
+	sc.rec.manager = sc.ManagerID
+	ws.cache(sc, key)
 	return sc
 }
 

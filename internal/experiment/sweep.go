@@ -80,8 +80,12 @@ func Sweep(cfg SweepConfig) SweepResult {
 			defer wg.Done()
 			// One workspace per worker: consecutive runs on this goroutine
 			// reuse the kernel's event pool, the network's node and group
-			// storage, and the recorder maps instead of reallocating them.
+			// storage, the recorder maps — and, per system shape, the whole
+			// protocol-instance graph. TrustOptions is sound here because a
+			// sweep's per-system Options are fixed for its whole lifetime
+			// (cfg.Opts / cfg.OptsFor never change mid-sweep).
 			ws := NewWorkspace()
+			ws.TrustOptions()
 			for j := range jobs {
 				opts := cfg.Opts
 				if o, ok := cfg.OptsFor[j.sys]; ok {
@@ -130,7 +134,7 @@ func Sweep(cfg SweepConfig) SweepResult {
 	}
 	done := 0
 	for o := range outcomes {
-		cells[o.sys][o.lambdaIdx].Add(o.run, metrics.Summarize(o.res))
+		cells[o.sys][o.lambdaIdx].AddResult(o.run, o.res)
 		if cfg.RetainRaw {
 			raw[o.sys][o.lambdaIdx][o.run] = o.res
 		}

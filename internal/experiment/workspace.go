@@ -16,6 +16,15 @@ import (
 // Kernel.Reset and Network.Reset recycle the structures, so consecutive
 // runs settle into a steady state with almost no fixed-cost allocation.
 //
+// On top of the kernel/network scratch, a workspace caches the last
+// built Scenario — protocol instances, lease tables, recorder state and
+// all. When the next run asks for the same shape (same system, same
+// normalized topology, same loss model, compatible options), the whole
+// ~O(N) object graph is rearmed in place instead of rebuilt: each
+// instance replays its constructor's kernel and network side effects in
+// the original build order, so the run is bit-identical to a fresh
+// build while allocating almost nothing.
+//
 // A Workspace is single-owner and not safe for concurrent use. The
 // Scenario returned by a run borrows the workspace's storage — it is
 // valid only until the workspace's next run.
@@ -28,10 +37,36 @@ type Workspace struct {
 	stopUser map[netsim.NodeID]func() bool
 	userIDs  []netsim.NodeID
 	retired  []metrics.UserOutcome
+
+	// scen is the cached scenario; scenKey identifies the shape it was
+	// built for. trustOpts widens reuse to option sets with mutator
+	// hooks (see TrustOptions).
+	scen      *Scenario
+	scenKey   scenarioKey
+	trustOpts bool
+}
+
+// scenarioKey identifies a reusable scenario shape. Options mutators are
+// function values and carry no comparable identity, so their presence is
+// part of the key: by default a scenario built with mutator hooks is
+// never reused (two distinct closures can share a code pointer), unless
+// the workspace owner vouched for option stability with TrustOptions.
+type scenarioKey struct {
+	sys         System
+	topo        Topology
+	loss        float64
+	hasMutators bool
 }
 
 // NewWorkspace returns an empty workspace; capacity accretes over runs.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// TrustOptions promises that every run on this workspace uses, for any
+// given system, one fixed Options value for the workspace's lifetime.
+// Sweep makes that promise (its per-system options are fixed for the
+// whole sweep), which lets workers rearm scenarios built with ablation
+// or sensitivity mutators instead of rebuilding them every run.
+func (ws *Workspace) TrustOptions() { ws.trustOpts = true }
 
 // kernel returns the workspace kernel reset to seed.
 func (ws *Workspace) kernel(seed int64) *sim.Kernel {
@@ -72,6 +107,34 @@ func (ws *Workspace) scratch(topoUsers int) (rec *recorder, absent map[netsim.No
 	ws.rec.target = 2
 	ws.rec.manager = netsim.NoNode
 	return &ws.rec, ws.absent, ws.stopUser, ws.userIDs[:0], ws.retired[:0]
+}
+
+// reusable reports whether the cached scenario matches the requested
+// shape and may be rearmed instead of rebuilt.
+func (ws *Workspace) reusable(key scenarioKey) bool {
+	if ws.scen == nil || ws.scenKey != key {
+		return false
+	}
+	// Mutator-bearing options are only trusted when the owner vouched
+	// for their stability across this workspace's runs.
+	return !key.hasMutators || ws.trustOpts
+}
+
+// cache records the scenario built for key so the next same-shape run
+// can rearm it. Callers only cache a fully built (or fully rearmed)
+// scenario — never a partial one.
+func (ws *Workspace) cache(sc *Scenario, key scenarioKey) {
+	ws.scen = sc
+	ws.scenKey = key
+}
+
+// invalidate forgets the cached scenario. Builds and rearms call it up
+// front so a panic partway through can never leave a half-initialized
+// graph behind a matching key (the workspace may outlive the panic via
+// the deferred pool Put in Run).
+func (ws *Workspace) invalidate() {
+	ws.scen = nil
+	ws.scenKey = scenarioKey{}
 }
 
 // adopt takes the (possibly regrown) slices back from a finished

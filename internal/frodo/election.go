@@ -52,6 +52,15 @@ func (e *elector) centralKnown() {
 // candidacy event may still fire but checks running and does nothing.
 func (e *elector) stop() { e.centralKnown() }
 
+// rearm resets the elector for workspace reuse after a Kernel.Reset.
+func (e *elector) rearm() {
+	e.running = false
+	e.bestID = netsim.NoNode
+	e.bestPow = 0
+	e.window.Rearm()
+	e.waitWin.Rearm()
+}
+
 func (e *elector) startElection() {
 	if e.running || e.nd.IsCentral() || e.nd.central != netsim.NoNode {
 		return
@@ -61,9 +70,13 @@ func (e *elector) startElection() {
 	e.bestPow = e.nd.power
 	// Small jitter decorrelates candidacies of simultaneously booting
 	// nodes.
-	e.nd.k.After(e.nd.k.UniformDuration(0, sim.Second), e.announceCandidacy)
+	e.nd.k.AfterArg(e.nd.k.UniformDuration(0, sim.Second), electorAnnounce, e)
 	e.window.SetAfter(e.nd.cfg.ElectionWindow)
 }
+
+// electorAnnounce is the static kernel callback for the jittered
+// candidacy transmission.
+func electorAnnounce(x any) { x.(*elector).announceCandidacy() }
 
 func (e *elector) announceCandidacy() {
 	if !e.running {

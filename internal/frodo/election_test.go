@@ -184,8 +184,8 @@ func Test3CManagerRegistersButCannotBeUser(t *testing.T) {
 	if !role.Registered() {
 		t.Error("3C manager failed to register")
 	}
-	if role.SD().Attributes[ClassAttr] != "3C" {
-		t.Errorf("class attribute = %q", role.SD().Attributes[ClassAttr])
+	if role.SD().Attr(ClassAttr) != "3C" {
+		t.Errorf("class attribute = %q", role.SD().Attr(ClassAttr))
 	}
 	if role.TwoParty() {
 		t.Error("3C manager must use 3-party subscription")

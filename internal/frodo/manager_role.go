@@ -15,7 +15,10 @@ import (
 // User is received."
 type ManagerRole struct {
 	nd *Node
-	sd discovery.ServiceDescription
+	// sd is the current immutable description snapshot; initial is the
+	// frozen construction-time state a workspace rearm returns to.
+	sd      *discovery.Snapshot
+	initial *discovery.Snapshot
 
 	registered     bool
 	regRetry       *core.Retry
@@ -33,17 +36,23 @@ type ManagerRole struct {
 
 	// Critical-update state (SRC2).
 	history *core.UpdateHistory
+
+	// ackOut caches the boxed subscription acknowledgement for ackVersion:
+	// its content only changes when the service does, and 2-party boots
+	// send one per subscriber attempt.
+	ackOut     netsim.Outgoing
+	ackVersion uint64
 }
 
 func newManagerRole(nd *Node, sd discovery.ServiceDescription) *ManagerRole {
-	m := &ManagerRole{nd: nd, sd: sd.Clone()}
-	if m.sd.Version == 0 {
-		m.sd.Version = 1
+	m := &ManagerRole{nd: nd}
+	sd = sd.Clone()
+	if sd.Attributes == nil {
+		sd.Attributes = map[string]string{}
 	}
-	if m.sd.Attributes == nil {
-		m.sd.Attributes = map[string]string{}
-	}
-	m.sd.Attributes[ClassAttr] = nd.class.String()
+	sd.Attributes[ClassAttr] = nd.class.String()
+	m.initial = sd.Freeze()
+	m.sd = m.initial
 	m.subs = discovery.NewLeaseTable[netsim.NodeID, struct{}](nd.k, m.onSubscriptionExpired)
 	retry := nd.cfg.NotifyRetry
 	if nd.cfg.CriticalUpdates {
@@ -56,14 +65,48 @@ func newManagerRole(nd *Node, sd discovery.ServiceDescription) *ManagerRole {
 	return m
 }
 
+// rearm resets the role to its construction-time state for workspace
+// reuse.
+func (m *ManagerRole) rearm() {
+	m.sd = m.initial
+	m.registered = false
+	m.regRetry = nil
+	m.regRetryWait = nil
+	m.renewTick.Rearm()
+	m.centralRetry = nil
+	m.centralVersion = 0
+	m.centralAcked = 0
+	m.regVersion = 0
+	m.subs.Rearm()
+	m.prop.Rearm()
+	m.inconsistent.Reset()
+	m.history.Reset()
+	m.ackOut = netsim.Outgoing{}
+	m.ackVersion = 0
+}
+
+// subscribeAck returns the (cached) boxed acknowledgement carrying the
+// current service state.
+func (m *ManagerRole) subscribeAck() netsim.Outgoing {
+	if m.ackOut.Payload == nil || m.ackVersion != m.sd.Version() {
+		m.ackOut = netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.SubscribeAck{}),
+			Counted: true,
+			Payload: discovery.SubscribeAck{Manager: m.nd.n.ID, Rec: m.record()},
+		}
+		m.ackVersion = m.sd.Version()
+	}
+	return m.ackOut
+}
+
 // ID reports the hosting node's ID.
 func (m *ManagerRole) ID() netsim.NodeID { return m.nd.n.ID }
 
-// SD returns a copy of the current service description.
-func (m *ManagerRole) SD() discovery.ServiceDescription { return m.sd.Clone() }
+// SD returns the current service description snapshot.
+func (m *ManagerRole) SD() *discovery.Snapshot { return m.sd }
 
 // Version reports the current service version.
-func (m *ManagerRole) Version() uint64 { return m.sd.Version }
+func (m *ManagerRole) Version() uint64 { return m.sd.Version() }
 
 // Registered reports whether the Manager believes it is registered.
 func (m *ManagerRole) Registered() bool { return m.registered }
@@ -74,9 +117,10 @@ func (m *ManagerRole) Subscribers() int { return m.subs.Len() }
 // TwoParty reports whether this Manager maintains its own subscriptions.
 func (m *ManagerRole) TwoParty() bool { return m.nd.class == Class300D }
 
-// record snapshots the service for the wire.
+// record shares the current snapshot on the wire; the snapshot is
+// immutable, so no copy is needed.
 func (m *ManagerRole) record() discovery.ServiceRecord {
-	return discovery.ServiceRecord{Manager: m.nd.n.ID, SD: m.sd.Clone()}
+	return discovery.ServiceRecord{Manager: m.nd.n.ID, SD: m.sd}
 }
 
 // centralChanged registers with the (new) Central.
@@ -112,7 +156,7 @@ func (m *ManagerRole) register() {
 	}
 	m.regRetryWait.Cancel()
 	m.regRetryWait = nil
-	m.regVersion = m.sd.Version
+	m.regVersion = m.sd.Version()
 	m.regRetry = core.NewRetry(m.nd.k, m.nd.cfg.ControlRetry, func(int) {
 		m.nd.nw.SendUDP(m.nd.n.ID, central, netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.Register{}),
@@ -169,7 +213,7 @@ func (m *ManagerRole) renewRegistration() {
 		m.sendRenew(central)
 		return
 	}
-	if m.centralVersion != 0 && m.centralVersion == m.sd.Version && m.centralAcked < m.sd.Version {
+	if m.centralVersion != 0 && m.centralVersion == m.sd.Version() && m.centralAcked < m.sd.Version() {
 		m.updateCentral()
 		return
 	}
@@ -197,24 +241,22 @@ func (m *ManagerRole) onRenewError(from netsim.NodeID) {
 	m.register()
 }
 
-// ChangeService applies the mutation, bumps the version, and runs the
-// notification process: the Central's repository copy is refreshed (this
-// is the whole 3-party propagation path, and keeps PR1/queries correct in
-// 2-party mode too), and 2-party subscribers are notified directly.
+// ChangeService applies the mutation copy-on-write, bumps the version,
+// and runs the notification process: the Central's repository copy is
+// refreshed (this is the whole 3-party propagation path, and keeps
+// PR1/queries correct in 2-party mode too), and 2-party subscribers are
+// notified directly. Every notification shares the one new snapshot.
 func (m *ManagerRole) ChangeService(mutate func(attrs map[string]string)) {
-	if mutate != nil {
-		mutate(m.sd.Attributes)
-	}
-	m.sd.Version++
+	m.sd = m.sd.Mutate(mutate)
 	if m.nd.cfg.CriticalUpdates {
 		m.history.Record(m.record())
 	}
-	m.inconsistent.ResetVersion(m.sd.Version)
+	m.inconsistent.ResetVersion(m.sd.Version())
 	m.updateCentral()
 	if m.TwoParty() {
 		rec := m.record()
-		m.subs.Each(func(user netsim.NodeID, _ struct{}) {
-			m.prop.Notify(user, rec, m.sd.Version)
+		m.subs.EachKey(func(user netsim.NodeID) {
+			m.prop.Notify(user, rec, m.sd.Version())
 		})
 	}
 }
@@ -229,9 +271,9 @@ func (m *ManagerRole) updateCentral() {
 	if m.centralRetry != nil {
 		m.centralRetry.Stop()
 	}
-	m.centralVersion = m.sd.Version
+	m.centralVersion = m.sd.Version()
 	rec := m.record()
-	seq := m.sd.Version
+	seq := m.sd.Version()
 	m.centralRetry = core.NewRetry(m.nd.k, m.prop.policy, func(int) {
 		m.nd.nw.SendUDP(m.nd.n.ID, central, netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.Update{}),
@@ -256,7 +298,7 @@ func (m *ManagerRole) onCentralUpdateAck(p discovery.UpdateAck) {
 // remember the inconsistent User and retry when it next speaks to us.
 func (m *ManagerRole) onNotifyExhausted(user netsim.NodeID, rec discovery.ServiceRecord) {
 	if m.nd.cfg.Techniques.Has(core.SRN2) {
-		m.inconsistent.Mark(user, rec.SD.Version)
+		m.inconsistent.Mark(user, rec.SD.Version())
 	}
 }
 
@@ -271,12 +313,7 @@ func (m *ManagerRole) onSubscribe(from netsim.NodeID, p discovery.Subscribe) {
 	if m.nd.cfg.CriticalUpdates {
 		m.history.Interested(from)
 	}
-	rec := m.record()
-	m.nd.nw.SendUDP(m.nd.n.ID, from, netsim.Outgoing{
-		Kind:    discovery.Kind(discovery.SubscribeAck{}),
-		Counted: true,
-		Payload: discovery.SubscribeAck{Manager: m.nd.n.ID, Rec: &rec},
-	})
+	m.nd.nw.SendUDP(m.nd.n.ID, from, m.subscribeAck())
 }
 
 // onSubscriptionRenew extends a live subscription and, crucially, runs
@@ -294,7 +331,7 @@ func (m *ManagerRole) onSubscriptionRenew(from netsim.NodeID, p discovery.Renew)
 			Payload: discovery.RenewAck{Manager: m.nd.n.ID},
 		})
 		if m.inconsistent.ShouldRetry(from) {
-			m.prop.Notify(from, m.record(), m.sd.Version)
+			m.prop.Notify(from, m.record(), m.sd.Version())
 		}
 		return
 	}

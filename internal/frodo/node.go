@@ -61,13 +61,46 @@ func NewNode(n *netsim.Node, cfg Config, class Class, power int) *Node {
 	}
 	nd.centralLease = sim.NewDeadline(nd.k, nd.onCentralTimeout)
 	nd.nodeAnnounce = sim.NewTicker(nd.k, cfg.NodeAnnouncePeriod, nd.announcePresence)
-	n.SetEndpoint(nd)
-	nd.nw.Join(n.ID, DiscoveryGroup)
 	if class == Class300D {
 		nd.registry = newRegistryRole(nd)
 		nd.elector = newElector(nd)
 	}
+	nd.bind()
 	return nd
+}
+
+// bind attaches the device to its node slot; construction and Rearm
+// share it.
+func (nd *Node) bind() {
+	nd.n.SetEndpoint(nd)
+	nd.nw.Join(nd.n.ID, DiscoveryGroup)
+}
+
+// Rearm resets the whole device to its construction-time state for
+// workspace reuse: every role, table and timer returns to pristine with
+// its event references dropped (the kernel has been reset), capacity
+// kept, and the node slot re-bound.
+func (nd *Node) Rearm() {
+	nd.central = netsim.NoNode
+	nd.centralPower = 0
+	nd.centralLease.Rearm()
+	nd.nodeAnnounce.Rearm()
+	clear(nd.known300D)
+	if nd.registry != nil {
+		nd.registry.rearm()
+	}
+	if nd.elector != nil {
+		nd.elector.rearm()
+	}
+	if nd.manager != nil {
+		nd.manager.rearm()
+	}
+	if nd.user != nil {
+		nd.user.rearm()
+	}
+	nd.started = false
+	nd.detached = false
+	nd.bind()
 }
 
 // AttachManager adds the Manager role hosting one service. The service
@@ -96,20 +129,24 @@ func (nd *Node) AttachUser(q discovery.Query, l discovery.ConsistencyListener) *
 
 // Start boots the device after the given delay.
 func (nd *Node) Start(bootDelay sim.Duration) {
-	nd.k.After(bootDelay, func() {
-		if nd.detached {
-			return // departed permanently before the boot completed
-		}
-		nd.started = true
-		if nd.class == Class300D {
-			nd.elector.start()
-		} else if nd.central == netsim.NoNode {
-			nd.nodeAnnounce.Start(nd.k.UniformDuration(0, sim.Second))
-		}
-		if nd.user != nil {
-			nd.user.start()
-		}
-	})
+	nd.k.AfterArg(bootDelay, nodeBoot, nd)
+}
+
+// nodeBoot is the static boot callback shared by every FRODO device.
+func nodeBoot(x any) {
+	nd := x.(*Node)
+	if nd.detached {
+		return // departed permanently before the boot completed
+	}
+	nd.started = true
+	if nd.class == Class300D {
+		nd.elector.start()
+	} else if nd.central == netsim.NoNode {
+		nd.nodeAnnounce.Start(nd.k.UniformDuration(0, sim.Second))
+	}
+	if nd.user != nil {
+		nd.user.start()
+	}
 }
 
 // Detach quiesces the whole device for node retirement after a permanent

@@ -13,6 +13,12 @@ import (
 // hands exhausted notifications to an SRN2 callback when the owner
 // enables it. Both the Central (3-party) and 300D Managers (2-party) use
 // it.
+//
+// Notification state is pooled: each pendingNotify embeds its retry
+// schedule and two bound callbacks built once, and recycled entries are
+// reused for later notifications, so steady-state fan-out allocates only
+// the wire payloads. The record carried by a notification shares the
+// immutable description snapshot — no copies.
 type propagator struct {
 	k      *sim.Kernel
 	nw     *netsim.Network
@@ -23,11 +29,22 @@ type propagator struct {
 	onExhausted func(user netsim.NodeID, rec discovery.ServiceRecord)
 
 	pending map[netsim.NodeID]*pendingNotify
+	free    *pendingNotify
 }
 
 type pendingNotify struct {
-	version uint64
-	retry   *core.Retry
+	p    *propagator
+	user netsim.NodeID
+	rec  discovery.ServiceRecord
+	seq  uint64
+	// out is the boxed wire payload, built once per Notify so the
+	// retransmission schedule reuses it across attempts.
+	out netsim.Outgoing
+
+	retry     core.Retry
+	sendFn    func(attempt int)
+	exhaustFn func()
+	next      *pendingNotify // free-list link while recycled
 }
 
 func newPropagator(k *sim.Kernel, nw *netsim.Network, from netsim.NodeID,
@@ -36,29 +53,60 @@ func newPropagator(k *sim.Kernel, nw *netsim.Network, from netsim.NodeID,
 		onExhausted: onExhausted, pending: map[netsim.NodeID]*pendingNotify{}}
 }
 
+// alloc takes a notification record from the free list, or builds a new
+// one with its bound callbacks and embedded retry schedule.
+func (p *propagator) alloc() *pendingNotify {
+	pn := p.free
+	if pn != nil {
+		p.free = pn.next
+		pn.next = nil
+		return pn
+	}
+	pn = &pendingNotify{p: p}
+	pn.sendFn = func(int) {
+		pn.p.nw.SendUDP(pn.p.from, pn.user, pn.out)
+	}
+	pn.exhaustFn = func() {
+		pp := pn.p
+		delete(pp.pending, pn.user)
+		user, rec := pn.user, pn.rec
+		pp.release(pn)
+		if pp.onExhausted != nil {
+			pp.onExhausted(user, rec)
+		}
+	}
+	pn.retry.Init(p.k, p.policy, pn.sendFn, pn.exhaustFn)
+	return pn
+}
+
+func (p *propagator) release(pn *pendingNotify) {
+	pn.rec = discovery.ServiceRecord{}
+	pn.out = netsim.Outgoing{}
+	pn.next = p.free
+	p.free = pn
+}
+
 // Notify starts (or restarts) the acknowledged delivery of rec to user.
 // A newer notification supersedes an outstanding one — "the service
 // changes again, requiring the Manager to reset the notification
 // process".
 func (p *propagator) Notify(user netsim.NodeID, rec discovery.ServiceRecord, seq uint64) {
-	if prev, ok := p.pending[user]; ok {
-		prev.retry.Stop()
+	pn, ok := p.pending[user]
+	if ok {
+		pn.retry.Stop()
+	} else {
+		pn = p.alloc()
+		pn.user = user
+		p.pending[user] = pn
 	}
-	pn := &pendingNotify{version: rec.SD.Version}
-	rec = rec.Clone()
-	pn.retry = core.NewRetry(p.k, p.policy, func(attempt int) {
-		p.nw.SendUDP(p.from, user, netsim.Outgoing{
-			Kind:    discovery.Kind(discovery.Update{}),
-			Counted: true,
-			Payload: discovery.Update{Rec: rec, Seq: seq},
-		})
-	}, func() {
-		delete(p.pending, user)
-		if p.onExhausted != nil {
-			p.onExhausted(user, rec)
-		}
-	})
-	p.pending[user] = pn
+	pn.rec = rec
+	pn.seq = seq
+	pn.out = netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Update{}),
+		Counted: true,
+		Payload: discovery.Update{Rec: rec, Seq: seq},
+	}
+	pn.retry.SetPolicy(p.policy)
 	pn.retry.Start()
 }
 
@@ -69,9 +117,10 @@ func (p *propagator) Ack(user netsim.NodeID, version uint64) {
 	if !ok {
 		return
 	}
-	if version >= pn.version {
+	if version >= pn.rec.SD.Version() {
 		pn.retry.Stop()
 		delete(p.pending, user)
+		p.release(pn)
 	}
 }
 
@@ -81,6 +130,7 @@ func (p *propagator) Cancel(user netsim.NodeID) {
 	if pn, ok := p.pending[user]; ok {
 		pn.retry.Stop()
 		delete(p.pending, user)
+		p.release(pn)
 	}
 }
 
@@ -89,6 +139,18 @@ func (p *propagator) CancelAll() {
 	for user, pn := range p.pending {
 		pn.retry.Stop()
 		delete(p.pending, user)
+		p.release(pn)
+	}
+}
+
+// Rearm resets the propagator for workspace reuse after a Kernel.Reset:
+// outstanding notifications are recycled with their event references
+// dropped, never canceled (the events no longer exist).
+func (p *propagator) Rearm() {
+	for user, pn := range p.pending {
+		pn.retry.Rearm()
+		delete(p.pending, user)
+		p.release(pn)
 	}
 }
 

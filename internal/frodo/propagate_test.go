@@ -42,7 +42,7 @@ func newPropRig(t *testing.T, n int, policy core.RetryPolicy) *propRig {
 
 func propRec(v uint64) discovery.ServiceRecord {
 	return discovery.ServiceRecord{Manager: 0, SD: discovery.ServiceDescription{
-		DeviceType: "d", ServiceType: "s", Attributes: map[string]string{}, Version: v}}
+		DeviceType: "d", ServiceType: "s", Attributes: map[string]string{}, Version: v}.Freeze()}
 }
 
 func TestPropagatorDeliversAndStopsOnAck(t *testing.T) {
@@ -126,8 +126,9 @@ func TestPropagatorCancelAll(t *testing.T) {
 }
 
 func TestPropagatorRecordIsolation(t *testing.T) {
-	// The propagator must snapshot the record: later mutations by the
-	// caller must not leak into retransmissions.
+	// The record the propagator transmits is an immutable snapshot: a
+	// later service change builds a NEW snapshot (Mutate), so nothing the
+	// caller does afterwards can leak into retransmissions of the old one.
 	r := newPropRig(t, 1, core.RetryPolicy{Interval: 5 * sim.Second, Limit: 3})
 	var got discovery.ServiceRecord
 	r.nw.Node(1).SetEndpoint(netsim.EndpointFunc(func(m *netsim.Message) {
@@ -135,9 +136,14 @@ func TestPropagatorRecordIsolation(t *testing.T) {
 	}))
 	rec := propRec(2)
 	r.prop.Notify(1, rec, 2)
-	rec.SD.Attributes["mutated"] = "yes"
+	// The caller moves on to the next version; the outstanding v2
+	// notification must keep transmitting the v2 snapshot.
+	_ = rec.SD.Mutate(func(attrs map[string]string) { attrs["mutated"] = "yes" })
 	r.k.Run(10 * sim.Second)
-	if _, ok := got.SD.Attributes["mutated"]; ok {
-		t.Error("propagator aliases the caller's record")
+	if got.SD.Attr("mutated") != "" {
+		t.Error("propagator transmitted a snapshot the caller superseded")
+	}
+	if got.SD != rec.SD {
+		t.Error("propagator should share the notified snapshot pointer")
 	}
 }

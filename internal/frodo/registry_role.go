@@ -1,6 +1,7 @@
 package frodo
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/core"
@@ -44,6 +45,16 @@ type RegistryRole struct {
 	// existing registrations via the immediate query reply.
 	interests *discovery.LeaseTable[netsim.NodeID, discovery.Query]
 
+	// Search-reply cache, content-addressed: replies are rebuilt into a
+	// reusable scratch and only boxed afresh when the match set actually
+	// differs from the last reply sent. At boot every User queries for
+	// the same requirement against a stable repository, so one boxed
+	// reply (and its record slice, shared read-only) serves the whole
+	// population. searchRecs is immutable once published in searchOut.
+	searchScratch []discovery.ServiceRecord
+	searchRecs    []discovery.ServiceRecord
+	searchOut     netsim.Outgoing
+
 	prop *propagator
 	// inconsistent is SRN2 run by the Central on behalf of the
 	// resource-lean Managers whose subscriptions it maintains ("the task
@@ -60,15 +71,14 @@ func newRegistryRole(nd *Node) *RegistryRole {
 	r.registrations = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](nd.k, r.onRegistrationExpired)
 	r.subs = discovery.NewLeaseTable[subKey, struct{}](nd.k, r.onSubscriptionExpired)
 	r.interests = discovery.NewLeaseTable[netsim.NodeID, discovery.Query](nd.k, nil)
+	announceOut := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Announce{}),
+		Counted: true,
+		Payload: discovery.Announce{Role: discovery.RoleRegistry, Power: nd.power,
+			CacheLease: nd.cfg.CacheLease},
+	}
 	r.announcer = core.NewAnnouncer(nd.nw, nd.n.ID, DiscoveryGroup,
-		nd.cfg.AnnouncePeriod, nd.cfg.AnnounceCopies, func() netsim.Outgoing {
-			return netsim.Outgoing{
-				Kind:    discovery.Kind(discovery.Announce{}),
-				Counted: true,
-				Payload: discovery.Announce{Role: discovery.RoleRegistry, Power: nd.power,
-					CacheLease: nd.cfg.CacheLease},
-			}
-		})
+		nd.cfg.AnnouncePeriod, nd.cfg.AnnounceCopies, func() netsim.Outgoing { return announceOut })
 	retry := nd.cfg.NotifyRetry
 	if nd.cfg.CriticalUpdates {
 		retry = core.FrodoCriticalRetry
@@ -78,12 +88,34 @@ func newRegistryRole(nd *Node) *RegistryRole {
 	return r
 }
 
+// rearm resets the capability to its construction-time state for
+// workspace reuse. Pooled SRN2 sets are kept (emptied) so re-elected
+// Centrals reuse their capacity.
+func (r *RegistryRole) rearm() {
+	r.active = false
+	r.backup = false
+	r.appointedBy = netsim.NoNode
+	r.backupID = netsim.NoNode
+	r.backupRecs = nil
+	r.backupMonitor.Rearm()
+	r.announcer.Rearm()
+	r.registrations.Rearm()
+	r.subs.Rearm()
+	r.interests.Rearm()
+	r.prop.Rearm()
+	for _, set := range r.inconsistent {
+		set.Reset()
+	}
+	r.searchRecs = nil
+	r.searchOut = netsim.Outgoing{}
+}
+
 // onNotifyExhausted hands an undeliverable notification to SRN2.
 func (r *RegistryRole) onNotifyExhausted(user netsim.NodeID, rec discovery.ServiceRecord) {
 	if !r.nd.cfg.Techniques.Has(core.SRN2) {
 		return
 	}
-	r.inconsistentFor(rec.Manager).Mark(user, rec.SD.Version)
+	r.inconsistentFor(rec.Manager).Mark(user, rec.SD.Version())
 }
 
 // inconsistentFor returns (creating on demand) the SRN2 set of one
@@ -118,7 +150,7 @@ func (r *RegistryRole) activate() {
 	// Seed the repository with state synced while we were the Backup.
 	for _, rec := range r.backupRecs {
 		if _, ok := r.registrations.Get(rec.Manager); !ok {
-			r.registrations.Put(rec.Manager, rec.Clone(), r.nd.cfg.RegistrationLease)
+			r.registrations.Put(rec.Manager, rec, r.nd.cfg.RegistrationLease)
 		}
 	}
 	r.backupRecs = nil
@@ -176,10 +208,7 @@ func (r *RegistryRole) onAppointBackup(from netsim.NodeID, p AppointBackup) {
 	}
 	r.backup = true
 	r.appointedBy = from
-	r.backupRecs = make([]discovery.ServiceRecord, 0, len(p.Recs))
-	for _, rec := range p.Recs {
-		r.backupRecs = append(r.backupRecs, rec.Clone())
-	}
+	r.backupRecs = append(r.backupRecs[:0], p.Recs...)
 	r.backupMonitor.SetAfter(r.nd.cfg.BackupTimeout)
 }
 
@@ -211,7 +240,7 @@ func (r *RegistryRole) syncBackup() {
 	}
 	recs := []discovery.ServiceRecord{}
 	r.registrations.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) {
-		recs = append(recs, rec.Clone())
+		recs = append(recs, rec)
 	})
 	r.nd.nw.SendUDP(r.nd.n.ID, r.backupID, netsim.Outgoing{
 		Kind:    kindOf(AppointBackup{}),
@@ -230,13 +259,13 @@ func (r *RegistryRole) onRegister(from netsim.NodeID, p discovery.Register) {
 	if lease <= 0 {
 		lease = r.nd.cfg.RegistrationLease
 	}
-	r.registrations.Put(from, p.Rec.Clone(), lease)
+	r.registrations.Put(from, p.Rec, lease)
 	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.RegisterAck{}),
 		Counted: true,
 		Payload: discovery.RegisterAck{},
 	})
-	if !existed || prev.SD.Version != p.Rec.SD.Version {
+	if !existed || prev.SD.Version() != p.Rec.SD.Version() {
 		if r.nd.cfg.Techniques.Has(core.PR1) {
 			r.notifyInterested(p.Rec)
 		}
@@ -265,7 +294,7 @@ func (r *RegistryRole) notifyInterested(rec discovery.ServiceRecord) {
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	for _, user := range ordered {
-		r.prop.Notify(user, rec, rec.SD.Version)
+		r.prop.Notify(user, rec, rec.SD.Version())
 	}
 }
 
@@ -274,23 +303,23 @@ func (r *RegistryRole) notifyInterested(rec discovery.ServiceRecord) {
 // the SRN1 retransmission schedule (exhaustions fall through to SRN2).
 func (r *RegistryRole) onUpdate(from netsim.NodeID, p discovery.Update) {
 	healed := false
-	if !r.registrations.Update(from, p.Rec.Clone()) {
+	if !r.registrations.Update(from, p.Rec) {
 		// Unknown Manager (we purged it, or we are a fresh Central):
 		// treat the update as a registration so the system heals. That
 		// makes it a registration *event*, so interested Users are
 		// notified exactly as for an explicit re-registration (PR1) —
 		// otherwise the healed registration would be invisible to Users
 		// whose only hope is the Registry's push.
-		r.registrations.Put(from, p.Rec.Clone(), r.nd.cfg.RegistrationLease)
+		r.registrations.Put(from, p.Rec, r.nd.cfg.RegistrationLease)
 		healed = true
 	}
 	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.UpdateAck{}),
 		Counted: true,
-		Payload: discovery.UpdateAck{Manager: from, Version: p.Rec.SD.Version,
+		Payload: discovery.UpdateAck{Manager: from, Version: p.Rec.SD.Version(),
 			SenderRole: discovery.RoleRegistry},
 	})
-	r.inconsistentFor(from).ResetVersion(p.Rec.SD.Version)
+	r.inconsistentFor(from).ResetVersion(p.Rec.SD.Version())
 	if healed {
 		if r.nd.cfg.Techniques.Has(core.PR1) {
 			r.notifyInterested(p.Rec)
@@ -315,19 +344,27 @@ func (r *RegistryRole) onSubscriberAck(from netsim.NodeID, p discovery.UpdateAck
 }
 
 // onSearch answers a unicast query and records the standing interest.
+// The reply is content-addressed against the last one sent: matches are
+// collected into a reusable scratch, and only a changed match set builds
+// (and boxes) a fresh reply.
 func (r *RegistryRole) onSearch(from netsim.NodeID, s discovery.Search) {
 	r.interests.Put(from, s.Q, r.nd.cfg.SubscriptionLease)
-	recs := []discovery.ServiceRecord{}
+	scratch := r.searchScratch[:0]
 	r.registrations.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) {
 		if s.Q.Matches(rec.SD) {
-			recs = append(recs, rec.Clone())
+			scratch = append(scratch, rec)
 		}
 	})
-	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
-		Kind:    discovery.Kind(discovery.SearchReply{}),
-		Counted: true,
-		Payload: discovery.SearchReply{Recs: recs},
-	})
+	r.searchScratch = scratch
+	if r.searchOut.Payload == nil || !slices.Equal(scratch, r.searchRecs) {
+		r.searchRecs = slices.Clone(scratch)
+		r.searchOut = netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.SearchReply{}),
+			Counted: true,
+			Payload: discovery.SearchReply{Recs: r.searchRecs},
+		}
+	}
+	r.nd.nw.SendUDP(r.nd.n.ID, from, r.searchOut)
 }
 
 // onGet serves the current record (SRC2 missed-update requests).
@@ -339,7 +376,7 @@ func (r *RegistryRole) onGet(from netsim.NodeID, p discovery.Get) {
 	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.GetReply{}),
 		Counted: true,
-		Payload: discovery.GetReply{Rec: rec.Clone()},
+		Payload: discovery.GetReply{Rec: rec},
 	})
 }
 
@@ -354,8 +391,7 @@ func (r *RegistryRole) onSubscribe(from netsim.NodeID, p discovery.Subscribe) {
 	r.subs.Put(subKey{user: from, manager: p.Manager}, struct{}{}, lease)
 	ack := discovery.SubscribeAck{Manager: p.Manager}
 	if rec, ok := r.registrations.Get(p.Manager); ok {
-		rc := rec.Clone()
-		ack.Rec = &rc
+		ack.Rec = rec
 	}
 	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.SubscribeAck{}),
@@ -395,7 +431,7 @@ func (r *RegistryRole) onSubscriptionRenew(from netsim.NodeID, p discovery.Renew
 		// SRN2, delegated: retry the notification this User missed.
 		if set, ok := r.inconsistent[p.Manager]; ok && set.ShouldRetry(from) {
 			if rec, live := r.registrations.Get(p.Manager); live {
-				r.prop.Notify(from, rec, rec.SD.Version)
+				r.prop.Notify(from, rec, rec.SD.Version())
 			}
 		}
 		return

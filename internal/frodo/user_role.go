@@ -24,11 +24,14 @@ type UserRole struct {
 
 	// Subscription state: lessee is who holds our lease (the Central in
 	// 3-party, the Manager in 2-party); subMgr is the Manager the
-	// subscription is about.
+	// subscription is about. subRetry is embedded with a callback bound
+	// once, sending to the current lessee/subMgr — every mutation of
+	// those fields stops the schedule first, so the send target can never
+	// drift mid-schedule.
 	lessee    netsim.NodeID
 	subMgr    netsim.NodeID
 	subActive bool
-	subRetry  *core.Retry
+	subRetry  core.Retry
 	renewTick *sim.Ticker
 
 	// interestTick maintains the standing notification request at the
@@ -44,6 +47,13 @@ type UserRole struct {
 
 	// monitor detects missed sequenced updates (SRC2, critical mode).
 	monitor core.SeqMonitor
+
+	// searchOut is the pre-built query payload (the requirement never
+	// changes); one boxed payload serves every search. subOut is the
+	// boxed subscription request, rebuilt per subscribe target so the
+	// retransmission schedule reuses it across attempts.
+	searchOut netsim.Outgoing
+	subOut    netsim.Outgoing
 }
 
 func newUserRole(nd *Node, q discovery.Query, l discovery.ConsistencyListener) *UserRole {
@@ -58,27 +68,51 @@ func newUserRole(nd *Node, q discovery.Query, l discovery.ConsistencyListener) *
 	if nd.cfg.PollPeriod > 0 {
 		u.pollTick = sim.NewTicker(nd.k, nd.cfg.PollPeriod, u.poll)
 	}
+	u.subRetry.Init(nd.k, nd.cfg.ControlRetry, u.sendSubscribe, u.subscribeExhausted)
+	u.searchOut = netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Search{}),
+		Counted: true,
+		Payload: discovery.Search{Q: u.query},
+	}
 	return u
+}
+
+// rearm resets the role to its construction-time state for workspace
+// reuse.
+func (u *UserRole) rearm() {
+	u.cache.Rearm()
+	u.searchTick.Rearm()
+	u.renewTick.Rearm()
+	u.interestTick.Rearm()
+	if u.pollTick != nil {
+		u.pollTick.Rearm()
+	}
+	u.subRetry.Rearm()
+	u.searchesLeft = 0
+	u.lessee = netsim.NoNode
+	u.subMgr = netsim.NoNode
+	u.subActive = false
+	u.monitor.Reset()
 }
 
 // poll is CM2: request the current description of every cached service
 // from the subscription lessee when one is established, otherwise from
 // the Central.
 func (u *UserRole) poll() {
-	for _, mgr := range u.cache.Keys() {
+	u.cache.EachKey(func(mgr netsim.NodeID) {
 		target := u.nd.central
 		if u.subActive && u.subMgr == mgr {
 			target = u.lessee
 		}
 		if target == netsim.NoNode || target == u.nd.n.ID {
-			continue
+			return
 		}
 		u.nd.nw.SendUDP(u.nd.n.ID, target, netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.Get{}),
 			Counted: true,
 			Payload: discovery.Get{Manager: mgr},
 		})
-	}
+	})
 }
 
 // renewInterest keeps the standing notification request alive while the
@@ -143,9 +177,7 @@ func (u *UserRole) stop() {
 	if u.pollTick != nil {
 		u.pollTick.Stop()
 	}
-	if u.subRetry != nil {
-		u.subRetry.Stop()
-	}
+	u.subRetry.Stop()
 	u.cache.Clear()
 	u.subActive = false
 	u.subMgr = netsim.NoNode
@@ -159,7 +191,7 @@ func (u *UserRole) CachedVersion(manager netsim.NodeID) uint64 {
 	if !ok {
 		return 0
 	}
-	return rec.SD.Version
+	return rec.SD.Version()
 }
 
 // Subscribed reports whether the User holds an acknowledged subscription.
@@ -175,18 +207,10 @@ func (u *UserRole) search() {
 	}
 	u.searchesLeft--
 	if central := u.nd.central; central != netsim.NoNode && central != u.nd.n.ID {
-		u.nd.nw.SendUDP(u.nd.n.ID, central, netsim.Outgoing{
-			Kind:    discovery.Kind(discovery.Search{}),
-			Counted: true,
-			Payload: discovery.Search{Q: u.query},
-		})
+		u.nd.nw.SendUDP(u.nd.n.ID, central, u.searchOut)
 		return
 	}
-	u.nd.nw.Multicast(u.nd.n.ID, DiscoveryGroup, netsim.Outgoing{
-		Kind:    discovery.Kind(discovery.Search{}),
-		Counted: true,
-		Payload: discovery.Search{Q: u.query},
-	}, 1)
+	u.nd.nw.Multicast(u.nd.n.ID, DiscoveryGroup, u.searchOut, 1)
 }
 
 // onSearchReply adopts matching records.
@@ -205,7 +229,7 @@ func (u *UserRole) onSearchReply(from netsim.NodeID, p discovery.SearchReply) {
 func (u *UserRole) adopt(rec discovery.ServiceRecord) {
 	u.storeRec(rec)
 	target := u.nd.central
-	if rec.SD.Attributes[ClassAttr] == Class300D.String() {
+	if rec.SD.Attr(ClassAttr) == Class300D.String() {
 		target = rec.Manager
 	}
 	if target == netsim.NoNode {
@@ -215,37 +239,43 @@ func (u *UserRole) adopt(rec discovery.ServiceRecord) {
 	}
 	u.searchTick.Stop()
 	if u.lessee == target && u.subMgr == rec.Manager {
-		if u.subActive || (u.subRetry != nil && u.subRetry.Active()) {
+		if u.subActive || u.subRetry.Active() {
 			return
 		}
 	}
 	u.subscribe(target, rec.Manager)
 }
 
-// subscribe sends the subscription request with the control
+// subscribe arms the subscription request with the control
 // retransmission schedule; an exhausted schedule retries after a
 // node-announce period while the record stays cached.
 func (u *UserRole) subscribe(lessee, manager netsim.NodeID) {
-	if u.subRetry != nil {
-		u.subRetry.Stop()
-	}
+	u.subRetry.Stop()
 	u.subActive = false
 	u.lessee = lessee
 	u.subMgr = manager
-	u.subRetry = core.NewRetry(u.nd.k, u.nd.cfg.ControlRetry, func(int) {
-		u.nd.nw.SendUDP(u.nd.n.ID, lessee, netsim.Outgoing{
-			Kind:    discovery.Kind(discovery.Subscribe{}),
-			Counted: true,
-			Payload: discovery.Subscribe{Manager: manager, Lease: u.nd.cfg.SubscriptionLease},
-		})
-	}, func() {
-		u.nd.k.After(u.nd.cfg.NodeAnnouncePeriod, func() {
-			if !u.subActive && u.cache.Len() > 0 && u.lessee == lessee {
-				u.subscribe(lessee, manager)
-			}
-		})
-	})
+	u.subOut = netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Subscribe{}),
+		Counted: true,
+		Payload: discovery.Subscribe{Manager: manager, Lease: u.nd.cfg.SubscriptionLease},
+	}
 	u.subRetry.Start()
+}
+
+// sendSubscribe is the subscription retry's bound transmission callback.
+func (u *UserRole) sendSubscribe(int) {
+	u.nd.nw.SendUDP(u.nd.n.ID, u.lessee, u.subOut)
+}
+
+// subscribeExhausted backs off for a node-announce period and retries
+// while the record stays cached and the target has not changed.
+func (u *UserRole) subscribeExhausted() {
+	lessee, manager := u.lessee, u.subMgr
+	u.nd.k.After(u.nd.cfg.NodeAnnouncePeriod, func() {
+		if !u.subActive && u.cache.Len() > 0 && u.lessee == lessee {
+			u.subscribe(lessee, manager)
+		}
+	})
 }
 
 // onSubscribeAck confirms the subscription and applies any initial state.
@@ -253,14 +283,12 @@ func (u *UserRole) onSubscribeAck(from netsim.NodeID, p discovery.SubscribeAck) 
 	if from != u.lessee {
 		return
 	}
-	if u.subRetry != nil {
-		u.subRetry.Stop()
-	}
+	u.subRetry.Stop()
 	u.subActive = true
 	u.searchTick.Stop()
 	u.renewTick.Start(u.renewTick.Period())
-	if p.Rec != nil && u.query.Matches(p.Rec.SD) {
-		u.storeRec(*p.Rec)
+	if u.query.Matches(p.Rec.SD) {
+		u.storeRec(p.Rec)
 	}
 }
 
@@ -296,12 +324,12 @@ func (u *UserRole) onRenewAck(from netsim.NodeID, p discovery.RenewAck) {
 // fall back to rediscovery through the Registry, the weaker PR5 the
 // paper describes.
 func (u *UserRole) onCentralAnnounce() {
-	for _, mgr := range u.cache.Keys() {
+	u.cache.EachKey(func(mgr netsim.NodeID) {
 		if u.subActive && u.lessee == mgr {
-			continue // 2-party: vouched by the Manager itself
+			return // 2-party: vouched by the Manager itself
 		}
 		u.cache.Renew(mgr, u.nd.cfg.CacheLease)
-	}
+	})
 }
 
 // onResubscribeRequest complies with PR3 (from the Central) or PR4 (from
@@ -334,7 +362,7 @@ func (u *UserRole) onUpdate(from netsim.NodeID, p discovery.Update) {
 	u.nd.nw.SendUDP(u.nd.n.ID, from, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.UpdateAck{}),
 		Counted: false,
-		Payload: discovery.UpdateAck{Manager: p.Rec.Manager, Version: p.Rec.SD.Version,
+		Payload: discovery.UpdateAck{Manager: p.Rec.Manager, Version: p.Rec.SD.Version(),
 			SenderRole: discovery.RoleUser},
 	})
 }
@@ -366,9 +394,7 @@ func (u *UserRole) purgeManager(manager netsim.NodeID) {
 		u.subActive = false
 		u.subMgr = netsim.NoNode
 		u.lessee = netsim.NoNode
-		if u.subRetry != nil {
-			u.subRetry.Stop()
-		}
+		u.subRetry.Stop()
 		u.renewTick.Stop()
 	}
 	u.monitor.Reset()
@@ -408,11 +434,11 @@ func (u *UserRole) centralLost() {
 	}
 }
 
-// storeRec caches the record and reports the write to the consistency
-// listener. The search ticker is stopped by adopt/onSubscribeAck, not
-// here: a cached record without a reachable subscription target must keep
-// the search alive.
+// storeRec caches the record — sharing the immutable snapshot, no copy —
+// and reports the write to the consistency listener. The search ticker is
+// stopped by adopt/onSubscribeAck, not here: a cached record without a
+// reachable subscription target must keep the search alive.
 func (u *UserRole) storeRec(rec discovery.ServiceRecord) {
-	u.cache.Put(rec.Manager, rec.Clone(), u.nd.cfg.CacheLease)
-	u.listener.CacheUpdated(u.nd.k.Now(), u.nd.n.ID, rec.Manager, rec.SD.Version)
+	u.cache.Put(rec.Manager, rec, u.nd.cfg.CacheLease)
+	u.listener.CacheUpdated(u.nd.k.Now(), u.nd.n.ID, rec.Manager, rec.SD.Version())
 }

@@ -17,7 +17,10 @@ type Manager struct {
 	nw   *netsim.Network
 	k    *sim.Kernel
 
-	sd discovery.ServiceDescription
+	// sd is the current immutable description snapshot; initial is the
+	// frozen construction-time state a workspace rearm returns to.
+	sd      *discovery.Snapshot
+	initial *discovery.Snapshot
 
 	// registries tracks discovered lookup services; the lease is
 	// refreshed by their announcements.
@@ -27,47 +30,62 @@ type Manager struct {
 
 // NewManager attaches a Manager to a node.
 func NewManager(node *netsim.Node, cfg Config, sd discovery.ServiceDescription) *Manager {
-	m := &Manager{cfg: cfg, node: node, nw: node.Network(), k: node.Kernel(), sd: sd.Clone()}
-	if m.sd.Version == 0 {
-		m.sd.Version = 1
-	}
+	m := &Manager{cfg: cfg, node: node, nw: node.Network(), k: node.Kernel()}
+	m.initial = sd.Freeze()
+	m.sd = m.initial
 	m.registries = discovery.NewLeaseTable[netsim.NodeID, struct{}](m.k, nil)
-	node.SetEndpoint(m)
-	m.nw.Join(node.ID, DiscoveryGroup)
 	m.renewTick = sim.NewTicker(m.k, core.RenewInterval(cfg.RegistrationLease), m.renewAll)
+	m.bind()
 	return m
+}
+
+// bind attaches the instance to its node slot; construction and Rearm
+// share it.
+func (m *Manager) bind() {
+	m.node.SetEndpoint(m)
+	m.nw.Join(m.node.ID, DiscoveryGroup)
+}
+
+// Rearm resets the Manager to its construction-time state for workspace
+// reuse.
+func (m *Manager) Rearm() {
+	m.sd = m.initial
+	m.registries.Rearm()
+	m.renewTick.Rearm()
+	m.bind()
 }
 
 // Start boots the Manager; it waits passively for Registry announcements.
 func (m *Manager) Start(bootDelay sim.Duration) {
-	m.k.After(bootDelay, func() { m.renewTick.Start(m.renewTick.Period()) })
+	m.k.AfterArg(bootDelay, managerBoot, m)
+}
+
+// managerBoot is the static boot callback shared by every Jini Manager.
+func managerBoot(x any) {
+	m := x.(*Manager)
+	m.renewTick.Start(m.renewTick.Period())
 }
 
 // ID reports the Manager's node ID.
 func (m *Manager) ID() netsim.NodeID { return m.node.ID }
 
-// SD returns a copy of the current service description.
-func (m *Manager) SD() discovery.ServiceDescription { return m.sd.Clone() }
+// SD returns the current service description snapshot.
+func (m *Manager) SD() *discovery.Snapshot { return m.sd }
 
 // Version reports the current service version.
-func (m *Manager) Version() uint64 { return m.sd.Version }
+func (m *Manager) Version() uint64 { return m.sd.Version() }
 
 // KnownRegistries reports how many lookup services the Manager is
 // registered with.
 func (m *Manager) KnownRegistries() int { return m.registries.Len() }
 
-// ChangeService mutates the service, bumps the version, and updates every
-// known Registry over TCP. A REX leaves that Registry stale until the
-// registration lease cycle heals it (re-registration after an error).
+// ChangeService mutates the service copy-on-write, bumps the version, and
+// updates every known Registry over TCP. A REX leaves that Registry stale
+// until the registration lease cycle heals it (re-registration after an
+// error).
 func (m *Manager) ChangeService(mutate func(attrs map[string]string)) {
-	if m.sd.Attributes == nil {
-		m.sd.Attributes = map[string]string{}
-	}
-	if mutate != nil {
-		mutate(m.sd.Attributes)
-	}
-	m.sd.Version++
-	m.registries.Each(func(reg netsim.NodeID, _ struct{}) {
+	m.sd = m.sd.Mutate(mutate)
+	m.registries.EachKey(func(reg netsim.NodeID) {
 		m.sendUpdate(reg)
 	})
 }
@@ -76,7 +94,7 @@ func (m *Manager) sendUpdate(reg netsim.NodeID) {
 	out := netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.Update{}),
 		Counted: true,
-		Payload: discovery.Update{Rec: m.record(), Seq: m.sd.Version},
+		Payload: discovery.Update{Rec: m.record(), Seq: m.sd.Version()},
 	}
 	m.nw.SendTCPWith(m.cfg.TCP, m.node.ID, reg, out, nil)
 }
@@ -128,7 +146,7 @@ func (m *Manager) register(reg netsim.NodeID) {
 // stays stale until it purges the registration and the Manager
 // re-registers — the Jini weakness the paper contrasts with FRODO's SRN2.
 func (m *Manager) renewAll() {
-	m.registries.Each(func(reg netsim.NodeID, _ struct{}) {
+	m.registries.EachKey(func(reg netsim.NodeID) {
 		out := netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.Renew{}),
 			Counted: false, // lease upkeep, excluded from update effort
@@ -138,6 +156,8 @@ func (m *Manager) renewAll() {
 	})
 }
 
+// record shares the current snapshot on the wire; no copy is needed,
+// the snapshot is immutable.
 func (m *Manager) record() discovery.ServiceRecord {
-	return discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd.Clone()}
+	return discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd}
 }

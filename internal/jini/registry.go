@@ -47,17 +47,32 @@ func NewRegistry(node *netsim.Node, cfg Config) *Registry {
 	r.registrations = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](r.k, nil)
 	r.subs = discovery.NewLeaseTable[subKey, *subState](r.k, nil)
 	r.notifyReqs = discovery.NewLeaseTable[netsim.NodeID, discovery.Query](r.k, nil)
-	node.SetEndpoint(r)
-	r.nw.Join(node.ID, DiscoveryGroup)
+	announceOut := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Announce{}),
+		Counted: true,
+		Payload: discovery.Announce{Role: discovery.RoleRegistry, CacheLease: cfg.CacheLease},
+	}
 	r.announcer = core.NewAnnouncer(r.nw, node.ID, DiscoveryGroup,
-		cfg.AnnouncePeriod, cfg.AnnounceCopies, func() netsim.Outgoing {
-			return netsim.Outgoing{
-				Kind:    discovery.Kind(discovery.Announce{}),
-				Counted: true,
-				Payload: discovery.Announce{Role: discovery.RoleRegistry, CacheLease: cfg.CacheLease},
-			}
-		})
+		cfg.AnnouncePeriod, cfg.AnnounceCopies, func() netsim.Outgoing { return announceOut })
+	r.bind()
 	return r
+}
+
+// bind attaches the instance to its node slot; construction and Rearm
+// share it.
+func (r *Registry) bind() {
+	r.node.SetEndpoint(r)
+	r.nw.Join(r.node.ID, DiscoveryGroup)
+}
+
+// Rearm resets the lookup service to its construction-time state for
+// workspace reuse.
+func (r *Registry) Rearm() {
+	r.registrations.Rearm()
+	r.subs.Rearm()
+	r.notifyReqs.Rearm()
+	r.announcer.Rearm()
+	r.bind()
 }
 
 // Start boots the lookup service.
@@ -101,13 +116,13 @@ func (r *Registry) onRegister(msg *netsim.Message, p discovery.Register) {
 	if lease <= 0 {
 		lease = r.cfg.RegistrationLease
 	}
-	r.registrations.Put(p.Rec.Manager, p.Rec.Clone(), lease)
+	r.registrations.Put(p.Rec.Manager, p.Rec, lease)
 	r.reply(msg, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.RegisterAck{}),
 		Counted: true,
 		Payload: discovery.RegisterAck{},
 	})
-	isNews := !existed || prev.SD.Version != p.Rec.SD.Version
+	isNews := !existed || prev.SD.Version() != p.Rec.SD.Version()
 	if isNews && r.cfg.Techniques.Has(core.PR1) {
 		r.notifyRegistration(p.Rec)
 	}
@@ -139,14 +154,14 @@ func (r *Registry) notifyRegistration(rec discovery.ServiceRecord) {
 // level ack ("The Manager sends an update to the Registry, and receives
 // an acknowledgement").
 func (r *Registry) onUpdate(msg *netsim.Message, p discovery.Update) {
-	if !r.registrations.Update(p.Rec.Manager, p.Rec.Clone()) {
+	if !r.registrations.Update(p.Rec.Manager, p.Rec) {
 		// Unknown manager: treat as a registration so the system heals.
-		r.registrations.Put(p.Rec.Manager, p.Rec.Clone(), r.cfg.RegistrationLease)
+		r.registrations.Put(p.Rec.Manager, p.Rec, r.cfg.RegistrationLease)
 	}
 	r.reply(msg, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.UpdateAck{}),
 		Counted: true,
-		Payload: discovery.UpdateAck{Manager: p.Rec.Manager, Version: p.Rec.SD.Version,
+		Payload: discovery.UpdateAck{Manager: p.Rec.Manager, Version: p.Rec.SD.Version(),
 			SenderRole: discovery.RoleRegistry},
 	})
 	r.subs.Each(func(k subKey, s *subState) {
@@ -163,7 +178,7 @@ func (r *Registry) sendEvent(user netsim.NodeID, rec discovery.ServiceRecord, se
 	out := netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.Update{}),
 		Counted: true,
-		Payload: discovery.Update{Rec: rec.Clone(), Seq: seq},
+		Payload: discovery.Update{Rec: rec, Seq: seq},
 	}
 	r.nw.SendTCPWith(r.cfg.TCP, r.node.ID, user, out, nil)
 }
@@ -173,7 +188,7 @@ func (r *Registry) onSearch(msg *netsim.Message, p discovery.Search) {
 	recs := []discovery.ServiceRecord{}
 	r.registrations.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) {
 		if p.Q.Matches(rec.SD) {
-			recs = append(recs, rec.Clone())
+			recs = append(recs, rec)
 		}
 	})
 	r.reply(msg, netsim.Outgoing{

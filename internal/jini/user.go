@@ -65,13 +65,34 @@ func NewUser(node *netsim.Node, cfg Config, q discovery.Query, l discovery.Consi
 	}
 	u.registries = discovery.NewLeaseTable[netsim.NodeID, struct{}](u.k, u.onRegistryPurge)
 	u.cache = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](u.k, u.onCachePurge)
-	node.SetEndpoint(u)
-	u.nw.Join(node.ID, DiscoveryGroup)
 	u.renewTick = sim.NewTicker(u.k, core.RenewInterval(cfg.SubscriptionLease), u.renewAll)
 	if cfg.PollPeriod > 0 {
 		u.pollTick = sim.NewTicker(u.k, cfg.PollPeriod, u.poll)
 	}
+	u.bind()
 	return u
+}
+
+// bind attaches the instance to its node slot; construction and Rearm
+// share it.
+func (u *User) bind() {
+	u.node.SetEndpoint(u)
+	u.nw.Join(u.node.ID, DiscoveryGroup)
+}
+
+// Rearm resets the client to its construction-time state for workspace
+// reuse.
+func (u *User) Rearm() {
+	u.registries.Rearm()
+	u.cache.Rearm()
+	u.renewTick.Rearm()
+	if u.pollTick != nil {
+		u.pollTick.Rearm()
+	}
+	clear(u.subscribed)
+	clear(u.monitors)
+	u.stopped = false
+	u.bind()
 }
 
 // poll is CM2: query every known Registry for the requirement,
@@ -82,15 +103,19 @@ func (u *User) poll() {
 
 // Start boots the client; it waits for Registry announcements.
 func (u *User) Start(bootDelay sim.Duration) {
-	u.k.After(bootDelay, func() {
-		if u.stopped {
-			return // departed permanently before the boot completed
-		}
-		u.renewTick.Start(u.renewTick.Period())
-		if u.pollTick != nil {
-			u.pollTick.Start(u.pollTick.Period())
-		}
-	})
+	u.k.AfterArg(bootDelay, userBoot, u)
+}
+
+// userBoot is the static boot callback shared by every Jini client.
+func userBoot(x any) {
+	u := x.(*User)
+	if u.stopped {
+		return // departed permanently before the boot completed
+	}
+	u.renewTick.Start(u.renewTick.Period())
+	if u.pollTick != nil {
+		u.pollTick.Start(u.pollTick.Period())
+	}
 }
 
 // ID reports the User's node ID.
@@ -118,7 +143,7 @@ func (u *User) CachedVersion(manager netsim.NodeID) uint64 {
 	if !ok {
 		return 0
 	}
-	return rec.SD.Version
+	return rec.SD.Version()
 }
 
 // KnownRegistries reports how many lookup services the User has joined.
@@ -323,8 +348,9 @@ func (u *User) onCachePurge(manager netsim.NodeID, _ discovery.ServiceRecord) {
 	u.registries.Each(func(reg netsim.NodeID, _ struct{}) { u.search(reg) })
 }
 
-// storeRec caches the record and reports it to the consistency listener.
+// storeRec caches the record — sharing the immutable snapshot, no copy —
+// and reports it to the consistency listener.
 func (u *User) storeRec(rec discovery.ServiceRecord) {
-	u.cache.Put(rec.Manager, rec.Clone(), u.cfg.CacheLease)
-	u.listener.CacheUpdated(u.k.Now(), u.node.ID, rec.Manager, rec.SD.Version)
+	u.cache.Put(rec.Manager, rec, u.cfg.CacheLease)
+	u.listener.CacheUpdated(u.k.Now(), u.node.ID, rec.Manager, rec.SD.Version())
 }

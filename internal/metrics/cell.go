@@ -27,7 +27,14 @@ type RunSummary struct {
 
 // Summarize digests one run into the retained per-cell form.
 func Summarize(r RunResult) RunSummary {
-	s := RunSummary{Effort: r.Effort, Resp: r.Responsivenesses()}
+	return SummarizeInto(r, nil)
+}
+
+// SummarizeInto digests one run, appending the responsiveness samples to
+// resp (which may be nil or a recycled slice truncated by the caller) so
+// repeated summarization into the same cell slot reuses its storage.
+func SummarizeInto(r RunResult, resp []float64) RunSummary {
+	s := RunSummary{Effort: r.Effort, Resp: r.AppendResponsivenesses(resp)}
 	end := r.Deadline
 	all := true
 	var last sim.Time
@@ -80,15 +87,31 @@ func NewCell(lambda float64, runs int) *Cell {
 
 // Add slots one run's summary at its run index.
 func (c *Cell) Add(run int, s RunSummary) {
-	for run >= len(c.perRun) {
-		c.perRun = append(c.perRun, RunSummary{})
-		c.have = append(c.have, false)
-	}
+	c.grow(run)
 	if !c.have[run] {
 		c.filled++
 	}
 	c.perRun[run] = s
 	c.have[run] = true
+}
+
+// AddResult summarizes one run straight into its slot, recycling the
+// slot's previous responsiveness storage — the allocation-free path the
+// sweep aggregation feeds.
+func (c *Cell) AddResult(run int, r RunResult) {
+	c.grow(run)
+	if !c.have[run] {
+		c.filled++
+	}
+	c.perRun[run] = SummarizeInto(r, c.perRun[run].Resp[:0])
+	c.have[run] = true
+}
+
+func (c *Cell) grow(run int) {
+	for run >= len(c.perRun) {
+		c.perRun = append(c.perRun, RunSummary{})
+		c.have = append(c.have, false)
+	}
 }
 
 // Runs reports how many summaries have been added.

@@ -52,20 +52,27 @@ type RunResult struct {
 // one run (0 for Users that never reached consistency). Excluded
 // (churned-out) Users contribute no sample.
 func (r RunResult) Responsivenesses() []float64 {
-	out := make([]float64, 0, len(r.Users))
+	return r.AppendResponsivenesses(make([]float64, 0, len(r.Users)))
+}
+
+// AppendResponsivenesses appends the per-User responsiveness samples to
+// dst and returns the extended slice — the allocation-free variant the
+// sweep aggregation uses to recycle each cell slot's sample storage
+// across repeated summarization.
+func (r RunResult) AppendResponsivenesses(dst []float64) []float64 {
 	avail := float64(r.Deadline - r.ChangeAt)
 	for _, u := range r.Users {
 		if u.Excluded {
 			continue
 		}
 		if !u.Reached || u.At >= r.Deadline || avail <= 0 {
-			out = append(out, 0)
+			dst = append(dst, 0)
 			continue
 		}
 		l := float64(u.At-r.ChangeAt) / avail
-		out = append(out, stats.Clamp(1-l, 0, 1))
+		dst = append(dst, stats.Clamp(1-l, 0, 1))
 	}
-	return out
+	return dst
 }
 
 // Point is the aggregated metric values of one system at one failure
@@ -94,7 +101,7 @@ func Compute(runs []RunResult, m, mPrime int) Point {
 	}
 	c := NewCell(lambda, len(runs))
 	for i, r := range runs {
-		c.Add(i, Summarize(r))
+		c.AddResult(i, r)
 	}
 	return c.Point(m, mPrime)
 }

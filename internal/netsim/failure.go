@@ -95,6 +95,43 @@ func PlanInterfaceFailures(k *sim.Kernel, nodes []NodeID, cfg FailurePlanConfig)
 	return failures
 }
 
+// outage is the pooled record behind one scheduled interface transition.
+// Records live in the network's index-recycled arena rather than a free
+// list: a recovery event frequently lies beyond the run horizon and never
+// fires, so free-list accounting would leak one record per node per run.
+type outage struct {
+	node *Node
+	gen  uint32
+	mode FailMode
+	up   bool
+}
+
+func (nw *Network) allocOutage() *outage {
+	if nw.outageNext < len(nw.outages) {
+		o := nw.outages[nw.outageNext]
+		nw.outageNext++
+		return o
+	}
+	o := &outage{}
+	nw.outages = append(nw.outages, o)
+	nw.outageNext++
+	return o
+}
+
+// applyOutage is the static kernel callback for planned transitions.
+func applyOutage(x any) {
+	o := x.(*outage)
+	if o.node.gen != o.gen {
+		return
+	}
+	if o.mode == FailTx || o.mode == FailBoth {
+		o.node.SetTx(o.up)
+	}
+	if o.mode == FailRx || o.mode == FailBoth {
+		o.node.SetRx(o.up)
+	}
+}
+
 // ScheduleFailure arms the down/up transitions for one planned outage.
 // The outage is pinned to the node's current slot tenancy: if the node
 // is retired and its slot recycled before a transition fires, the new
@@ -102,29 +139,12 @@ func PlanInterfaceFailures(k *sim.Kernel, nodes []NodeID, cfg FailurePlanConfig)
 // failure draw).
 func (nw *Network) ScheduleFailure(f InterfaceFailure) {
 	node := nw.Node(f.Node)
-	gen := node.gen
-	nw.k.At(f.Start, func() {
-		if node.gen != gen {
-			return
-		}
-		if f.Mode == FailTx || f.Mode == FailBoth {
-			node.SetTx(false)
-		}
-		if f.Mode == FailRx || f.Mode == FailBoth {
-			node.SetRx(false)
-		}
-	})
-	nw.k.At(f.End(), func() {
-		if node.gen != gen {
-			return
-		}
-		if f.Mode == FailTx || f.Mode == FailBoth {
-			node.SetTx(true)
-		}
-		if f.Mode == FailRx || f.Mode == FailBoth {
-			node.SetRx(true)
-		}
-	})
+	down := nw.allocOutage()
+	*down = outage{node: node, gen: node.gen, mode: f.Mode, up: false}
+	nw.k.AtArg(f.Start, applyOutage, down)
+	up := nw.allocOutage()
+	*up = outage{node: node, gen: node.gen, mode: f.Mode, up: true}
+	nw.k.AtArg(f.End(), applyOutage, up)
 }
 
 // ScheduleFailures arms a whole failure plan.

@@ -93,6 +93,11 @@ type Network struct {
 	freeMcopy    *mcopy
 	// spareNodes recycles Node structs across Reset cycles.
 	spareNodes []*Node
+	// outages is the arena of planned-outage records (ScheduleFailure);
+	// index-recycled per run, so failure plans allocate nothing in steady
+	// state even though recovery events routinely outlive the horizon.
+	outages    []*outage
+	outageNext int
 }
 
 // New creates an empty network on the given kernel.
@@ -123,6 +128,54 @@ func (nw *Network) Reset(k *sim.Kernel, cfg Config) {
 	}
 	nw.tracer = nil
 	nw.counters.reset()
+	nw.outageNext = 0
+}
+
+// Rearm prepares the network for a fresh simulation that reuses the
+// previous scenario's node slots: the first keep slots survive with their
+// IDs and slot tenancies, interfaces up and retirement cleared, while
+// endpoints, hooks and names are wiped — the protocol instances that own
+// the slots re-bind themselves during their own rearm, exactly as their
+// constructors did. Slots beyond keep (mid-run churn arrivals) are
+// released to the spare pool. Group membership is cleared for the same
+// reason: rearming instances re-Join in construction order, so multicast
+// fan-out order replays the fresh-build order bit for bit.
+//
+// Rearm must run after the owning kernel's Reset and before any new
+// scheduling; like Reset it invalidates every *TCPConn and Tracer of the
+// previous run, but — unlike Reset — *Node pointers to the kept slots
+// remain valid.
+func (nw *Network) Rearm(k *sim.Kernel, cfg Config, keep int) {
+	if cfg.MaxDelay < cfg.MinDelay {
+		panic("netsim: MaxDelay < MinDelay")
+	}
+	if keep > len(nw.nodes) {
+		panic("netsim: Rearm keep exceeds node count")
+	}
+	nw.k = k
+	nw.cfg = cfg
+	for _, n := range nw.nodes[keep:] {
+		nw.spareNodes = append(nw.spareNodes, n)
+	}
+	for i := keep; i < len(nw.nodes); i++ {
+		nw.nodes[i] = nil
+	}
+	nw.nodes = nw.nodes[:keep]
+	nw.retired = nw.retired[:0]
+	for _, n := range nw.nodes {
+		n.Name = ""
+		n.txUp = true
+		n.rxUp = true
+		n.retired = false
+		n.ep = nil
+		n.onInterfaceChange = nil
+	}
+	for _, gs := range nw.groups {
+		gs.reset()
+	}
+	nw.tracer = nil
+	nw.counters.reset()
+	nw.outageNext = 0
 }
 
 // Kernel reports the owning simulation kernel.

@@ -3,6 +3,10 @@ package sim
 // Ticker fires a callback periodically. Protocol models use tickers for
 // announcement trains, lease renewals and retransmission schedules; all of
 // them need to be stoppable and restartable when interface state changes.
+//
+// Scheduling goes through a static callback with the ticker itself as the
+// argument (AfterArg), so arming and re-arming never allocates a closure:
+// a ticker costs its construction and nothing per firing.
 type Ticker struct {
 	k       *Kernel
 	period  Duration
@@ -19,13 +23,16 @@ func NewTicker(k *Kernel, period Duration, fn func()) *Ticker {
 	return &Ticker{k: k, period: period, fn: fn}
 }
 
+// tickerFire is the static kernel callback shared by every ticker.
+func tickerFire(x any) { x.(*Ticker).tick() }
+
 // Start arms the ticker. The first firing happens after initialDelay, and
 // subsequent firings every period. Starting a running ticker re-arms it
 // from now.
 func (t *Ticker) Start(initialDelay Duration) {
 	t.pending.Cancel()
 	t.running = true
-	t.pending = t.k.After(initialDelay, t.tick)
+	t.pending = t.k.AfterArg(initialDelay, tickerFire, t)
 }
 
 func (t *Ticker) tick() {
@@ -36,7 +43,7 @@ func (t *Ticker) tick() {
 	// will be recycled; overwrite the reference before running fn so
 	// Stop/Start never cancel a recycled event. (A stopped ticker never
 	// reaches here — Stop cancels the pending event.)
-	t.pending = t.k.After(t.period, t.tick)
+	t.pending = t.k.AfterArg(t.period, tickerFire, t)
 	t.fn()
 }
 
@@ -44,6 +51,14 @@ func (t *Ticker) tick() {
 func (t *Ticker) Stop() {
 	t.running = false
 	t.pending.Cancel()
+	t.pending = nil
+}
+
+// Rearm resets the ticker for workspace reuse after a Kernel.Reset: the
+// retained event reference is dropped without touching the kernel (the
+// event no longer exists) and the ticker returns to its stopped state.
+func (t *Ticker) Rearm() {
+	t.running = false
 	t.pending = nil
 }
 
@@ -64,7 +79,8 @@ func (t *Ticker) SetPeriod(p Duration) {
 
 // Deadline is a single-shot timer that can be pushed into the future, which
 // is exactly the behaviour of a lease: each renewal replaces the expiry
-// event.
+// event. Like Ticker, it schedules through a static callback, so arming a
+// deadline allocates nothing.
 type Deadline struct {
 	k       *Kernel
 	fn      func()
@@ -76,10 +92,13 @@ func NewDeadline(k *Kernel, fn func()) *Deadline {
 	return &Deadline{k: k, fn: fn}
 }
 
+// deadlineFire is the static kernel callback shared by every deadline.
+func deadlineFire(x any) { x.(*Deadline).fire() }
+
 // Set arms (or re-arms) the deadline to fire at absolute time t.
 func (d *Deadline) Set(t Time) {
 	d.pending.Cancel()
-	d.pending = d.k.At(t, d.fire)
+	d.pending = d.k.AtArg(t, deadlineFire, d)
 }
 
 // SetAfter arms (or re-arms) the deadline to fire dur from now.
@@ -90,6 +109,10 @@ func (d *Deadline) Clear() {
 	d.pending.Cancel()
 	d.pending = nil
 }
+
+// Rearm drops the retained event reference without touching the kernel,
+// for workspace reuse after a Kernel.Reset.
+func (d *Deadline) Rearm() { d.pending = nil }
 
 // Armed reports whether the deadline is set and has not fired.
 func (d *Deadline) Armed() bool { return d.pending != nil && !d.pending.Canceled() }

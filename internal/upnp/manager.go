@@ -17,12 +17,22 @@ type Manager struct {
 	nw   *netsim.Network
 	k    *sim.Kernel
 
-	sd        discovery.ServiceDescription
+	// sd is the current immutable description snapshot; initial is the
+	// frozen construction-time state a workspace rearm returns to.
+	sd        *discovery.Snapshot
+	initial   *discovery.Snapshot
 	announcer *core.Announcer
 
 	// subs holds the eventing subscriptions keyed by subscriber; UPnP has
 	// no Registry, so the Manager is the lessee (2-party subscription).
 	subs *discovery.LeaseTable[netsim.NodeID, struct{}]
+
+	// announceOut is the pre-built announcement payload (contents never
+	// change, so one boxed payload serves every train); ifaceHook is the
+	// interface-recovery announcement hook, built once and re-registered
+	// on every rearm.
+	announceOut netsim.Outgoing
+	ifaceHook   func(txUp, rxUp bool)
 }
 
 // NewManager attaches a Manager to a node. Call Start to boot it.
@@ -32,14 +42,15 @@ func NewManager(node *netsim.Node, cfg Config, sd discovery.ServiceDescription) 
 		node: node,
 		nw:   node.Network(),
 		k:    node.Kernel(),
-		sd:   sd.Clone(),
 	}
-	if m.sd.Version == 0 {
-		m.sd.Version = 1
-	}
+	m.initial = sd.Freeze()
+	m.sd = m.initial
 	m.subs = discovery.NewLeaseTable[netsim.NodeID, struct{}](m.k, nil)
-	node.SetEndpoint(m)
-	m.nw.Join(node.ID, DiscoveryGroup)
+	m.announceOut = netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Announce{}),
+		Counted: true,
+		Payload: discovery.Announce{Role: discovery.RoleManager, CacheLease: cfg.CacheLease},
+	}
 	m.announcer = core.NewAnnouncer(m.nw, node.ID, DiscoveryGroup,
 		cfg.AnnouncePeriod, cfg.AnnounceCopies, m.announcement)
 	// SSDP requires a device to advertise when network connectivity is
@@ -47,12 +58,33 @@ func NewManager(node *netsim.Node, cfg Config, sd discovery.ServiceDescription) 
 	// drives PR5's strength at high failure rates — "Users ... can get
 	// updated when the Manager recovers from failures and announces its
 	// presence."
-	node.OnInterfaceChange(func(txUp, _ bool) {
+	m.ifaceHook = func(txUp, _ bool) {
 		if txUp && m.announcer.Running() {
 			m.announcer.AnnounceNow()
 		}
-	})
+	}
+	m.bind()
 	return m
+}
+
+// bind attaches the instance to its node slot: endpoint, group
+// membership and the interface hook. Construction and Rearm share it, so
+// a rearmed instance touches the network exactly as a fresh one does.
+func (m *Manager) bind() {
+	m.node.SetEndpoint(m)
+	m.nw.Join(m.node.ID, DiscoveryGroup)
+	m.node.OnInterfaceChange(m.ifaceHook)
+}
+
+// Rearm resets the Manager to its construction-time state for workspace
+// reuse: the service returns to its initial snapshot, subscriptions and
+// timers are cleared without touching the (already reset) kernel, and the
+// node slot is re-bound.
+func (m *Manager) Rearm() {
+	m.sd = m.initial
+	m.subs.Rearm()
+	m.announcer.Rearm()
+	m.bind()
 }
 
 // Start boots the device: the first announcement train leaves after the
@@ -62,11 +94,11 @@ func (m *Manager) Start(bootDelay sim.Duration) { m.announcer.Start(bootDelay) }
 // ID reports the Manager's node ID.
 func (m *Manager) ID() netsim.NodeID { return m.node.ID }
 
-// SD returns a copy of the current service description.
-func (m *Manager) SD() discovery.ServiceDescription { return m.sd.Clone() }
+// SD returns the current service description snapshot.
+func (m *Manager) SD() *discovery.Snapshot { return m.sd }
 
 // Version reports the current service version.
-func (m *Manager) Version() uint64 { return m.sd.Version }
+func (m *Manager) Version() uint64 { return m.sd.Version() }
 
 // Subscribers reports the current number of eventing subscriptions.
 func (m *Manager) Subscribers() int { return m.subs.Len() }
@@ -75,16 +107,11 @@ func (m *Manager) Subscribers() int { return m.subs.Len() }
 // notifies every subscriber with an invalidation NOTIFY: "the Manager
 // notifies the interested User that a change has occurred, whenever the
 // service changes. Consecutive polling by the User retrieves the updated
-// data."
+// data." The change is copy-on-write: a new snapshot is built and every
+// holder of the previous one keeps exactly what it had.
 func (m *Manager) ChangeService(mutate func(attrs map[string]string)) {
-	if m.sd.Attributes == nil {
-		m.sd.Attributes = map[string]string{}
-	}
-	if mutate != nil {
-		mutate(m.sd.Attributes)
-	}
-	m.sd.Version++
-	m.subs.Each(func(user netsim.NodeID, _ struct{}) {
+	m.sd = m.sd.Mutate(mutate)
+	m.subs.EachKey(func(user netsim.NodeID) {
 		m.notify(user)
 	})
 }
@@ -96,18 +123,12 @@ func (m *Manager) notify(user netsim.NodeID) {
 	out := netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.Invalidate{}),
 		Counted: true,
-		Payload: discovery.Invalidate{Manager: m.node.ID, Version: m.sd.Version},
+		Payload: discovery.Invalidate{Manager: m.node.ID, Version: m.sd.Version()},
 	}
 	m.nw.SendTCPWith(m.cfg.TCP, m.node.ID, user, out, nil)
 }
 
-func (m *Manager) announcement() netsim.Outgoing {
-	return netsim.Outgoing{
-		Kind:    discovery.Kind(discovery.Announce{}),
-		Counted: true,
-		Payload: discovery.Announce{Role: discovery.RoleManager, CacheLease: m.cfg.CacheLease},
-	}
-}
+func (m *Manager) announcement() netsim.Outgoing { return m.announceOut }
 
 // Deliver implements netsim.Endpoint.
 func (m *Manager) Deliver(msg *netsim.Message) {
@@ -142,7 +163,7 @@ func (m *Manager) onGet(msg *netsim.Message) {
 	reply := netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.GetReply{}),
 		Counted: true,
-		Payload: discovery.GetReply{Rec: discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd.Clone()}},
+		Payload: discovery.GetReply{Rec: discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd}},
 	}
 	m.respond(msg, reply)
 }
@@ -152,11 +173,10 @@ func (m *Manager) onGet(msg *netsim.Message) {
 // initial state is what makes PR4 recover consistency.
 func (m *Manager) onSubscribe(msg *netsim.Message) {
 	m.subs.Put(msg.From, struct{}{}, m.cfg.SubscriptionLease)
-	rec := discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd.Clone()}
 	m.respond(msg, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.SubscribeAck{}),
 		Counted: true,
-		Payload: discovery.SubscribeAck{Rec: &rec},
+		Payload: discovery.SubscribeAck{Rec: discovery.ServiceRecord{Manager: m.node.ID, SD: m.sd}},
 	})
 }
 

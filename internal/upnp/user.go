@@ -38,13 +38,17 @@ type User struct {
 	getTick      *sim.Ticker
 	getting      bool
 
+	// stopped marks a quiesced control point (Stop): a boot event still
+	// pending when the device permanently departed must not restart it.
+	stopped bool
+
 	// pollTick drives CM2 when configured: a persistent periodic re-fetch
 	// of the cached description.
 	pollTick *sim.Ticker
 
-	// stopped marks a quiesced control point (Stop): a boot event still
-	// pending when the device permanently departed must not restart it.
-	stopped bool
+	// searchOut is the pre-built M-SEARCH payload: the query never
+	// changes, so one boxed payload serves every transmission.
+	searchOut netsim.Outgoing
 }
 
 // NewUser attaches a control point to a node.
@@ -62,41 +66,74 @@ func NewUser(node *netsim.Node, cfg Config, q discovery.Query, l discovery.Consi
 		subscribedTo: netsim.NoNode,
 	}
 	u.cache = discovery.NewLeaseTable[netsim.NodeID, discovery.ServiceRecord](u.k, u.onCachePurge)
-	node.SetEndpoint(u)
-	u.nw.Join(node.ID, DiscoveryGroup)
 	u.renewTick = sim.NewTicker(u.k, core.RenewInterval(cfg.SubscriptionLease), u.renew)
 	u.searchTick = sim.NewTicker(u.k, cfg.SearchRetryPeriod, u.search)
 	u.getTick = sim.NewTicker(u.k, cfg.GetRetryPeriod, u.retryGet)
 	if cfg.PollPeriod > 0 {
 		u.pollTick = sim.NewTicker(u.k, cfg.PollPeriod, u.poll)
 	}
+	u.searchOut = netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Search{}),
+		Counted: true,
+		Payload: discovery.Search{Q: u.query},
+	}
+	u.bind()
 	return u
+}
+
+// bind attaches the instance to its node slot; construction and Rearm
+// share it.
+func (u *User) bind() {
+	u.node.SetEndpoint(u)
+	u.nw.Join(u.node.ID, DiscoveryGroup)
+}
+
+// Rearm resets the control point to its construction-time state for
+// workspace reuse: cache and timers are cleared without touching the
+// (already reset) kernel, and the node slot is re-bound.
+func (u *User) Rearm() {
+	u.cache.Rearm()
+	u.renewTick.Rearm()
+	u.searchTick.Rearm()
+	u.getTick.Rearm()
+	if u.pollTick != nil {
+		u.pollTick.Rearm()
+	}
+	u.subscribedTo = netsim.NoNode
+	u.staleVersion = 0
+	u.getting = false
+	u.stopped = false
+	u.bind()
 }
 
 // poll is CM2: re-fetch every cached description, persistently — even
 // while the lower layers report failures (the GET simply REXes and the
 // next poll tries again).
 func (u *User) poll() {
-	for _, mgr := range u.cache.Keys() {
+	u.cache.EachKey(func(mgr netsim.NodeID) {
 		u.fetch(mgr)
-	}
+	})
 }
 
 // Start boots the control point: it begins searching for its service
 // unless an announcement already led to discovery, and arms CM2 polling
 // when configured.
 func (u *User) Start(bootDelay sim.Duration) {
-	u.k.After(bootDelay, func() {
-		if u.stopped {
-			return // departed permanently before the boot completed
-		}
-		if u.cache.Len() == 0 {
-			u.searchTick.Start(0)
-		}
-		if u.pollTick != nil {
-			u.pollTick.Start(u.pollTick.Period())
-		}
-	})
+	u.k.AfterArg(bootDelay, userBoot, u)
+}
+
+// userBoot is the static boot callback shared by every control point.
+func userBoot(x any) {
+	u := x.(*User)
+	if u.stopped {
+		return // departed permanently before the boot completed
+	}
+	if u.cache.Len() == 0 {
+		u.searchTick.Start(0)
+	}
+	if u.pollTick != nil {
+		u.pollTick.Start(u.pollTick.Period())
+	}
 }
 
 // ID reports the User's node ID.
@@ -126,7 +163,7 @@ func (u *User) CachedVersion(manager netsim.NodeID) uint64 {
 	if !ok {
 		return 0
 	}
-	return rec.SD.Version
+	return rec.SD.Version()
 }
 
 // Subscribed reports whether the user currently holds a subscription.
@@ -199,7 +236,7 @@ func (u *User) onGetReply(p discovery.GetReply) {
 		return
 	}
 	u.storeRec(p.Rec)
-	if p.Rec.SD.Version >= u.staleVersion {
+	if p.Rec.SD.Version() >= u.staleVersion {
 		u.staleVersion = 0
 		u.getTick.Stop()
 	}
@@ -223,9 +260,9 @@ func (u *User) subscribe(manager netsim.NodeID) {
 func (u *User) onSubscribeAck(from netsim.NodeID, p discovery.SubscribeAck) {
 	u.subscribedTo = from
 	u.renewTick.Start(core.RenewInterval(u.cfg.SubscriptionLease))
-	if p.Rec != nil && u.query.Matches(p.Rec.SD) {
-		u.storeRec(*p.Rec)
-		if p.Rec.SD.Version >= u.staleVersion {
+	if u.query.Matches(p.Rec.SD) {
+		u.storeRec(p.Rec)
+		if p.Rec.SD.Version() >= u.staleVersion {
 			u.staleVersion = 0
 			u.getTick.Stop()
 		}
@@ -301,17 +338,14 @@ func (u *User) onCachePurge(manager netsim.NodeID, _ discovery.ServiceRecord) {
 
 // search multicasts an M-SEARCH for the requirement.
 func (u *User) search() {
-	u.nw.Multicast(u.node.ID, DiscoveryGroup, netsim.Outgoing{
-		Kind:    discovery.Kind(discovery.Search{}),
-		Counted: true,
-		Payload: discovery.Search{Q: u.query},
-	}, 1)
+	u.nw.Multicast(u.node.ID, DiscoveryGroup, u.searchOut, 1)
 }
 
-// storeRec caches the record, ends any active search, and reports the
-// write to the consistency listener.
+// storeRec caches the record — sharing the immutable snapshot, no copy —
+// ends any active search, and reports the write to the consistency
+// listener.
 func (u *User) storeRec(rec discovery.ServiceRecord) {
-	u.cache.Put(rec.Manager, rec.Clone(), u.cfg.CacheLease)
+	u.cache.Put(rec.Manager, rec, u.cfg.CacheLease)
 	u.searchTick.Stop()
-	u.listener.CacheUpdated(u.k.Now(), u.node.ID, rec.Manager, rec.SD.Version)
+	u.listener.CacheUpdated(u.k.Now(), u.node.ID, rec.Manager, rec.SD.Version())
 }
