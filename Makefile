@@ -10,10 +10,11 @@
 # snapshot as BENCH_BASELINE, and commit the refreshed file.
 
 GO ?= go
-BENCH_PR ?= 3
-BENCH_BASELINE ?= BENCH_2.json
+BENCH_PR ?= 4
+BENCH_BASELINE ?= BENCH_3.json
+COVER_FLOOR ?= 70
 
-.PHONY: check vet build test race bench bench-all bench-scale bench-gate clean
+.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor clean
 
 check: vet build race
 
@@ -32,7 +33,7 @@ race:
 # Record the perf trajectory: scale benchmarks + hot-path
 # microbenchmarks, with allocation stats, written to BENCH_<pr>.json.
 bench:
-	{ $(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout' -benchtime 200000x -benchmem -run xxx ./internal/sim ./internal/netsim && \
+	{ $(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout|BenchmarkUnicastFrame' -benchtime 200000x -benchmem -run xxx ./internal/sim ./internal/netsim && \
 	  $(GO) test -bench 'BenchmarkSingleRunScale|BenchmarkSweepScale' -benchtime 5x -benchmem -run xxx . ; } | tee /dev/stderr | \
 	  $(GO) run ./cmd/benchjson -pr $(BENCH_PR) -baseline $(BENCH_BASELINE) > BENCH_$(BENCH_PR).json
 
@@ -42,8 +43,19 @@ bench:
 # 5000 iterations suffice: the gated metric, allocs/op, is deterministic
 # for these pooled paths, so this stays seconds-fast on every CI push.
 bench-gate:
-	$(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout' -benchtime 5000x -benchmem -run xxx ./internal/sim ./internal/netsim | \
+	$(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout|BenchmarkUnicastFrame' -benchtime 5000x -benchmem -run xxx ./internal/sim ./internal/netsim | \
 	  $(GO) run ./cmd/benchjson -check -baseline BENCH_$(BENCH_PR).json
+
+# Coverage floor for the oracle and the conditioned network: the two
+# packages whose correctness everything else leans on must stay ≥
+# $(COVER_FLOOR)% statement coverage (CI-enforced).
+cover-floor:
+	@set -e; for pkg in ./internal/verify ./internal/netsim; do \
+	  pct=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
+	  echo "$$pkg coverage: $$pct%"; \
+	  awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' || \
+	    { echo "$$pkg below the $(COVER_FLOOR)% coverage floor"; exit 1; }; \
+	done
 
 # Full benchmark suite (slow: full-scale sweeps per iteration).
 bench-all:

@@ -11,6 +11,13 @@
 //	sdsweep -figure 7            # PR1 ablation on FRODO (Fig. 7)
 //	sdsweep -figure all -runs 30 # everything, paper-sized
 //	sdsweep -figure loss         # extension: message-loss failure model
+//	sdsweep -figure adversarial  # extension: burst vs i.i.d. loss at equal rate
+//
+// Adversarial network knobs (apply to figures 4-6 and scale):
+//
+//	sdsweep -figure 4 -burst-loss 0.2 -burst-len 8   # Gilbert–Elliott loss
+//	sdsweep -figure 4 -delay-dist pareto             # heavy-tailed delay
+//	sdsweep -figure 4 -partition 3000:4000           # transient bisection
 package main
 
 import (
@@ -43,16 +50,58 @@ func main() {
 		churn      = flag.Float64("churn", 0, "expected departures per User over the run (Poisson; 0 = no churn)")
 		absence    = flag.Float64("absence", 0, "mean absence before rejoining, seconds (0 = departures are permanent)")
 		arrivals   = flag.Float64("arrivals", 0, "expected fresh User arrivals over the run (Poisson)")
+
+		burstLoss  = flag.Float64("burst-loss", 0, "Gilbert–Elliott burst loss at this average rate (0 = off)")
+		burstLen   = flag.Float64("burst-len", 8, "mean burst length in frames for -burst-loss")
+		delayDist  = flag.String("delay-dist", "uniform", "one-way delay distribution: uniform|lognormal|pareto")
+		delaySigma = flag.Float64("delay-sigma", 0, "lognormal shape for -delay-dist lognormal (0 = 1.0)")
+		delayAlpha = flag.Float64("delay-alpha", 0, "Pareto tail exponent for -delay-dist pareto (0 = 1.5)")
+		partition  = flag.String("partition", "", "bisect the population: start:duration in virtual seconds, e.g. 3000:4000")
 	)
 	flag.Parse()
 
 	// Validate before the profilers start: an os.Exit on a bad flag must
 	// not leave a started-but-unflushed (truncated) CPU profile behind.
 	switch *figure {
-	case "4", "5", "6", "7", "loss", "polling", "scale", "all":
+	case "4", "5", "6", "7", "loss", "polling", "scale", "adversarial", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
 		os.Exit(2)
+	}
+
+	var link sdsim.LinkConfig
+	if *burstLoss > 0 {
+		if *burstLoss >= 1 || *burstLen < 1 {
+			fmt.Fprintf(os.Stderr, "-burst-loss needs a rate in (0,1) and -burst-len ≥ 1\n")
+			os.Exit(2)
+		}
+		if *burstLoss/(1-*burstLoss) > *burstLen {
+			fmt.Fprintf(os.Stderr, "-burst-loss %v is unreachable with -burst-len %v: needs ≥ %.3f\n",
+				*burstLoss, *burstLen, *burstLoss/(1-*burstLoss))
+			os.Exit(2)
+		}
+		link.Burst = sdsim.BurstForAverage(*burstLoss, *burstLen)
+	}
+	dist, err := sdsim.ParseDelayDist(*delayDist)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	link.Delay = sdsim.DelayConfig{Dist: dist, Sigma: *delaySigma, Alpha: *delayAlpha}
+	linkOpts := sdsim.Options{Link: link}
+
+	var partitions []sdsim.Partition
+	if *partition != "" {
+		var startSec, durSec float64
+		if _, err := fmt.Sscanf(*partition, "%f:%f", &startSec, &durSec); err != nil || durSec <= 0 {
+			fmt.Fprintf(os.Stderr, "-partition wants start:duration in seconds, got %q\n", *partition)
+			os.Exit(2)
+		}
+		partitions = append(partitions, sdsim.Partition{
+			Start:    sdsim.Time(startSec * float64(sdsim.Second)),
+			Duration: sdsim.Duration(durSec * float64(sdsim.Second)),
+			Bisect:   true,
+		})
 	}
 
 	if *cpuProfile != "" {
@@ -99,6 +148,7 @@ func main() {
 		MeanAbsence: sdsim.Duration(*absence * float64(sdsim.Second)),
 		Arrivals:    *arrivals,
 	}
+	params.Partitions = partitions
 
 	progress := func(done, total int) {
 		if *quiet {
@@ -123,8 +173,10 @@ func main() {
 	needMain := map[string]bool{"4": true, "5": true, "6": true, "all": true}
 	var main sdsim.SweepResult
 	if needMain[*figure] {
+		// The link-conditioning flags apply to the main sweep, so figures
+		// 4–6 can be regenerated under adversarial networks directly.
 		main = sdsim.Sweep(sdsim.SweepConfig{
-			Params: params, Workers: *workers, Progress: progress,
+			Params: params, Workers: *workers, Progress: progress, Opts: linkOpts,
 		})
 	}
 
@@ -152,7 +204,9 @@ func main() {
 	case "polling":
 		emit(pollingSweep(params, *workers, progress))
 	case "scale":
-		emit(scaleSweep(params, *workers, progress))
+		emit(scaleSweep(params, linkOpts, *workers, progress))
+	case "adversarial":
+		emit(sdsim.FigureAdversarial(params, *workers, progress))
 	case "all":
 		emit(sdsim.Figure4(main))
 		chart(sdsim.MetricEffectiveness)
@@ -204,8 +258,9 @@ func pollingSweep(params sdsim.Params, workers int, progress func(int, int)) sds
 // scaleSweep is the scale-out extension: one sweep per population size,
 // holding the failure grid small, to chart how each system's Update
 // Effectiveness and per-run effort respond to growing N. The -churn,
-// -managers and -registries flags apply to every column.
-func scaleSweep(params sdsim.Params, workers int, progress func(int, int)) sdsim.Table {
+// -managers and -registries flags apply to every column, as do the
+// link-conditioning flags via opts.
+func scaleSweep(params sdsim.Params, opts sdsim.Options, workers int, progress func(int, int)) sdsim.Table {
 	sizes := []int{5, 25, 100, 500, 1000}
 	params.Lambdas = []float64{0, 0.30}
 	t := sdsim.Table{
@@ -222,6 +277,7 @@ func scaleSweep(params sdsim.Params, workers int, progress func(int, int)) sdsim
 			p.Topology.Users = n
 			res := sdsim.Sweep(sdsim.SweepConfig{
 				Systems: []sdsim.System{sys}, Params: p, Workers: workers, Progress: progress,
+				Opts: opts,
 			})
 			pts := res.Curves[sys].Points
 			row = append(row,

@@ -17,7 +17,10 @@ import (
 
 func main() {
 	k := sim.New(7)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw, err := netsim.New(k, netsim.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
 	cfg := frodo.TwoPartyConfig()
 
 	// Four 300D devices with different capabilities.

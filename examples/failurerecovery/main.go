@@ -58,7 +58,10 @@ func consistencyPrinter(label string) discovery.ConsistencyListener {
 func runUPnP() {
 	fmt.Println("--- UPnP (no SRN2) ---")
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw, err := netsim.New(k, netsim.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
 	cfg := upnp.DefaultConfig()
 	mgr := upnp.NewManager(nw.AddNode("Manager"), cfg, printerSD())
 	mgr.Start(1 * sim.Second)
@@ -83,7 +86,10 @@ func runUPnP() {
 func runFrodo() {
 	fmt.Println("--- FRODO with 2-party subscription (SRN2) ---")
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw, err := netsim.New(k, netsim.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
 	cfg := frodo.TwoPartyConfig()
 
 	central := frodo.NewNode(nw.AddNode("Central"), cfg, frodo.Class300D, 100)

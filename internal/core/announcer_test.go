@@ -9,7 +9,7 @@ import (
 
 func TestAnnouncerTrain(t *testing.T) {
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	sender := nw.AddNode("registry")
 	recv := nw.AddNode("user")
 	got := 0
@@ -47,7 +47,7 @@ func TestAnnouncerTrain(t *testing.T) {
 
 func TestAnnouncerAnnounceNow(t *testing.T) {
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	sender := nw.AddNode("")
 	recv := nw.AddNode("")
 	got := 0

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frodo"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/plot"
 	"repro/internal/sim"
 )
@@ -127,6 +128,48 @@ func Figure7(with, without SweepResult) Table {
 		row = append(row, f3(without.Curves[Frodo2P].Points[li].Effectiveness))
 		t.Rows = append(t.Rows, row)
 	}
+	return t
+}
+
+// AdversarialLossRates is the loss grid of the adversarial figure.
+var AdversarialLossRates = []float64{0.05, 0.10, 0.20, 0.30}
+
+// AdversarialMeanBurst is the mean Gilbert–Elliott burst length (frames)
+// of the adversarial figure's burst column.
+const AdversarialMeanBurst = 8
+
+// FigureAdversarial compares all five systems under bursty
+// (Gilbert–Elliott) loss versus i.i.d. loss at equal average rate, with
+// no interface failures — the adversarial-network extension. Correlated
+// loss concentrates damage: a burst swallows a whole redundancy train
+// (UPnP and Jini send every multicast six times inside ~5ms) where
+// i.i.d. loss at the same rate thins it, so equal-average columns
+// separate the systems' recovery techniques far more than Fig. 4 does.
+func FigureAdversarial(params Params, workers int, progress func(done, total int)) Table {
+	params.Lambdas = []float64{0}
+	t := Table{
+		Title:  "Extension: Average Update Effectiveness — i.i.d. vs Gilbert–Elliott burst loss at equal average rate",
+		Header: []string{"loss%"},
+	}
+	for _, sys := range Systems() {
+		t.Header = append(t.Header, sys.Short()+" iid", sys.Short()+" burst")
+	}
+	for _, rate := range AdversarialLossRates {
+		iid := Sweep(SweepConfig{Params: params, Workers: workers, Progress: progress,
+			Opts: Options{Loss: rate}})
+		burst := Sweep(SweepConfig{Params: params, Workers: workers, Progress: progress,
+			Opts: Options{Link: netsim.LinkConfig{Burst: netsim.BurstForAverage(rate, AdversarialMeanBurst)}}})
+		row := []string{pct(rate)}
+		for _, sys := range Systems() {
+			row = append(row,
+				f3(iid.Curves[sys].Points[0].Effectiveness),
+				f3(burst.Curves[sys].Points[0].Effectiveness))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("burst columns use Gilbert–Elliott chains with mean burst length %d frames at the same stationary loss rate", AdversarialMeanBurst),
+		"BENCH_4: the adversarial figure of EXPERIMENTS.md")
 	return t
 }
 

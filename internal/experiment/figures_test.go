@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -87,5 +89,54 @@ func TestRunLoggedAnnotations(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("log missing %q", want)
 		}
+	}
+}
+
+// The adversarial figure compares both loss models at equal average rate
+// for every system, and its values are probabilities.
+func TestFigureAdversarialShape(t *testing.T) {
+	p := DefaultParams()
+	p.Runs = 1
+	tab := FigureAdversarial(p, 0, nil)
+	if len(tab.Rows) != len(AdversarialLossRates) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(AdversarialLossRates))
+	}
+	wantCols := 1 + 2*len(Systems())
+	if len(tab.Header) != wantCols {
+		t.Fatalf("header = %v, want %d columns", tab.Header, wantCols)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != wantCols {
+			t.Fatalf("row %v has %d columns, want %d", row, len(row), wantCols)
+		}
+		for _, cell := range row[1:] {
+			var f float64
+			if _, err := fmt.Sscanf(cell, "%f", &f); err != nil || f < 0 || f > 1 {
+				t.Fatalf("cell %q is not a probability", cell)
+			}
+		}
+	}
+}
+
+// Partitions scheduled through Params isolate the bisected sides for the
+// window: a split across the change leaves side-B users stale during the
+// partition and recovery resumes after the heal.
+func TestParamsPartitionsAffectRun(t *testing.T) {
+	p := DefaultParams()
+	p.ChangeMin, p.ChangeMax = 2000*sim.Second, 2000*sim.Second
+	base := Run(RunSpec{System: UPnP, Lambda: 0, Seed: 2, Params: p})
+
+	p.Partitions = []netsim.Partition{
+		{Start: 1900 * sim.Second, Duration: 2000 * sim.Second, Bisect: true},
+	}
+	split := Run(RunSpec{System: UPnP, Lambda: 0, Seed: 2, Params: p})
+	var delayed int
+	for i := range split.Users {
+		if split.Users[i].Reached && base.Users[i].Reached && split.Users[i].At > base.Users[i].At {
+			delayed++
+		}
+	}
+	if delayed == 0 {
+		t.Error("partition across the change delayed no user's consistency")
 	}
 }

@@ -37,6 +37,12 @@ type Params struct {
 	// Churn adds Poisson User arrivals and departures during the run;
 	// the zero value keeps the paper's static population.
 	Churn Churn
+	// Partitions schedules transient network splits, applied identically
+	// to every run of a sweep. They compose with the λ interface-failure
+	// model (partitions isolate node sets; failures take interfaces
+	// down). Use netsim.Partition.Bisect for a system-agnostic split —
+	// explicit SideB node IDs differ across systems' build orders.
+	Partitions []netsim.Partition
 	// EffortPad extends the effort window so frames of the final
 	// exchange still in flight when the last User turns consistent are
 	// counted (see DESIGN.md).
@@ -123,6 +129,13 @@ type RunSpec struct {
 	// MakeTracer, when set, builds a tracer for the scenario's network
 	// (event logs).
 	MakeTracer func(*netsim.Network) netsim.Tracer
+	// Attach, when set, observes the built scenario before any schedule
+	// is drawn: the run-time consistency oracle hooks its taps (tracer
+	// tee, cache-write chain, change notification) here. Attach must not
+	// consume the kernel's random stream — the churn, failure and change
+	// schedules are drawn afterwards and must replay bit for bit with
+	// and without an observer.
+	Attach func(*Scenario)
 }
 
 // Run executes one full scenario and returns the raw observations. It
@@ -192,6 +205,9 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 	if spec.MakeTracer != nil {
 		sc.Net.SetTracer(spec.MakeTracer(sc.Net))
 	}
+	if spec.Attach != nil {
+		spec.Attach(sc)
+	}
 	// Churn draws its whole schedule now, before the failure plan, so a
 	// given seed yields one fixed event timeline.
 	sc.ScheduleChurn(spec.Params.Churn, spec.Params.RunDuration)
@@ -208,6 +224,9 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 		})
 	}
 	sc.Net.ScheduleFailures(plan)
+	// Transient partitions ride on top of the failure plan; scheduling
+	// them draws no randomness, so default runs replay unchanged.
+	sc.Net.SchedulePartitions(spec.Params.Partitions)
 
 	// Schedule the service change(s) at C ~ U[ChangeMin, ChangeMax]. With
 	// multiple changes (the frequent-update extension), consistency is
@@ -223,7 +242,7 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 	sort.Slice(changeTimes, func(i, j int) bool { return changeTimes[i] < changeTimes[j] })
 	sc.SetTargetVersion(uint64(1 + nChanges))
 	for _, at := range changeTimes {
-		k.At(at, sc.Change)
+		k.At(at, sc.fireChange)
 	}
 	changeAt := changeTimes[len(changeTimes)-1]
 

@@ -24,6 +24,18 @@ type Options struct {
 	// Loss sets an i.i.d. per-frame drop probability, reproducing the
 	// message-loss model of the companion study [25].
 	Loss float64
+	// Link selects the adversarial link-conditioning models (burst loss,
+	// heavy-tailed delay, reordering); the zero value keeps the paper's
+	// idealized network. Burst loss and Loss are alternatives.
+	Link netsim.LinkConfig
+}
+
+// netConfig resolves the network configuration the options produce.
+func (o Options) netConfig() (netsim.Config, error) {
+	cfg := netsim.DefaultConfig()
+	cfg.Loss = o.Loss
+	cfg.Link = o.Link
+	return cfg, cfg.Validate()
 }
 
 // hasMutators reports whether any configuration hook is set.
@@ -61,6 +73,11 @@ type Scenario struct {
 	// node slots were recycled for later arrivals.
 	retired []metrics.UserOutcome
 
+	// onChange, when set, runs after every scheduled service change —
+	// the consistency oracle's publication tap. It is cleared on every
+	// build and rearm, so a tap never leaks into the workspace's next run.
+	onChange func()
+
 	// rearm replays construction for workspace reuse: one closure per
 	// boot entity in build order, each restoring the node slot's name,
 	// rearming the protocol instance and re-scheduling its boot with the
@@ -88,9 +105,15 @@ type recorder struct {
 	target  uint64
 	manager netsim.NodeID // NoNode until the measured Manager is built
 	first   map[netsim.NodeID]sim.Time
+	// chain, when set, observes every cache write unfiltered (before the
+	// measured-Manager and version gates) — the oracle's consistency tap.
+	chain discovery.ConsistencyListener
 }
 
 func (r *recorder) CacheUpdated(t sim.Time, user, manager netsim.NodeID, version uint64) {
+	if r.chain != nil {
+		r.chain.CacheUpdated(t, user, manager, version)
+	}
 	if r.manager != netsim.NoNode && manager != r.manager {
 		return
 	}
@@ -119,6 +142,33 @@ func (s *Scenario) RetiredOutcomes() []metrics.UserOutcome { return s.retired }
 func (s *Scenario) SetTargetVersion(v uint64) {
 	s.TargetVersion = v
 	s.rec.target = v
+}
+
+// TapConsistency chains a listener onto the run's cache-write recorder.
+// The tap sees every User cache write unfiltered; one tap per run (a
+// second call replaces the first). The run-time oracle uses it to audit
+// the version-bound invariant online.
+func (s *Scenario) TapConsistency(l discovery.ConsistencyListener) { s.rec.chain = l }
+
+// TapChange registers fn to run after every scheduled service change —
+// the oracle's record of what the Manager has published. Direct calls to
+// s.Change (ablation harnesses) bypass the tap; the run driver always
+// goes through fireChange.
+func (s *Scenario) TapChange(fn func()) { s.onChange = fn }
+
+// AddTracer attaches t alongside any tracer already installed on the
+// scenario's network, so an observer never displaces the event log.
+func (s *Scenario) AddTracer(t netsim.Tracer) {
+	s.Net.SetTracer(netsim.TeeTracer(s.Net.Tracer(), t))
+}
+
+// fireChange applies one scheduled service change and notifies the
+// change tap.
+func (s *Scenario) fireChange() {
+	s.Change()
+	if s.onChange != nil {
+		s.onChange()
+	}
 }
 
 // printerSD is the example service of §4: a color printer.
@@ -172,9 +222,13 @@ func BuildTopology(sys System, k *sim.Kernel, topo Topology, opts Options) *Scen
 // whole protocol-instance graph is rearmed in place instead of rebuilt.
 func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts Options) *Scenario {
 	topo = topo.normalized(sys, 0)
-	netCfg := netsim.DefaultConfig()
-	netCfg.Loss = opts.Loss
-	key := scenarioKey{sys: sys, topo: topo, loss: opts.Loss, hasMutators: opts.hasMutators()}
+	// Invalid network options fail here, at build entry, before any
+	// simulation state is touched — never partway through a sweep.
+	netCfg, err := opts.netConfig()
+	if err != nil {
+		panic(fmt.Sprintf("experiment: invalid network options: %v", err))
+	}
+	key := scenarioKey{sys: sys, topo: topo, loss: opts.Loss, link: opts.Link, hasMutators: opts.hasMutators()}
 	if ws != nil && ws.reusable(key) {
 		return rearmTopology(ws, k, netCfg)
 	}
@@ -190,7 +244,10 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 		sc.Net = ws.network(k, netCfg)
 		sc.rec, sc.absent, sc.stopUser, sc.UserIDs, sc.retired = ws.scratch(topo.Users)
 	} else {
-		sc.Net = netsim.New(k, netCfg)
+		sc.Net, err = netsim.New(k, netCfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: %v", err)) // unreachable: netConfig validated
+		}
 		sc.rec = &recorder{target: 2, manager: netsim.NoNode, first: make(map[netsim.NodeID]sim.Time, topo.Users)}
 		sc.absent = map[netsim.NodeID]bool{}
 		sc.stopUser = map[netsim.NodeID]func() bool{}
@@ -409,6 +466,7 @@ func rearmTopology(ws *Workspace, k *sim.Kernel, netCfg netsim.Config) *Scenario
 	sc.Net.Rearm(k, netCfg, sc.bootNodes)
 	sc.rec, sc.absent, sc.stopUser, sc.UserIDs, sc.retired = ws.scratch(sc.Topo.Users)
 	sc.TargetVersion = 2
+	sc.onChange = nil
 	for _, replay := range sc.rearm {
 		replay()
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -55,6 +56,17 @@ func Sweep(cfg SweepConfig) SweepResult {
 		cfg.Systems = Systems()
 	}
 	cfg.Params = cfg.Params.withDefaults()
+	// Fail fast on invalid network options: validated once, up front, so
+	// a bad parameterization surfaces immediately instead of panicking in
+	// a worker mid-sweep.
+	if _, err := cfg.Opts.netConfig(); err != nil {
+		panic(fmt.Sprintf("experiment: invalid sweep options: %v", err))
+	}
+	for sys, o := range cfg.OptsFor {
+		if _, err := o.netConfig(); err != nil {
+			panic(fmt.Sprintf("experiment: invalid sweep options for %v: %v", sys, err))
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -55,6 +55,7 @@ type scenarioKey struct {
 	sys         System
 	topo        Topology
 	loss        float64
+	link        netsim.LinkConfig
 	hasMutators bool
 }
 
@@ -78,10 +79,16 @@ func (ws *Workspace) kernel(seed int64) *sim.Kernel {
 	return ws.k
 }
 
-// network returns the workspace network reset for kernel k.
+// network returns the workspace network reset for kernel k. The config
+// was validated at build entry (Options.netConfig), so a constructor
+// error here is a programmer bug.
 func (ws *Workspace) network(k *sim.Kernel, cfg netsim.Config) *netsim.Network {
 	if ws.nw == nil {
-		ws.nw = netsim.New(k, cfg)
+		nw, err := netsim.New(k, cfg)
+		if err != nil {
+			panic(err)
+		}
+		ws.nw = nw
 	} else {
 		ws.nw.Reset(k, cfg)
 	}
@@ -106,6 +113,7 @@ func (ws *Workspace) scratch(topoUsers int) (rec *recorder, absent map[netsim.No
 	}
 	ws.rec.target = 2
 	ws.rec.manager = netsim.NoNode
+	ws.rec.chain = nil
 	return &ws.rec, ws.absent, ws.stopUser, ws.userIDs[:0], ws.retired[:0]
 }
 

@@ -15,7 +15,7 @@ import (
 // retired slot is recycled, transmit under the new tenant's identity.
 func TestDetachBeforeBootStaysQuiet(t *testing.T) {
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	n := nw.AddNode("u")
 	nd := NewNode(n, TwoPartyConfig(), Class300D, 1)
 	nd.AttachUser(discovery.Query{ServiceType: "X"}, nil)
@@ -36,7 +36,7 @@ func TestDetachBeforeBootStaysQuiet(t *testing.T) {
 // and subscribers depend on it, so churn keeps the slot alive instead.
 func TestDetachRefusedForCentral(t *testing.T) {
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	n := nw.AddNode("c")
 	nd := NewNode(n, TwoPartyConfig(), Class300D, 9)
 	nd.Start(0)

@@ -18,7 +18,7 @@ type electionRig struct {
 
 func newElectionRig(seed int64, powers ...int) *electionRig {
 	r := &electionRig{k: sim.New(seed)}
-	r.nw = netsim.New(r.k, netsim.DefaultConfig())
+	r.nw = netsim.MustNew(r.k, netsim.DefaultConfig())
 	cfg := TwoPartyConfig()
 	for _, p := range powers {
 		nd := NewNode(r.nw.AddNode(""), cfg, Class300D, p)

@@ -38,7 +38,7 @@ func printerSD() discovery.ServiceDescription {
 func newRig(t *testing.T, seed int64, twoParty bool, nUsers int, cfg Config) *rig {
 	t.Helper()
 	r := &rig{k: sim.New(seed), consistentAt: map[netsim.NodeID]map[uint64]sim.Time{}}
-	r.nw = netsim.New(r.k, netsim.DefaultConfig())
+	r.nw = netsim.MustNew(r.k, netsim.DefaultConfig())
 	listener := discovery.ListenerFunc(func(at sim.Time, user, mgr netsim.NodeID, v uint64) {
 		if r.consistentAt[user] == nil {
 			r.consistentAt[user] = map[uint64]sim.Time{}
@@ -382,7 +382,7 @@ func TestCentralRecoveryWinsBack(t *testing.T) {
 
 func TestThreeCCannotBeUser(t *testing.T) {
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	nd := NewNode(nw.AddNode(""), DefaultConfig(), Class3C, 1)
 	defer func() {
 		if recover() == nil {

@@ -13,7 +13,7 @@ import (
 // right parties only.
 func TestMultiManagerRouting(t *testing.T) {
 	k := sim.New(11)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	cfg := DefaultConfig()
 
 	central := NewNode(nw.AddNode("Central"), cfg, Class300D, 100)

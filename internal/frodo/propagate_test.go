@@ -22,7 +22,7 @@ type propRig struct {
 func newPropRig(t *testing.T, n int, policy core.RetryPolicy) *propRig {
 	t.Helper()
 	r := &propRig{k: sim.New(1), delivered: map[netsim.NodeID]int{}}
-	r.nw = netsim.New(r.k, netsim.DefaultConfig())
+	r.nw = netsim.MustNew(r.k, netsim.DefaultConfig())
 	r.nw.AddNode("sender")
 	for i := 0; i < n; i++ {
 		id := netsim.NodeID(i + 1)

@@ -24,7 +24,7 @@ type rig struct {
 func newRig(t *testing.T, seed int64, nRegistries, nUsers int, cfg Config) *rig {
 	t.Helper()
 	r := &rig{k: sim.New(seed), consistentAt: map[netsim.NodeID]map[uint64]sim.Time{}}
-	r.nw = netsim.New(r.k, netsim.DefaultConfig())
+	r.nw = netsim.MustNew(r.k, netsim.DefaultConfig())
 	listener := discovery.ListenerFunc(func(at sim.Time, user, mgr netsim.NodeID, v uint64) {
 		if r.consistentAt[user] == nil {
 			r.consistentAt[user] = map[uint64]sim.Time{}

@@ -13,7 +13,7 @@ import (
 // notification-request matching must respect the query.
 func TestMultiManagerEventRouting(t *testing.T) {
 	k := sim.New(12)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	cfg := DefaultConfig()
 
 	reg := NewRegistry(nw.AddNode("Registry"), cfg)
@@ -73,7 +73,7 @@ func TestMultiManagerEventRouting(t *testing.T) {
 // about other services.
 func TestNotificationRequestQueryMatching(t *testing.T) {
 	k := sim.New(13)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	cfg := DefaultConfig()
 	reg := NewRegistry(nw.AddNode("Registry"), cfg)
 	reg.Start(1 * sim.Second)

@@ -15,7 +15,7 @@ func BenchmarkMulticastFanout(b *testing.B) {
 	for _, members := range []int{10, 100, 1000} {
 		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
 			k := sim.New(1)
-			nw := New(k, DefaultConfig())
+			nw := mustNew(k, DefaultConfig())
 			ep := &countingEndpoint{}
 			for i := 0; i < members; i++ {
 				n := nw.AddNode("")
@@ -40,8 +40,21 @@ func BenchmarkMulticastFanout(b *testing.B) {
 
 // BenchmarkUnicastFrame measures the pooled single-frame UDP path.
 func BenchmarkUnicastFrame(b *testing.B) {
+	benchUnicast(b, DefaultConfig())
+}
+
+// BenchmarkUnicastFrameGE measures the same path conditioned with
+// Gilbert–Elliott burst loss — the PR-4 gate: conditioning must not add
+// allocations to the fast path.
+func BenchmarkUnicastFrameGE(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Link.Burst = BurstForAverage(0.2, 8)
+	benchUnicast(b, cfg)
+}
+
+func benchUnicast(b *testing.B, cfg Config) {
 	k := sim.New(1)
-	nw := New(k, DefaultConfig())
+	nw := mustNew(k, cfg)
 	nw.AddNode("a")
 	recv := nw.AddNode("b")
 	recv.SetEndpoint(&countingEndpoint{})
@@ -55,5 +68,37 @@ func BenchmarkUnicastFrame(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		nw.SendUDP(0, 1, out)
 		k.Run(k.Now() + sim.Second)
+	}
+}
+
+// BenchmarkMulticastFanoutPareto measures the multicast fast path with
+// heavy-tailed (Pareto table) delay draws — same pooled delivery train,
+// one table lookup per receiver.
+func BenchmarkMulticastFanoutPareto(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Link.Delay = DelayConfig{Dist: DelayPareto}
+	for _, members := range []int{100} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			k := sim.New(1)
+			nw := mustNew(k, cfg)
+			ep := &countingEndpoint{}
+			for i := 0; i < members; i++ {
+				n := nw.AddNode("")
+				n.SetEndpoint(ep)
+				nw.Join(n.ID, Group(1))
+			}
+			out := Outgoing{Kind: "announce", Counted: true}
+			for i := 0; i < 4; i++ {
+				nw.Multicast(0, Group(1), out, 1)
+				k.Run(k.Now() + sim.Second)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.Multicast(0, Group(1), out, 1)
+				k.Run(k.Now() + sim.Second)
+			}
+			b.ReportMetric(float64(members-1), "deliveries/op")
+		})
 	}
 }

@@ -17,7 +17,7 @@ func (c *countingEndpoint) Deliver(m *Message) { c.n++ }
 // leaves room for payload boxing at the caller).
 func TestUnicastAllocsPerFrame(t *testing.T) {
 	k := sim.New(1)
-	nw := New(k, DefaultConfig())
+	nw := mustNew(k, DefaultConfig())
 	a := nw.AddNode("a")
 	b := nw.AddNode("b")
 	ep := &countingEndpoint{}
@@ -46,7 +46,7 @@ func TestUnicastAllocsPerFrame(t *testing.T) {
 // fan-out stays within a few allocs per copy in steady state.
 func TestMulticastFanoutAllocs(t *testing.T) {
 	k := sim.New(1)
-	nw := New(k, DefaultConfig())
+	nw := mustNew(k, DefaultConfig())
 	const members = 100
 	ep := &countingEndpoint{}
 	for i := 0; i < members; i++ {
@@ -72,12 +72,73 @@ func TestMulticastFanoutAllocs(t *testing.T) {
 	}
 }
 
+// The Gilbert–Elliott-conditioned unicast path must stay within the same
+// ≤2 allocs/op gate as the unconditioned one: the chains live in a flat
+// per-network array, so the conditioning is state lookups, not records.
+func TestUnicastAllocsPerFrameGE(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Link.Burst = BurstForAverage(0.2, 8)
+	k := sim.New(1)
+	nw := mustNew(k, cfg)
+	nw.AddNode("a")
+	b := nw.AddNode("b")
+	ep := &countingEndpoint{}
+	b.SetEndpoint(ep)
+	out := Outgoing{Kind: "ping"}
+	for i := 0; i < 64; i++ {
+		nw.SendUDP(0, 1, out)
+	}
+	k.Run(k.Now() + sim.Second)
+	allocs := testing.AllocsPerRun(200, func() {
+		nw.SendUDP(0, 1, out)
+		k.Run(k.Now() + sim.Second)
+	})
+	if allocs > 2 {
+		t.Errorf("GE-conditioned unicast frame costs %.1f allocs/op, want ≤ 2", allocs)
+	}
+	if ep.n == 0 {
+		t.Fatal("no deliveries — measurement is vacuous")
+	}
+}
+
+// The Pareto-delay multicast fan-out must stay within the ≤4 allocs/copy
+// gate: draws come from the precomputed quantile table, one index per
+// receiver.
+func TestMulticastFanoutAllocsPareto(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Link.Delay = DelayConfig{Dist: DelayPareto}
+	k := sim.New(1)
+	nw := mustNew(k, cfg)
+	const members = 100
+	ep := &countingEndpoint{}
+	for i := 0; i < members; i++ {
+		n := nw.AddNode("")
+		n.SetEndpoint(ep)
+		nw.Join(n.ID, Group(1))
+	}
+	out := Outgoing{Kind: "announce"}
+	for i := 0; i < 8; i++ {
+		nw.Multicast(0, Group(1), out, 1)
+		k.Run(k.Now() + sim.Second)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		nw.Multicast(0, Group(1), out, 1)
+		k.Run(k.Now() + sim.Second)
+	})
+	if allocs > 4 {
+		t.Errorf("Pareto fan-out costs %.1f allocs/copy over %d members, want ≤ 4", allocs, members)
+	}
+	if ep.n < members-1 {
+		t.Fatalf("fan-out delivered %d, want ≥ %d", ep.n, members-1)
+	}
+}
+
 // The map-backed group set keeps O(1) Join/Leave with deterministic
 // (swap-remove) ordering, and the no-copy accessor sees the same
 // membership as the copying one.
 func TestGroupSetSemantics(t *testing.T) {
 	k := sim.New(1)
-	nw := New(k, DefaultConfig())
+	nw := mustNew(k, DefaultConfig())
 	for i := 0; i < 5; i++ {
 		nw.AddNode("")
 	}
@@ -121,7 +182,7 @@ func TestGroupSetSemantics(t *testing.T) {
 // — ID included — on the next AddNode.
 func TestRetireRecyclesSlot(t *testing.T) {
 	k := sim.New(1)
-	nw := New(k, DefaultConfig())
+	nw := mustNew(k, DefaultConfig())
 	a := nw.AddNode("a")
 	b := nw.AddNode("b")
 	nw.Join(b.ID, Group(1))
@@ -186,10 +247,10 @@ func TestNetworkResetDeterminism(t *testing.T) {
 		return ep.n, nw.Counters().Delivered, last
 	}
 	kA := sim.New(5)
-	a1, a2, a3 := runOnce(kA, New(kA, DefaultConfig()))
+	a1, a2, a3 := runOnce(kA, mustNew(kA, DefaultConfig()))
 
 	kB := sim.New(99)
-	nwB := New(kB, DefaultConfig())
+	nwB := mustNew(kB, DefaultConfig())
 	runOnce(kB, nwB) // dirty the network
 	kB.Reset(5)
 	nwB.Reset(kB, DefaultConfig())
@@ -206,7 +267,7 @@ func TestNetworkResetDeterminism(t *testing.T) {
 // interface outage does not apply to the new tenant.
 func TestRecycledSlotDoesNotInheritTrafficOrFailures(t *testing.T) {
 	k := sim.New(1)
-	nw := New(k, DefaultConfig())
+	nw := mustNew(k, DefaultConfig())
 	a := nw.AddNode("a")
 	b := nw.AddNode("b")
 	b.SetEndpoint(&countingEndpoint{})
@@ -254,7 +315,7 @@ func TestRecycledSlotDoesNotInheritTrafficOrFailures(t *testing.T) {
 // and recycled must not transmit under the new tenant's identity.
 func TestRecycledSenderDropsStaggeredMulticastCopy(t *testing.T) {
 	k := sim.New(1)
-	nw := New(k, DefaultConfig())
+	nw := mustNew(k, DefaultConfig())
 	s := nw.AddNode("sender")
 	ep := &countingEndpoint{}
 	r := nw.AddNode("recv")

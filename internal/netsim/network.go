@@ -21,6 +21,32 @@ type Config struct {
 	// transmission (Table 3: UPnP and Jini transmit every multicast six
 	// times). Copies are distinct wire transmissions, sent this far apart.
 	MulticastStagger sim.Duration
+	// Link selects the adversarial link-conditioning models (burst loss,
+	// heavy-tailed delay, reordering); the zero value keeps the idealized
+	// network above and changes no random draw.
+	Link LinkConfig
+}
+
+// Validate checks the configuration. New rejects invalid configurations
+// with this error; Reset and Rearm, which reuse a network mid-sweep with
+// configurations the caller already vetted, panic on it instead.
+func (cfg Config) Validate() error {
+	if cfg.MinDelay < 0 {
+		return fmt.Errorf("netsim: negative MinDelay %v", cfg.MinDelay)
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		return fmt.Errorf("netsim: MaxDelay %v < MinDelay %v", cfg.MaxDelay, cfg.MinDelay)
+	}
+	if cfg.Loss < 0 || cfg.Loss > 1 {
+		return fmt.Errorf("netsim: loss %v out of [0,1]", cfg.Loss)
+	}
+	if cfg.Loss > 0 && cfg.Link.Burst.Enabled() {
+		return fmt.Errorf("netsim: i.i.d. Loss and burst loss are alternatives; set one")
+	}
+	if cfg.MulticastStagger < 0 {
+		return fmt.Errorf("netsim: negative MulticastStagger %v", cfg.MulticastStagger)
+	}
+	return cfg.Link.validate()
 }
 
 // DefaultConfig returns the Table 3 network characteristics.
@@ -98,14 +124,45 @@ type Network struct {
 	// state even though recovery events routinely outlive the horizon.
 	outages    []*outage
 	outageNext int
+
+	// Link-conditioning state (see link.go): the per-receiver
+	// Gilbert–Elliott chains, the precomputed delay quantile table and
+	// the key it was built from.
+	burstOn    bool
+	geState    []uint8
+	delayTable []sim.Duration
+	delayKey   delayTableKey
+	// Partition state (see partition.go): the side bitmap of the active
+	// split, the activation record that owns it, and the arena of
+	// scheduled transitions.
+	partActive bool
+	partOwner  *partEvent
+	partSideB  []bool
+	partEvents []*partEvent
+	partNext   int
 }
 
-// New creates an empty network on the given kernel.
-func New(k *sim.Kernel, cfg Config) *Network {
-	if cfg.MaxDelay < cfg.MinDelay {
-		panic("netsim: MaxDelay < MinDelay")
+// New creates an empty network on the given kernel. An invalid
+// configuration is reported as an error, so a bad sweep parameterization
+// fails at construction instead of panicking mid-run.
+func New(k *sim.Kernel, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &Network{k: k, cfg: cfg, groups: make(map[Group]*groupSet)}
+	nw := &Network{k: k, cfg: cfg, groups: make(map[Group]*groupSet)}
+	nw.prepareLink()
+	return nw, nil
+}
+
+// MustNew is New for configurations known to be valid (literals,
+// DefaultConfig derivatives); it panics on error. Sweep-facing code must
+// use New and surface the error instead.
+func MustNew(k *sim.Kernel, cfg Config) *Network {
+	nw, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return nw
 }
 
 // Reset empties the network for a fresh simulation on kernel k while
@@ -115,8 +172,8 @@ func New(k *sim.Kernel, cfg Config) *Network {
 // network from scratch. Any *Node, *TCPConn or Tracer from the previous
 // simulation is invalid afterwards.
 func (nw *Network) Reset(k *sim.Kernel, cfg Config) {
-	if cfg.MaxDelay < cfg.MinDelay {
-		panic("netsim: MaxDelay < MinDelay")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	nw.k = k
 	nw.cfg = cfg
@@ -129,6 +186,10 @@ func (nw *Network) Reset(k *sim.Kernel, cfg Config) {
 	nw.tracer = nil
 	nw.counters.reset()
 	nw.outageNext = 0
+	nw.partActive = false
+	nw.partOwner = nil
+	nw.partNext = 0
+	nw.prepareLink()
 }
 
 // Rearm prepares the network for a fresh simulation that reuses the
@@ -146,8 +207,8 @@ func (nw *Network) Reset(k *sim.Kernel, cfg Config) {
 // previous run, but — unlike Reset — *Node pointers to the kept slots
 // remain valid.
 func (nw *Network) Rearm(k *sim.Kernel, cfg Config, keep int) {
-	if cfg.MaxDelay < cfg.MinDelay {
-		panic("netsim: MaxDelay < MinDelay")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if keep > len(nw.nodes) {
 		panic("netsim: Rearm keep exceeds node count")
@@ -176,6 +237,10 @@ func (nw *Network) Rearm(k *sim.Kernel, cfg Config, keep int) {
 	nw.tracer = nil
 	nw.counters.reset()
 	nw.outageNext = 0
+	nw.partActive = false
+	nw.partOwner = nil
+	nw.partNext = 0
+	nw.prepareLink()
 }
 
 // Kernel reports the owning simulation kernel.
@@ -186,6 +251,11 @@ func (nw *Network) Config() Config { return nw.cfg }
 
 // SetTracer installs an event tracer; nil disables tracing.
 func (nw *Network) SetTracer(t Tracer) { nw.tracer = t }
+
+// Tracer reports the installed tracer, nil if none. Observers that
+// attach mid-setup (the consistency oracle) use it to tee onto an
+// already-installed tracer instead of displacing it.
+func (nw *Network) Tracer() Tracer { return nw.tracer }
 
 // Counters exposes the message accounting for this network.
 func (nw *Network) Counters() *Counters { return &nw.counters }
@@ -199,6 +269,10 @@ func (nw *Network) AddNode(name string) *Node {
 		nw.retired = nw.retired[:n-1]
 		node := nw.nodes[id]
 		*node = Node{ID: id, Name: name, txUp: true, rxUp: true, net: nw, gen: node.gen + 1}
+		if nw.burstOn {
+			nw.geState[id] = geGood // a fresh tenant starts a fresh chain
+		}
+		nw.traceNode(id, "attached")
 		return node
 	}
 	var n *Node
@@ -211,6 +285,10 @@ func (nw *Network) AddNode(name string) *Node {
 	}
 	*n = Node{ID: NodeID(len(nw.nodes)), Name: name, txUp: true, rxUp: true, net: nw}
 	nw.nodes = append(nw.nodes, n)
+	if nw.burstOn {
+		nw.geState = append(nw.geState, geGood)
+	}
+	nw.traceNode(n.ID, "attached")
 	return n
 }
 
@@ -234,6 +312,7 @@ func (nw *Network) Retire(id NodeID) {
 		gs.remove(id)
 	}
 	nw.retired = append(nw.retired, id)
+	nw.traceNode(id, "retired")
 }
 
 // Node returns the node with the given ID.
@@ -363,13 +442,17 @@ func (nw *Network) SendUDP(from, to NodeID, out Outgoing) {
 		nw.releaseDelivery(d)
 		return
 	}
-	if nw.cfg.Loss > 0 && nw.k.Rand().Float64() < nw.cfg.Loss {
+	if nw.partitioned(from, to) {
+		nw.drop(&d.m, "partitioned")
+		nw.releaseDelivery(d)
+		return
+	}
+	if nw.linkLose(to) {
 		nw.drop(&d.m, "lost")
 		nw.releaseDelivery(d)
 		return
 	}
-	delay := nw.k.UniformDuration(nw.cfg.MinDelay, nw.cfg.MaxDelay)
-	nw.k.AfterArg(delay, deliverUDP, d)
+	nw.k.AfterArg(nw.linkDelay(), deliverUDP, d)
 }
 
 // mcopy is a pending staggered multicast copy (copies 2..n of a
@@ -495,14 +578,19 @@ func (nw *Network) multicastCopy(from NodeID, g Group, out Outgoing) {
 		if to == from {
 			continue
 		}
-		if nw.cfg.Loss > 0 && nw.k.Rand().Float64() < nw.cfg.Loss {
+		if nw.partitioned(from, to) {
+			f.scratch = f.wire
+			f.scratch.To = to
+			nw.drop(&f.scratch, "partitioned")
+			continue
+		}
+		if nw.linkLose(to) {
 			f.scratch = f.wire
 			f.scratch.To = to
 			nw.drop(&f.scratch, "lost")
 			continue
 		}
-		delay := nw.k.UniformDuration(nw.cfg.MinDelay, nw.cfg.MaxDelay)
-		f.entries = append(f.entries, fanEntry{at: now + delay, to: to, gen: nw.Node(to).gen})
+		f.entries = append(f.entries, fanEntry{at: now + nw.linkDelay(), to: to, gen: nw.Node(to).gen})
 	}
 	if len(f.entries) == 0 {
 		nw.releaseFanout(f)
@@ -562,11 +650,15 @@ func (nw *Network) sendFrame(m *Message, onDelivered func()) {
 		nw.drop(m, "tx down")
 		return
 	}
-	if nw.cfg.Loss > 0 && nw.k.Rand().Float64() < nw.cfg.Loss {
+	if nw.partitioned(m.From, m.To) {
+		nw.drop(m, "partitioned")
+		return
+	}
+	if nw.linkLose(m.To) {
 		nw.drop(m, "lost")
 		return
 	}
-	delay := nw.k.UniformDuration(nw.cfg.MinDelay, nw.cfg.MaxDelay)
+	delay := nw.linkDelay()
 	gen := nw.Node(m.To).gen
 	nw.k.After(delay, func() {
 		recv := nw.Node(m.To)

@@ -18,7 +18,7 @@ type harness struct {
 func newHarness(t *testing.T, n int, cfg Config) *harness {
 	t.Helper()
 	h := &harness{k: sim.New(1)}
-	h.nw = New(h.k, cfg)
+	h.nw = mustNew(h.k, cfg)
 	h.inbox = make([][]*Message, n)
 	for i := 0; i < n; i++ {
 		i := i

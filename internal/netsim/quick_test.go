@@ -19,7 +19,7 @@ func TestQuickTCPExactlyOnce(t *testing.T) {
 	}
 	f := func(seed int64, flaps []flap) bool {
 		k := sim.New(seed)
-		nw := New(k, DefaultConfig())
+		nw := mustNew(k, DefaultConfig())
 		a := nw.AddNode("a")
 		b := nw.AddNode("b")
 		delivered := 0
@@ -78,7 +78,7 @@ func TestQuickUDPAtMostOnce(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Loss = float64(lossPct%100) / 100
 		k := sim.New(seed)
-		nw := New(k, cfg)
+		nw := mustNew(k, cfg)
 		a := nw.AddNode("a")
 		b := nw.AddNode("b")
 		delivered := 0
@@ -104,7 +104,7 @@ func TestQuickUDPAtMostOnce(t *testing.T) {
 func TestQuickCountedWindowAdditive(t *testing.T) {
 	f := func(seed int64, times []uint16, split uint16) bool {
 		k := sim.New(seed)
-		nw := New(k, DefaultConfig())
+		nw := mustNew(k, DefaultConfig())
 		a := nw.AddNode("a")
 		nw.AddNode("b")
 		for _, ms := range times {

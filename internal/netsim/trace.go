@@ -16,6 +16,56 @@ type Tracer interface {
 	NodeEvent(t sim.Time, node NodeID, event string)
 }
 
+// tee fans every trace event out to multiple tracers in order.
+type tee []Tracer
+
+// TeeTracer combines tracers into one that forwards every event to each,
+// in argument order. Nil entries are skipped; zero or one non-nil
+// tracers collapse to nil or the tracer itself.
+func TeeTracer(ts ...Tracer) Tracer {
+	out := make(tee, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// MessageSent implements Tracer.
+func (ts tee) MessageSent(t sim.Time, m *Message) {
+	for _, tr := range ts {
+		tr.MessageSent(t, m)
+	}
+}
+
+// MessageDelivered implements Tracer.
+func (ts tee) MessageDelivered(t sim.Time, m *Message) {
+	for _, tr := range ts {
+		tr.MessageDelivered(t, m)
+	}
+}
+
+// MessageDropped implements Tracer.
+func (ts tee) MessageDropped(t sim.Time, m *Message, reason string) {
+	for _, tr := range ts {
+		tr.MessageDropped(t, m, reason)
+	}
+}
+
+// NodeEvent implements Tracer.
+func (ts tee) NodeEvent(t sim.Time, node NodeID, event string) {
+	for _, tr := range ts {
+		tr.NodeEvent(t, node, event)
+	}
+}
+
 // Recorder collects a human-readable event log in the style of the paper's
 // §6.2 excerpts ("Manager Tx down at 381, up at 1191"). Node events are
 // always recorded; message traffic only when Verbose is set, because a

@@ -14,7 +14,7 @@ func TestWriterRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	k := sim.New(1)
-	nw := netsim.New(k, netsim.DefaultConfig())
+	nw := netsim.MustNew(k, netsim.DefaultConfig())
 	a := nw.AddNode("a")
 	b := nw.AddNode("b")
 	got := 0

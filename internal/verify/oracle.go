@@ -1,0 +1,369 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/discovery"
+	"repro/internal/experiment"
+	"repro/internal/frodo"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// The run-time consistency oracle. Where the grid checker (verify.Check)
+// enumerates outage scenarios and inspects only the end state, the
+// Oracle rides along inside a single run — attached to the Scenario
+// through the trace layer and the cache-write tap — and audits explicit
+// invariants online, frame by frame. It is protocol-agnostic: everything
+// it checks is observable from the shared wire vocabulary
+// (discovery.*), the node event stream and the consistency listener, so
+// the same oracle audits all five systems under any schedule the
+// experiment layer can produce — including the adversarial ones
+// (burst loss, heavy-tailed delay, partitions) the link models open up.
+
+// Invariant identifies one run-time invariant the Oracle audits.
+type Invariant uint8
+
+const (
+	// InvVersionBound: no User may ever hold a service version newer
+	// than the Manager has published. A violation means fabricated or
+	// corrupted state somewhere in the propagation path.
+	InvVersionBound Invariant = iota
+	// InvLeasePurge: lease-expired entries must be purged within the
+	// bound — a holder must never acknowledge a renewal that arrived
+	// more than PurgeSlack after the lease it refreshes ran out.
+	InvLeasePurge
+	// InvSingleCentral: after a partition heals (plus HealSlack), the
+	// FRODO election must have converged back to exactly one Central.
+	InvSingleCentral
+	// InvRetiredSilence: a retired (churned-out) node must never emit
+	// frames beyond the wire-redundancy grace window — a late frame
+	// means a zombie timer survived the quiesce.
+	InvRetiredSilence
+
+	numInvariants = 4
+)
+
+func (i Invariant) String() string {
+	switch i {
+	case InvVersionBound:
+		return "version-bound"
+	case InvLeasePurge:
+		return "lease-purge"
+	case InvSingleCentral:
+		return "single-central"
+	case InvRetiredSilence:
+		return "retired-silence"
+	default:
+		return "?"
+	}
+}
+
+// OracleConfig bounds the oracle's tolerances. The zero value of any
+// field falls back to the defaults of DefaultOracleConfig.
+type OracleConfig struct {
+	// PurgeSlack is the grace beyond a lease's expiry before an
+	// acknowledged renewal becomes a violation.
+	PurgeSlack sim.Duration
+	// RetireGrace tolerates the multicast-stagger redundancy train still
+	// in flight when a node retires; protocol timers fire on second
+	// scales, so anything beyond the grace is a real zombie.
+	RetireGrace sim.Duration
+	// Partitions is the partition schedule of the observed run; the
+	// oracle probes Central convergence HealSlack after each heal.
+	Partitions []netsim.Partition
+	// HealSlack is how long after a heal the election must have
+	// converged. It must exceed the FRODO Central timeout plus one
+	// announcement period, so demotions have provably had time to land.
+	HealSlack sim.Duration
+	// CentralWindow is how recent a Registry-role announcement must be
+	// to count as a live Central claim at probe time; it must exceed the
+	// announcement period.
+	CentralWindow sim.Duration
+	// ExpectCentral enables the single-Central probes — FRODO systems
+	// only (Jini legitimately runs several Registries).
+	ExpectCentral bool
+	// MaxViolations caps the retained violation details; the per-
+	// invariant counts are always complete.
+	MaxViolations int
+}
+
+// DefaultOracleConfig returns the oracle tolerances for one system:
+// lease and election bounds follow the §5 parameters.
+func DefaultOracleConfig(sys experiment.System) OracleConfig {
+	fcfg := frodo.DefaultConfig()
+	return OracleConfig{
+		PurgeSlack:    5 * sim.Second,
+		RetireGrace:   10 * sim.Second,
+		HealSlack:     fcfg.CentralTimeout + fcfg.AnnouncePeriod + 60*sim.Second,
+		CentralWindow: fcfg.AnnouncePeriod + 60*sim.Second,
+		ExpectCentral: sys == experiment.Frodo3P || sys == experiment.Frodo2P,
+		MaxViolations: 100,
+	}
+}
+
+// OracleViolation is one observed invariant breach.
+type OracleViolation struct {
+	At        sim.Time
+	Invariant Invariant
+	Node      netsim.NodeID
+	Detail    string
+}
+
+func (v OracleViolation) String() string {
+	return fmt.Sprintf("%.3fs %s node %d: %s", v.At.Sec(), v.Invariant, v.Node, v.Detail)
+}
+
+// OracleReport summarizes one audited run.
+type OracleReport struct {
+	// Total counts every violation, including ones past MaxViolations.
+	Total int
+	// ByInvariant breaks the total down.
+	ByInvariant [numInvariants]int
+	// Violations retains the first MaxViolations details.
+	Violations []OracleViolation
+	// ProbesScheduled and ProbesRun count the single-central heal
+	// probes. A probe scheduled past the run deadline never fires; the
+	// difference makes that visible instead of silently vacuous — a run
+	// with pending probes is NOT Clean. Extend Params.RunDuration so
+	// every partition heal leaves HealSlack before the deadline.
+	ProbesScheduled, ProbesRun int
+}
+
+// Clean reports whether the run satisfied every invariant AND every
+// scheduled heal probe actually ran.
+func (r OracleReport) Clean() bool { return r.Total == 0 && r.ProbesRun == r.ProbesScheduled }
+
+func (r OracleReport) String() string {
+	if pending := r.ProbesScheduled - r.ProbesRun; pending > 0 {
+		return fmt.Sprintf("oracle: %d violations, %d heal probes never ran (deadline before heal+HealSlack — extend RunDuration)",
+			r.Total, pending)
+	}
+	if r.Clean() {
+		return "oracle: all invariants held"
+	}
+	return fmt.Sprintf("oracle: %d violations (version-bound %d, lease-purge %d, single-central %d, retired-silence %d)",
+		r.Total, r.ByInvariant[InvVersionBound], r.ByInvariant[InvLeasePurge],
+		r.ByInvariant[InvSingleCentral], r.ByInvariant[InvRetiredSilence])
+}
+
+// leaseKey identifies one lease entry from the outside: who holds it,
+// who refreshes it, and which Manager's service it concerns.
+type leaseKey struct {
+	holder  netsim.NodeID
+	renewer netsim.NodeID
+	manager netsim.NodeID
+}
+
+// Oracle audits a run online. It implements netsim.Tracer (attached as a
+// tee alongside any event log) and discovery.ConsistencyListener
+// (chained onto the run's cache-write recorder). Construct with
+// NewOracle for a hand-driven fixture or AttachOracle for a Scenario.
+type Oracle struct {
+	cfg     OracleConfig
+	k       *sim.Kernel
+	manager netsim.NodeID
+
+	// published is the highest version the measured Manager has ever
+	// published: 1 at boot, bumped on every scheduled change.
+	published uint64
+	// retiredAt records when each currently-retired node left; AddNode
+	// reuse clears the entry ("attached").
+	retiredAt map[netsim.NodeID]sim.Time
+	// leases tracks the expiry of every lease whose creation the oracle
+	// observed (Register/Subscribe delivery), refreshed by observed
+	// renewals.
+	leases map[leaseKey]sim.Time
+	// claims records each node's latest Registry-role announcement; the
+	// heal probes count claims within CentralWindow.
+	claims   map[netsim.NodeID]sim.Time
+	sawClaim bool
+
+	total           int
+	byInvariant     [numInvariants]int
+	violations      []OracleViolation
+	probesScheduled int
+	probesRun       int
+}
+
+// NewOracle builds an oracle on a kernel, scheduling its partition-heal
+// probes. manager scopes the version-bound invariant; pass netsim.NoNode
+// to audit every manager's versions against the same publication count.
+func NewOracle(k *sim.Kernel, manager netsim.NodeID, cfg OracleConfig) *Oracle {
+	def := DefaultOracleConfig(experiment.UPnP)
+	if cfg.PurgeSlack == 0 {
+		cfg.PurgeSlack = def.PurgeSlack
+	}
+	if cfg.RetireGrace == 0 {
+		cfg.RetireGrace = def.RetireGrace
+	}
+	if cfg.HealSlack == 0 {
+		cfg.HealSlack = def.HealSlack
+	}
+	if cfg.CentralWindow == 0 {
+		cfg.CentralWindow = def.CentralWindow
+	}
+	if cfg.MaxViolations == 0 {
+		cfg.MaxViolations = def.MaxViolations
+	}
+	o := &Oracle{
+		cfg: cfg, k: k, manager: manager,
+		published: 1,
+		retiredAt: map[netsim.NodeID]sim.Time{},
+		leases:    map[leaseKey]sim.Time{},
+		claims:    map[netsim.NodeID]sim.Time{},
+	}
+	if cfg.ExpectCentral {
+		for _, p := range cfg.Partitions {
+			at := p.End() + sim.Time(cfg.HealSlack)
+			o.probesScheduled++
+			o.k.At(at, o.probeCentral)
+		}
+	}
+	return o
+}
+
+// AttachOracle hooks an oracle onto a built Scenario: the network tracer
+// tee, the cache-write chain and the change tap. Call it from
+// RunSpec.Attach; the oracle stays valid after the run (its report is
+// plain data), while the Scenario itself may be recycled.
+func AttachOracle(sc *experiment.Scenario, cfg OracleConfig) *Oracle {
+	o := NewOracle(sc.K, sc.ManagerID, cfg)
+	sc.AddTracer(o)
+	sc.TapConsistency(o)
+	sc.TapChange(o.notePublished)
+	return o
+}
+
+// ObserveRun executes one run with an oracle attached and returns its
+// report alongside the run's metrics. A nil cfg.Partitions inherits the
+// run's own partition schedule, so heal probes follow the spec.
+func ObserveRun(spec experiment.RunSpec, cfg OracleConfig) (OracleReport, metrics.RunResult) {
+	if cfg.Partitions == nil {
+		cfg.Partitions = spec.Params.Partitions
+	}
+	var o *Oracle
+	prev := spec.Attach
+	spec.Attach = func(sc *experiment.Scenario) {
+		if prev != nil {
+			prev(sc)
+		}
+		o = AttachOracle(sc, cfg)
+	}
+	res := experiment.Run(spec)
+	return o.Report(), res
+}
+
+// Report summarizes the audit so far; call it after the run completes.
+func (o *Oracle) Report() OracleReport {
+	return OracleReport{Total: o.total, ByInvariant: o.byInvariant, Violations: o.violations,
+		ProbesScheduled: o.probesScheduled, ProbesRun: o.probesRun}
+}
+
+// notePublished is the change tap: the Manager published a new version.
+func (o *Oracle) notePublished() { o.published++ }
+
+func (o *Oracle) violate(inv Invariant, node netsim.NodeID, format string, args ...any) {
+	o.total++
+	o.byInvariant[inv]++
+	if len(o.violations) < o.cfg.MaxViolations {
+		o.violations = append(o.violations, OracleViolation{
+			At: o.k.Now(), Invariant: inv, Node: node, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// CacheUpdated implements discovery.ConsistencyListener: the version-
+// bound invariant, checked on every User cache write.
+func (o *Oracle) CacheUpdated(t sim.Time, user, manager netsim.NodeID, version uint64) {
+	if o.manager != netsim.NoNode && manager != o.manager {
+		return
+	}
+	if version > o.published {
+		o.violate(InvVersionBound, user,
+			"User caches version %d of Manager %d, but only %d was ever published",
+			version, manager, o.published)
+	}
+}
+
+// MessageSent implements netsim.Tracer.
+func (o *Oracle) MessageSent(t sim.Time, m *netsim.Message) {
+	if at, ok := o.retiredAt[m.From]; ok && t > at+sim.Time(o.cfg.RetireGrace) {
+		o.violate(InvRetiredSilence, m.From,
+			"retired node transmits %s %.3fs after departure", m.Kind, (t - at).Sec())
+	}
+	switch p := m.Payload.(type) {
+	case discovery.Announce:
+		if p.Role == discovery.RoleRegistry {
+			o.claims[m.From] = t
+			o.sawClaim = true
+		}
+	case discovery.RenewAck:
+		key := leaseKey{holder: m.From, renewer: m.To, manager: p.Manager}
+		if expiry, ok := o.leases[key]; ok && t > expiry+sim.Time(o.cfg.PurgeSlack) {
+			o.violate(InvLeasePurge, m.From,
+				"RenewAck to node %d for Manager %d a lease that expired %.3fs ago (never purged)",
+				m.To, p.Manager, (t - expiry).Sec())
+			delete(o.leases, key) // report each dead lease once
+		}
+	}
+}
+
+// MessageDelivered implements netsim.Tracer: lease creations and
+// refreshes, as the holder observes them.
+func (o *Oracle) MessageDelivered(t sim.Time, m *netsim.Message) {
+	switch p := m.Payload.(type) {
+	case discovery.Register:
+		o.leases[leaseKey{holder: m.To, renewer: m.From, manager: p.Rec.Manager}] = t + sim.Time(p.Lease)
+	case discovery.Subscribe:
+		o.leases[leaseKey{holder: m.To, renewer: m.From, manager: p.Manager}] = t + sim.Time(p.Lease)
+	case discovery.Renew:
+		key := leaseKey{holder: m.To, renewer: m.From, manager: p.Manager}
+		// Refresh only a still-live lease: a renewal landing after the
+		// expiry must be answered with RenewError, and leaving the stale
+		// expiry in place is what lets the RenewAck check above fire.
+		if expiry, ok := o.leases[key]; ok && t <= expiry+sim.Time(o.cfg.PurgeSlack) {
+			o.leases[key] = t + sim.Time(p.Lease)
+		}
+	}
+}
+
+// MessageDropped implements netsim.Tracer.
+func (o *Oracle) MessageDropped(t sim.Time, m *netsim.Message, reason string) {}
+
+// NodeEvent implements netsim.Tracer: retirement and slot reuse.
+func (o *Oracle) NodeEvent(t sim.Time, node netsim.NodeID, event string) {
+	switch event {
+	case "retired":
+		o.retiredAt[node] = t
+		delete(o.claims, node) // a departed Central's claim dies with it
+	case "attached":
+		delete(o.retiredAt, node)
+	}
+}
+
+// probeCentral runs HealSlack after a partition heals: the set of nodes
+// with a live Registry claim must be exactly one.
+func (o *Oracle) probeCentral() {
+	o.probesRun++
+	now := o.k.Now()
+	live := 0
+	var last netsim.NodeID = netsim.NoNode
+	for id, at := range o.claims {
+		if now-at <= sim.Time(o.cfg.CentralWindow) {
+			live++
+			last = id
+		}
+	}
+	switch {
+	case live > 1:
+		o.violate(InvSingleCentral, last,
+			"%d simultaneous Central claims %.0fs after partition heal (split-brain persists)",
+			live, o.cfg.HealSlack.Sec())
+	case live == 0:
+		o.violate(InvSingleCentral, netsim.NoNode,
+			"no live Central claim %.0fs after partition heal (sawClaim=%v)",
+			o.cfg.HealSlack.Sec(), o.sawClaim)
+	}
+}

@@ -74,6 +74,49 @@ type (
 	Table = experiment.Table
 )
 
+// Re-exported link-conditioning types; see package netsim for field
+// docs. Set them on Options.Link (models) and Params.Partitions
+// (scheduled splits); the zero values reproduce the paper's idealized
+// network.
+type (
+	// LinkConfig selects the adversarial link models (burst loss,
+	// heavy-tailed delay, reordering).
+	LinkConfig = netsim.LinkConfig
+	// BurstConfig is the Gilbert–Elliott two-state burst-loss chain.
+	BurstConfig = netsim.BurstConfig
+	// DelayConfig selects the one-way delay distribution.
+	DelayConfig = netsim.DelayConfig
+	// ReorderConfig adds probabilistic out-of-order delivery.
+	ReorderConfig = netsim.ReorderConfig
+	// DelayDist names a delay distribution.
+	DelayDist = netsim.DelayDist
+	// Partition is one scheduled transient network split.
+	Partition = netsim.Partition
+)
+
+// The delay distributions.
+const (
+	DelayUniform   = netsim.DelayUniform
+	DelayLognormal = netsim.DelayLognormal
+	DelayPareto    = netsim.DelayPareto
+)
+
+// ParseDelayDist resolves a distribution name (uniform|lognormal|pareto).
+func ParseDelayDist(s string) (DelayDist, error) { return netsim.ParseDelayDist(s) }
+
+// BurstForAverage builds a Gilbert–Elliott chain with the given
+// stationary loss rate and mean burst length — the equal-average
+// counterpart of WithLoss for model comparisons.
+func BurstForAverage(avg, meanBurst float64) BurstConfig {
+	return netsim.BurstForAverage(avg, meanBurst)
+}
+
+// WithBurstLoss returns Options enabling Gilbert–Elliott burst loss at
+// the given average rate and mean burst length.
+func WithBurstLoss(avg, meanBurst float64) Options {
+	return Options{Link: LinkConfig{Burst: BurstForAverage(avg, meanBurst)}}
+}
+
 // Time and Duration re-export the virtual clock units.
 type (
 	Time     = sim.Time
@@ -163,6 +206,12 @@ func Figure7Sweep(params Params, workers int, progress func(done, total int)) (w
 // Figure7 renders the PR1 ablation.
 func Figure7(with, without SweepResult) Table { return experiment.Figure7(with, without) }
 
+// FigureAdversarial compares i.i.d. against Gilbert–Elliott burst loss
+// at equal average rates across all five systems.
+func FigureAdversarial(params Params, workers int, progress func(done, total int)) Table {
+	return experiment.FigureAdversarial(params, workers, progress)
+}
+
 // Table2 measures the zero-failure update message counts (Table 2).
 func Table2(params Params) Table { return experiment.Table2(params) }
 
@@ -190,4 +239,26 @@ func DefaultGuaranteeGrid() GuaranteeGrid { return verify.DefaultGrid() }
 // first-generation systems are expected to violate ([8], [24]).
 func CheckGuarantees(sys System, grid GuaranteeGrid) GuaranteeResult {
 	return verify.Check(sys, grid)
+}
+
+// Re-exported run-time consistency oracle; see package verify for the
+// invariant catalogue (version bound, lease purge, single Central after
+// partition heal, retired-node silence).
+type (
+	// OracleConfig bounds the oracle's tolerances.
+	OracleConfig = verify.OracleConfig
+	// OracleReport summarizes one audited run.
+	OracleReport = verify.OracleReport
+	// OracleViolation is one observed invariant breach.
+	OracleViolation = verify.OracleViolation
+)
+
+// DefaultOracleConfig returns the §5-parameter tolerances for a system.
+func DefaultOracleConfig(sys System) OracleConfig { return verify.DefaultOracleConfig(sys) }
+
+// ObserveRun executes one run with the consistency oracle attached,
+// returning the oracle's report alongside the run's metrics. The oracle
+// audits the run online and never perturbs it.
+func ObserveRun(spec RunSpec, cfg OracleConfig) (OracleReport, RunResult) {
+	return verify.ObserveRun(spec, cfg)
 }
