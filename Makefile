@@ -14,7 +14,7 @@ BENCH_PR ?= 4
 BENCH_BASELINE ?= BENCH_3.json
 COVER_FLOOR ?= 70
 
-.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor clean
+.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke clean
 
 check: vet build race
 
@@ -46,16 +46,33 @@ bench-gate:
 	$(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout|BenchmarkUnicastFrame' -benchtime 5000x -benchmem -run xxx ./internal/sim ./internal/netsim | \
 	  $(GO) run ./cmd/benchjson -check -baseline BENCH_$(BENCH_PR).json
 
-# Coverage floor for the oracle and the conditioned network: the two
-# packages whose correctness everything else leans on must stay ≥
-# $(COVER_FLOOR)% statement coverage (CI-enforced).
+# Coverage floor for the oracle, the conditioned network and the trace
+# layer (the live runtime's observability path): the packages whose
+# correctness everything else leans on must stay ≥ $(COVER_FLOOR)%
+# statement coverage (CI-enforced).
 cover-floor:
-	@set -e; for pkg in ./internal/verify ./internal/netsim; do \
+	@set -e; for pkg in ./internal/verify ./internal/netsim ./internal/trace; do \
 	  pct=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 	  echo "$$pkg coverage: $$pct%"; \
 	  awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' || \
 	    { echo "$$pkg below the $(COVER_FLOOR)% coverage floor"; exit 1; }; \
 	done
+
+# Live-serving smoke test (CI-enforced): boot sdlived under the race
+# detector with the consistency oracle attached, drive 200 concurrent
+# sdload clients against it for 5 seconds of wall time, and fail on any
+# client error, undiscovered service or oracle violation.
+live-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -race -o $$tmp/sdlived ./cmd/sdlived; \
+	$(GO) build -race -o $$tmp/sdload ./cmd/sdload; \
+	$$tmp/sdlived -system frodo2p -dilation 0.002 -addr 127.0.0.1:0 -addr-file $$tmp/addr & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "sdlived never published its address"; exit 1; }; \
+	$$tmp/sdload -addr $$(cat $$tmp/addr) -clients 200 -duration 5s -oracle -quiet; \
+	kill $$pid; \
+	wait $$pid || { echo "sdlived exited nonzero (race detected or oracle violation)"; exit 1; }
 
 # Full benchmark suite (slow: full-scale sweeps per iteration).
 bench-all:

@@ -1,0 +1,232 @@
+// Command sdload is the load generator for sdlived: N concurrent
+// clients, each owning one registered service and one discovering
+// User, issue a register/query/update/subscribe mix over loopback and
+// report sustained throughput and latency quantiles.
+//
+// Per client: register a unique service, attach a User querying it,
+// subscribe for pushed notifications, wait for the fabric to complete
+// discovery, then loop { update → wait for the pushed notification;
+// query } until the duration elapses.
+//
+// Usage:
+//
+//	sdload -addr 127.0.0.1:8460 -clients 1000 -duration 30s
+//	sdload -addr $(cat .addr) -clients 200 -duration 5s -oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/live"
+)
+
+type counters struct {
+	register, query, update, notify live.Histogram
+	ops                             atomic.Uint64
+	errors                          atomic.Uint64
+	notifyMisses                    atomic.Uint64
+	discovered                      atomic.Uint64
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8460", "sdlived gateway address")
+		clients    = flag.Int("clients", 50, "concurrent client goroutines")
+		duration   = flag.Duration("duration", 10*time.Second, "per-client measurement duration, anchored after its service is discovered")
+		discWait   = flag.Duration("discovery-wait", 60*time.Second, "max wall time for a client's service to be discovered")
+		notifyWait = flag.Duration("notify-wait", 10*time.Second, "max wall time for one pushed notification")
+		oracle     = flag.Bool("oracle", false, "fetch /v1/oracle at the end and fail on violations")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *clients <= 0 {
+		fmt.Fprintln(os.Stderr, "sdload: -clients must be positive")
+		os.Exit(2)
+	}
+
+	hub, err := live.NewNotifyHub()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdload: notify hub: %v\n", err)
+		os.Exit(1)
+	}
+	defer hub.Close()
+
+	// One shared transport: the connection pool is the scarce resource,
+	// not the Client structs.
+	tr := &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512}
+	hc := &http.Client{Timeout: 60 * time.Second, Transport: tr}
+
+	var c counters
+	var wg sync.WaitGroup
+	start := time.Now()
+	allDone := make(chan struct{})
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runClient(i, live.NewClientWith(*addr, hc), hub, &c, *duration, *discWait, *notifyWait)
+		}(i)
+	}
+	go func() { wg.Wait(); close(allDone) }()
+	if !*quiet {
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-allDone:
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "\r%d/%d discovered, %d ops, %d errors",
+						c.discovered.Load(), *clients, c.ops.Load(), c.errors.Load())
+				}
+			}
+		}()
+	}
+	<-allDone
+	elapsed := time.Since(start)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+
+	ops := c.ops.Load()
+	fmt.Printf("sdload: %d clients, %v elapsed\n", *clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("  discovered:   %d/%d\n", c.discovered.Load(), *clients)
+	fmt.Printf("  ops:          %d (%.0f ops/s)\n", ops, float64(ops)/elapsed.Seconds())
+	fmt.Printf("  errors:       %d, notify misses: %d\n", c.errors.Load(), c.notifyMisses.Load())
+	fmt.Printf("  register:     %s\n", c.register.Summary())
+	fmt.Printf("  query:        %s\n", c.query.Summary())
+	fmt.Printf("  update:       %s\n", c.update.Summary())
+	fmt.Printf("  update→notify %s\n", c.notify.Summary())
+
+	fail := false
+	if c.errors.Load() > 0 || c.discovered.Load() < uint64(*clients) {
+		fail = true
+	}
+	if *oracle {
+		rep, err := live.NewClientWith(*addr, hc).Oracle()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdload: oracle fetch: %v\n", err)
+			fail = true
+		} else if rep.Attached && !rep.Clean {
+			fmt.Fprintf(os.Stderr, "sdload: ORACLE VIOLATIONS: %d\n", rep.Total)
+			for _, v := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			fail = true
+		} else {
+			fmt.Printf("  oracle:       attached=%v clean=%v\n", rep.Attached, rep.Clean)
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// runClient is one external participant's life: register, attach,
+// subscribe, discover, then the steady-state update/query loop for
+// duration, anchored at this client's own discovery completion.
+func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, duration,
+	discWait, notifyWait time.Duration) {
+
+	service := fmt.Sprintf("LoadSvc-%d", i)
+	fatal := func(stage string, err error) {
+		c.errors.Add(1)
+		fmt.Fprintf(os.Stderr, "sdload: client %d: %s: %v\n", i, stage, err)
+	}
+
+	t := time.Now()
+	mgr, err := cl.Register(live.ServiceSpec{Device: "LoadDev", Service: service,
+		Attrs: map[string]string{"Client": fmt.Sprint(i)}})
+	if err != nil {
+		fatal("register", err)
+		return
+	}
+	c.register.Observe(time.Since(t))
+	c.ops.Add(1)
+
+	user, err := cl.Attach(live.ServiceQuery{Service: service})
+	if err != nil {
+		fatal("attach", err)
+		return
+	}
+	c.ops.Add(1)
+	notes := hub.Chan(user)
+	if err := cl.Subscribe(user, hub.Addr()); err != nil {
+		fatal("subscribe", err)
+		return
+	}
+	c.ops.Add(1)
+
+	// Discovery: poll the User's cache until the protocol has found the
+	// service. The wait is fabric time (boot, search retries, announce
+	// trains), scaled by the daemon's dilation.
+	deadline := time.Now().Add(discWait)
+	for {
+		t = time.Now()
+		recs, err := cl.Query(user)
+		if err != nil {
+			fatal("query", err)
+			return
+		}
+		c.query.Observe(time.Since(t))
+		c.ops.Add(1)
+		if len(recs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal("discovery", fmt.Errorf("service %s not discovered within %v", service, discWait))
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.discovered.Add(1)
+
+	version := uint64(1)
+	stop := time.Now().Add(duration)
+	for time.Now().Before(stop) {
+		// Update, then wait for the pushed notification of the new
+		// version — the end-to-end propagation latency through the
+		// simulated fabric.
+		t = time.Now()
+		v, err := cl.Update(mgr, map[string]string{"Seq": fmt.Sprint(version + 1)})
+		if err != nil {
+			fatal("update", err)
+			return
+		}
+		c.update.Observe(time.Since(t))
+		c.ops.Add(1)
+		version = v
+		waitT := time.NewTimer(notifyWait)
+	waitNote:
+		for {
+			select {
+			case n := <-notes:
+				if n.Version >= version {
+					c.notify.Observe(time.Since(t))
+					if !waitT.Stop() {
+						<-waitT.C
+					}
+					break waitNote
+				}
+			case <-waitT.C:
+				c.notifyMisses.Add(1)
+				break waitNote
+			}
+		}
+
+		t = time.Now()
+		if _, err := cl.Query(user); err != nil {
+			fatal("query", err)
+			return
+		}
+		c.query.Observe(time.Since(t))
+		c.ops.Add(1)
+	}
+}

@@ -69,6 +69,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Topology flags too: a friendly error up front, not a panic from
+	// deep inside scenario construction (and not silently: normalized()
+	// would otherwise paper a negative -users over with the default 5).
+	topoFlags := sdsim.Topology{
+		Users:      *users,
+		Managers:   *managers,
+		Registries: *registries,
+		Services:   *services,
+	}
+	if err := topoFlags.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	if *churn < 0 || *absence < 0 || *arrivals < 0 {
+		fmt.Fprintf(os.Stderr, "-churn, -absence and -arrivals must not be negative\n")
+		os.Exit(2)
+	}
+
 	var link sdsim.LinkConfig
 	if *burstLoss > 0 {
 		if *burstLoss >= 1 || *burstLen < 1 {
@@ -137,12 +155,7 @@ func main() {
 	params := sdsim.DefaultParams()
 	params.Runs = *runs
 	params.BaseSeed = *seed
-	params.Topology = sdsim.Topology{
-		Users:      *users,
-		Managers:   *managers,
-		Registries: *registries,
-		Services:   *services,
-	}
+	params.Topology = topoFlags
 	params.Churn = sdsim.Churn{
 		Departures:  *churn,
 		MeanAbsence: sdsim.Duration(*absence * float64(sdsim.Second)),

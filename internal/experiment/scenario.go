@@ -38,6 +38,14 @@ func (o Options) netConfig() (netsim.Config, error) {
 	return cfg, cfg.Validate()
 }
 
+// Validate reports whether the options produce a valid network
+// configuration; callers that must not panic (the live runtime) check
+// it before BuildTopology.
+func (o Options) Validate() error {
+	_, err := o.netConfig()
+	return err
+}
+
 // hasMutators reports whether any configuration hook is set.
 func (o Options) hasMutators() bool {
 	return o.UPnP != nil || o.Jini != nil || o.Frodo != nil
@@ -63,6 +71,16 @@ type Scenario struct {
 	// makeUser spawns one more User of this system's kind, booting
 	// immediately; the churn engine uses it for Poisson arrivals.
 	makeUser func(name string) netsim.NodeID
+	// makeClient generalizes makeUser for the live gateway: a User with
+	// its own query and consistency listener. It returns the node ID and
+	// a visitor over the User's cached records, the gateway's read path
+	// into live protocol state. makeUser is makeClient specialized to
+	// the measured printer query and the run recorder.
+	makeClient func(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord)))
+	// makeManager spawns one more Manager hosting sd, booting
+	// immediately; it returns the node ID and the service's change
+	// closure. The live gateway uses it for external registrations.
+	makeManager func(name string, sd discovery.ServiceDescription) (netsim.NodeID, func(func(map[string]string)))
 	// absent tracks Users currently churned out of the network.
 	absent map[netsim.NodeID]bool
 	// stopUser quiesces one User's protocol instance so its node can be
@@ -170,6 +188,12 @@ func (s *Scenario) fireChange() {
 		s.onChange()
 	}
 }
+
+// FireChange applies one service change through the change tap, exactly
+// as the run driver's scheduled changes do. The live gateway uses it
+// for external updates of the measured service, so an attached oracle
+// sees the publication before any User can cache the new version.
+func (s *Scenario) FireChange() { s.fireChange() }
 
 // printerSD is the example service of §4: a color printer.
 func printerSD() discovery.ServiceDescription {
@@ -316,20 +340,25 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 			}
 			addInfraRearm(m, name, j)
 		}
-		newUser := func(name string) *upnp.User {
-			u := upnp.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
+		newUser := func(name string, q discovery.Query, l discovery.ConsistencyListener) *upnp.User {
+			u := upnp.NewUser(nw.AddNode(name), cfg, q, l)
 			sc.stopUser[u.ID()] = func() bool { u.Stop(); return true }
 			return u
 		}
-		sc.makeUser = func(name string) netsim.NodeID {
-			u := newUser(name)
+		sc.makeClient = func(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord))) {
+			u := newUser(name, q, l)
 			u.Start(0)
-			return u.ID()
+			return u.ID(), u.EachCached
+		}
+		sc.makeManager = func(name string, sd discovery.ServiceDescription) (netsim.NodeID, func(func(map[string]string))) {
+			m := upnp.NewManager(nw.AddNode(name), cfg, sd)
+			m.Start(0)
+			return m.ID(), m.ChangeService
 		}
 		for i := 0; i < topo.Users; i++ {
 			i := i
 			name := userName(i)
-			u := newUser(name)
+			u := newUser(name, printerQuery, sc.rec)
 			stop := sc.stopUser[u.ID()]
 			u.Start(userBoot(i))
 			sc.UserIDs = append(sc.UserIDs, u.ID())
@@ -363,20 +392,25 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 			}
 			addInfraRearm(m, name, topo.Registries+j)
 		}
-		newUser := func(name string) *jini.User {
-			u := jini.NewUser(nw.AddNode(name), cfg, printerQuery, sc.rec)
+		newUser := func(name string, q discovery.Query, l discovery.ConsistencyListener) *jini.User {
+			u := jini.NewUser(nw.AddNode(name), cfg, q, l)
 			sc.stopUser[u.ID()] = func() bool { u.Stop(); return true }
 			return u
 		}
-		sc.makeUser = func(name string) netsim.NodeID {
-			u := newUser(name)
+		sc.makeClient = func(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord))) {
+			u := newUser(name, q, l)
 			u.Start(0)
-			return u.ID()
+			return u.ID(), u.EachCached
+		}
+		sc.makeManager = func(name string, sd discovery.ServiceDescription) (netsim.NodeID, func(func(map[string]string))) {
+			m := jini.NewManager(nw.AddNode(name), cfg, sd)
+			m.Start(0)
+			return m.ID(), m.ChangeService
 		}
 		for i := 0; i < topo.Users; i++ {
 			i := i
 			name := userName(i)
-			u := newUser(name)
+			u := newUser(name, printerQuery, sc.rec)
 			stop := sc.stopUser[u.ID()]
 			u.Start(userBoot(i))
 			sc.UserIDs = append(sc.UserIDs, u.ID())
@@ -418,21 +452,27 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 			}
 			addInfraRearm(mn, name, topo.Registries+j)
 		}
-		newUser := func(name string) *frodo.Node {
+		newUser := func(name string, q discovery.Query, l discovery.ConsistencyListener) *frodo.Node {
 			un := frodo.NewNode(nw.AddNode(name), cfg, userClass, 1)
-			un.AttachUser(printerQuery, sc.rec)
+			un.AttachUser(q, l)
 			sc.stopUser[un.ID()] = un.Detach
 			return un
 		}
-		sc.makeUser = func(name string) netsim.NodeID {
-			un := newUser(name)
+		sc.makeClient = func(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord))) {
+			un := newUser(name, q, l)
 			un.Start(0)
-			return un.ID()
+			return un.ID(), un.User().EachCached
+		}
+		sc.makeManager = func(name string, sd discovery.ServiceDescription) (netsim.NodeID, func(func(map[string]string))) {
+			mn := frodo.NewNode(nw.AddNode(name), cfg, mgrClass, mgrPower)
+			m := mn.AttachManager(sd)
+			mn.Start(0)
+			return m.ID(), m.ChangeService
 		}
 		for i := 0; i < topo.Users; i++ {
 			i := i
 			name := userName(i)
-			un := newUser(name)
+			un := newUser(name, printerQuery, sc.rec)
 			stop := sc.stopUser[un.ID()]
 			un.Start(userBoot(i))
 			sc.UserIDs = append(sc.UserIDs, un.ID())
@@ -441,6 +481,12 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 
 	default:
 		panic("experiment: unknown system")
+	}
+	// The churn engine's arrival hook is the live-client spawner
+	// specialized to the measured requirement and the run recorder.
+	sc.makeUser = func(name string) netsim.NodeID {
+		id, _ := sc.makeClient(name, printerQuery, sc.rec)
+		return id
 	}
 	sc.rec.manager = sc.ManagerID
 	sc.bootNodes = nw.Nodes()
@@ -473,6 +519,36 @@ func rearmTopology(ws *Workspace, k *sim.Kernel, netCfg netsim.Config) *Scenario
 	sc.rec.manager = sc.ManagerID
 	ws.cache(sc, key)
 	return sc
+}
+
+// SpawnUser adds one more User of the scenario's system mid-run, with
+// its own query and consistency listener, booting immediately. It
+// returns the new node's ID and a visitor over the User's cached
+// service records — the live gateway's read path into protocol state.
+// Spawned Users are not part of UserIDs and never enter the Update
+// Metrics; like every scenario mutation, SpawnUser must run on the
+// kernel's goroutine (the live Driver serializes it).
+func (s *Scenario) SpawnUser(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord))) {
+	return s.makeClient(name, q, l)
+}
+
+// SpawnManager adds one more Manager hosting sd mid-run, booting
+// immediately. It returns the Manager's node ID and the service-change
+// closure (the live gateway's update path). Same concurrency contract
+// as SpawnUser.
+func (s *Scenario) SpawnManager(name string, sd discovery.ServiceDescription) (netsim.NodeID, func(mutate func(map[string]string))) {
+	return s.makeManager(name, sd)
+}
+
+// RegistryIDs reports the node IDs of the Registry-role infrastructure:
+// the build order places Registries in the first slots. Empty for UPnP,
+// which has no Registry role. The live gateway unicasts lookups here.
+func (s *Scenario) RegistryIDs() []netsim.NodeID {
+	ids := make([]netsim.NodeID, 0, s.Topo.Registries)
+	for i := 0; i < s.Topo.Registries; i++ {
+		ids = append(ids, netsim.NodeID(i))
+	}
+	return ids
 }
 
 // AllNodeIDs lists every node for the failure planner.

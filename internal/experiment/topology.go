@@ -66,6 +66,41 @@ func DefaultRegistries(sys System) int {
 	}
 }
 
+// Validate checks a flag-assembled Topology for the mistakes
+// normalized() would otherwise silently paper over, so command-line
+// tools (sdsweep, sdlived) can reject them with a friendly message
+// instead of surprising the user with defaults — or panicking later,
+// deep inside scenario construction. Zero means "use the default"
+// throughout and is always valid; negative counts and a -services
+// count exceeding the background Managers that could host them are
+// errors.
+func (t Topology) Validate() error {
+	switch {
+	case t.Users < 0:
+		return fmt.Errorf("topology: -users must not be negative, got %d (0 means the default)", t.Users)
+	case t.Managers < 0:
+		return fmt.Errorf("topology: -managers must not be negative, got %d (0 means the default)", t.Managers)
+	case t.Registries < 0:
+		return fmt.Errorf("topology: -registries must not be negative, got %d (0 means the default)", t.Registries)
+	case t.Services < 0:
+		return fmt.Errorf("topology: -services must not be negative, got %d (0 means the default)", t.Services)
+	}
+	if t.Services > 0 {
+		managers := t.Managers
+		if managers <= 0 {
+			managers = 1
+		}
+		if t.Services > managers-1 {
+			return fmt.Errorf("topology: %d background service types need at least %d managers (Manager 0 hosts the measured printer; pass -managers ≥ %d)",
+				t.Services, t.Services+1, t.Services+1)
+		}
+	}
+	if t.BootSpacing < 0 || t.UserBootSpacing < 0 || t.BootJitter < 0 {
+		return fmt.Errorf("topology: boot spacings must not be negative")
+	}
+	return nil
+}
+
 // normalized resolves all defaults against a system and a fallback User
 // count (Params.Users).
 func (t Topology) normalized(sys System, fallbackUsers int) Topology {

@@ -275,3 +275,32 @@ func TestScale1000UserFrodoChurnDeterministic(t *testing.T) {
 		t.Errorf("effectiveness %v at λ=0.2 with churn: scenario collapsed", pt.Effectiveness)
 	}
 }
+
+// Validate must reject flag mistakes that normalized() silently papers
+// over, and accept every zero-as-default spec.
+func TestTopologyValidate(t *testing.T) {
+	valid := []Topology{
+		{},
+		{Users: 100, Managers: 3, Registries: 2, Services: 2},
+		{Services: 0, Managers: 1},
+	}
+	for _, topo := range valid {
+		if err := topo.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v; want nil", topo, err)
+		}
+	}
+	invalid := []Topology{
+		{Users: -1},
+		{Managers: -2},
+		{Registries: -1},
+		{Services: -3},
+		{Services: 1},              // no background manager to host it
+		{Managers: 3, Services: 3}, // one more type than background managers
+		{BootSpacing: -1},
+	}
+	for _, topo := range invalid {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil; want error", topo)
+		}
+	}
+}

@@ -197,6 +197,12 @@ func (u *UserRole) CachedVersion(manager netsim.NodeID) uint64 {
 // Subscribed reports whether the User holds an acknowledged subscription.
 func (u *UserRole) Subscribed() bool { return u.subActive }
 
+// EachCached visits every cached service record — the live gateway's
+// read path. The records share immutable snapshots and may be retained.
+func (u *UserRole) EachCached(fn func(discovery.ServiceRecord)) {
+	u.cache.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) { fn(rec) })
+}
+
 // search queries the Central, or multicasts when no Central is known —
 // "Managers are rediscovered by querying the Registry or by sending
 // multicast queries when the Registry is not responding."

@@ -152,6 +152,12 @@ func (u *User) KnownRegistries() int { return u.registries.Len() }
 // Subscribed reports whether the user holds any event registration.
 func (u *User) Subscribed() bool { return len(u.subscribed) > 0 }
 
+// EachCached visits every cached service record — the live gateway's
+// read path. The records share immutable snapshots and may be retained.
+func (u *User) EachCached(fn func(discovery.ServiceRecord)) {
+	u.cache.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) { fn(rec) })
+}
+
 // Deliver implements netsim.Endpoint.
 func (u *User) Deliver(msg *netsim.Message) {
 	switch p := msg.Payload.(type) {

@@ -1,0 +1,204 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Client drives a live gateway over loopback HTTP. One Client is one
+// external participant; sdload runs thousands of them concurrently
+// against one gateway (they may share a Transport via NewClientWith).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a gateway at addr ("127.0.0.1:port").
+func NewClient(addr string) *Client {
+	return NewClientWith(addr, &http.Client{Timeout: 30 * time.Second})
+}
+
+// NewClientWith shares an http.Client (and so its connection pool)
+// across many Clients — essential when a load generator runs more
+// clients than the OS grants file descriptors.
+func NewClientWith(addr string, hc *http.Client) *Client {
+	return &Client{base: "http://" + addr, hc: hc}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+	}()
+	if hr.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.NewDecoder(hr.Body).Decode(&er) == nil && er.Error != "" {
+			return fmt.Errorf("live: %s: %s", path, er.Error)
+		}
+		return fmt.Errorf("live: %s: HTTP %d", path, hr.StatusCode)
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(hr.Body).Decode(resp)
+}
+
+// Attach spawns a protocol User with the given requirement and returns
+// its node ID — the client's identity for Query and Subscribe.
+func (c *Client) Attach(q ServiceQuery) (int, error) {
+	var resp attachResponse
+	if err := c.post("/v1/attach", attachRequest{Query: q}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.User, nil
+}
+
+// Register spawns a Manager hosting the service and returns its node ID.
+func (c *Client) Register(spec ServiceSpec) (int, error) {
+	var resp registerResponse
+	if err := c.post("/v1/register", registerRequest{Spec: spec}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Manager, nil
+}
+
+// Update mutates a registered service's attributes, bumping its
+// version; the new version is returned.
+func (c *Client) Update(manager int, attrs map[string]string) (uint64, error) {
+	var resp updateResponse
+	if err := c.post("/v1/update", updateRequest{Manager: manager, Attrs: attrs}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Query reads the client User's cache — what the protocol has
+// discovered so far for the Attach-time requirement.
+func (c *Client) Query(user int) ([]Record, error) {
+	var resp queryResponse
+	if err := c.post("/v1/query", queryRequest{User: user}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// Lookup searches the fabric with real frames from the gateway's port
+// node and returns what the live Registries and Managers answered.
+func (c *Client) Lookup(q ServiceQuery) ([]Record, error) {
+	var resp lookupResponse
+	if err := c.post("/v1/lookup", lookupRequest{Query: q}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// Subscribe asks the gateway to push the user's cache writes as UDP
+// datagrams to addr (usually a NotifyHub's).
+func (c *Client) Subscribe(user int, addr string) error {
+	return c.post("/v1/subscribe", subscribeRequest{User: user, Addr: addr}, nil)
+}
+
+// Stats reads the gateway's progress counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var resp StatsResponse
+	hr, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return resp, err
+	}
+	defer hr.Body.Close()
+	return resp, json.NewDecoder(hr.Body).Decode(&resp)
+}
+
+// Oracle reads the gateway's consistency-oracle report.
+func (c *Client) Oracle() (OracleResponse, error) {
+	var resp OracleResponse
+	hr, err := c.hc.Get(c.base + "/v1/oracle")
+	if err != nil {
+		return resp, err
+	}
+	defer hr.Body.Close()
+	return resp, json.NewDecoder(hr.Body).Decode(&resp)
+}
+
+// NotifyHub receives pushed notifications on one shared UDP socket and
+// dispatches them to per-user channels, so a thousand load-generator
+// clients cost one file descriptor, not a thousand.
+type NotifyHub struct {
+	conn *net.UDPConn
+	mu   sync.Mutex
+	subs map[int]chan Notification
+	done chan struct{}
+}
+
+// NewNotifyHub opens the hub on an ephemeral loopback port.
+func NewNotifyHub() (*NotifyHub, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	h := &NotifyHub{conn: conn, subs: map[int]chan Notification{}, done: make(chan struct{})}
+	go h.loop()
+	return h, nil
+}
+
+// Addr reports the hub's listening address, for Client.Subscribe.
+func (h *NotifyHub) Addr() string { return h.conn.LocalAddr().String() }
+
+// Chan returns the notification channel for one user, creating it on
+// first use. The channel is buffered; overflow drops (UDP semantics
+// end to end).
+func (h *NotifyHub) Chan(user int) <-chan Notification {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := h.subs[user]
+	if ch == nil {
+		ch = make(chan Notification, 64)
+		h.subs[user] = ch
+	}
+	return ch
+}
+
+// Close stops the hub.
+func (h *NotifyHub) Close() {
+	h.conn.Close()
+	<-h.done
+}
+
+func (h *NotifyHub) loop() {
+	defer close(h.done)
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := h.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		var note Notification
+		if json.Unmarshal(buf[:n], &note) != nil {
+			continue
+		}
+		h.mu.Lock()
+		ch := h.subs[note.User]
+		h.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		select {
+		case ch <- note:
+		default:
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package live is the real-time execution backend: it turns the
+// discrete-event stack — kernel, network, protocol instances, scenario
+// construction, consistency oracle — into a serving system without
+// forking any protocol code.
+//
+// The split of responsibilities:
+//
+//   - Driver owns a sim.Kernel and its Scenario on one dedicated
+//     goroutine and maps virtual time onto the wall clock with a
+//     configurable dilation factor. Everything that touches simulation
+//     state goes through Driver.Inject/Call, which serialize external
+//     work into the event loop — the kernel stays single-threaded, the
+//     protocols never learn they are serving real traffic.
+//   - Gateway (gateway.go) exposes the running scenario over loopback
+//     HTTP and UDP: external clients register services, query, update
+//     and subscribe; requests become scenario mutations or real frames
+//     on the simulated fabric; update notifications are pushed as UDP
+//     datagrams from the Users' cache-write taps.
+//   - Server (server.go) bundles the two behind one Serve call; the
+//     sdlived daemon and sdload load generator (cmd/) drive it from the
+//     command line.
+//
+// Virtual-time replay is untouched: the live path only ever calls the
+// same public simulation APIs the experiment harness uses, draws no
+// extra randomness during construction, and is compiled into binaries
+// the deterministic sweeps never load.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/discovery"
+	"repro/internal/experiment"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// ErrStopped is returned by Inject and Call after the driver stopped.
+var ErrStopped = errors.New("live: driver stopped")
+
+// Config parameterizes a live scenario.
+type Config struct {
+	// System selects one of the five simulated systems.
+	System experiment.System
+	// Topology is the base population built at boot (scenario Users,
+	// Managers, Registries); external clients and registrations come on
+	// top via the gateway. Zero value: the paper's Table 4 shape.
+	Topology experiment.Topology
+	// Options customizes protocol configuration and link conditioning,
+	// exactly as for virtual runs.
+	Options experiment.Options
+	// Seed derives the kernel's random stream. 0 means 1.
+	Seed int64
+	// Dilation maps virtual onto wall-clock time: wall seconds per
+	// virtual second. 1.0 serves in real time; 0.001 runs the fabric a
+	// thousandfold faster, so second-scale protocol timers land on
+	// millisecond-scale wall latencies. 0 means 1.0.
+	Dilation float64
+	// Oracle, when non-nil, attaches the run-time consistency oracle to
+	// the live driver via the tracer tee; zero fields take the system's
+	// defaults. The gateway exposes the report at /v1/oracle.
+	Oracle *verify.OracleConfig
+	// Attach, when set, observes the built scenario before the clock
+	// starts (extra tracers, test instrumentation).
+	Attach func(*experiment.Scenario)
+}
+
+// Driver runs one scenario in wall-clock time. Create with New,
+// customize (AttachOracle, AddListener, OnChange), then Start; after
+// Start all access to simulation state must go through Inject or Call.
+type Driver struct {
+	cfg Config
+	k   *sim.Kernel
+	sc  *experiment.Scenario
+
+	inj      chan func()
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
+	// dead flips (under deadMu) after the event loop exits and before
+	// the final injection drain, so an Inject racing with shutdown
+	// either lands in the buffer the drain will empty or observes dead
+	// and reports ErrStopped — never a silently dropped function.
+	dead   bool
+	deadMu sync.RWMutex
+
+	// listeners and changeHooks fan the scenario's single-slot
+	// consistency and change taps out to several observers (oracle,
+	// gateway notifier). Mutated only before Start or via Inject.
+	listeners   []discovery.ConsistencyListener
+	changeHooks []func()
+
+	// Cross-goroutine progress counters.
+	vnow       atomic.Int64
+	fired      atomic.Uint64
+	injections atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of driver progress, readable from
+// any goroutine.
+type Stats struct {
+	// VirtualTime is the kernel clock as of the last event-loop pass.
+	VirtualTime sim.Time
+	// EventsFired counts executed simulation events.
+	EventsFired uint64
+	// Injections counts external functions serialized into the loop.
+	Injections uint64
+}
+
+// New builds the scenario for live serving. The returned driver is
+// idle: the virtual clock does not advance until Start.
+func New(cfg Config) (*Driver, error) {
+	if cfg.Dilation < 0 {
+		return nil, fmt.Errorf("live: negative dilation %v", cfg.Dilation)
+	}
+	if cfg.Dilation == 0 {
+		cfg.Dilation = 1.0
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	k := sim.New(cfg.Seed)
+	topo := cfg.Topology
+	if topo.Users <= 0 {
+		topo.Users = 5
+	}
+	d := &Driver{
+		cfg:    cfg,
+		k:      k,
+		sc:     experiment.BuildTopology(cfg.System, k, topo, cfg.Options),
+		inj:    make(chan func(), 1024),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// Install the fan-out taps now, so oracle and gateway can both
+	// observe without displacing each other.
+	d.sc.TapConsistency(discovery.ListenerFunc(d.dispatchCacheUpdate))
+	d.sc.TapChange(d.dispatchChange)
+	if cfg.Oracle != nil {
+		d.AttachOracle(*cfg.Oracle)
+	}
+	if cfg.Attach != nil {
+		cfg.Attach(d.sc)
+	}
+	return d, nil
+}
+
+// Scenario exposes the built scenario. Before Start it may be used
+// directly; afterwards only from functions run via Inject or Call.
+func (d *Driver) Scenario() *experiment.Scenario { return d.sc }
+
+// Kernel exposes the kernel under the same access contract as Scenario.
+func (d *Driver) Kernel() *sim.Kernel { return d.k }
+
+// Done is closed when the event loop has exited.
+func (d *Driver) Done() <-chan struct{} { return d.done }
+
+// AddListener registers a consistency listener on the fan-out tap.
+// Before Start only.
+func (d *Driver) AddListener(l discovery.ConsistencyListener) {
+	d.mustNotBeStarted()
+	d.listeners = append(d.listeners, l)
+}
+
+// OnChange registers a hook run after every measured-service change.
+// Before Start only.
+func (d *Driver) OnChange(fn func()) {
+	d.mustNotBeStarted()
+	d.changeHooks = append(d.changeHooks, fn)
+}
+
+// AttachOracle hooks a run-time consistency oracle onto the live
+// scenario: the tracer tee, the fanned-out cache-write tap and the
+// fanned-out change tap. Before Start only; the returned oracle must be
+// read (Report) via Call once the driver runs.
+func (d *Driver) AttachOracle(cfg verify.OracleConfig) *verify.Oracle {
+	d.mustNotBeStarted()
+	o := verify.NewOracle(d.k, d.sc.ManagerID, cfg)
+	d.sc.AddTracer(o)
+	d.listeners = append(d.listeners, o)
+	d.changeHooks = append(d.changeHooks, o.NotePublished)
+	return o
+}
+
+func (d *Driver) mustNotBeStarted() {
+	if d.started.Load() {
+		panic("live: driver already started")
+	}
+}
+
+func (d *Driver) dispatchCacheUpdate(t sim.Time, user, manager netsim.NodeID, version uint64) {
+	for _, l := range d.listeners {
+		l.CacheUpdated(t, user, manager, version)
+	}
+}
+
+func (d *Driver) dispatchChange() {
+	for _, fn := range d.changeHooks {
+		fn()
+	}
+}
+
+// Start launches the event loop; the virtual clock begins chasing the
+// wall clock. Starting twice, or after Stop, panics.
+func (d *Driver) Start() {
+	select {
+	case <-d.stopCh:
+		panic("live: driver stopped")
+	default:
+	}
+	if d.started.Swap(true) {
+		panic("live: driver already started")
+	}
+	go d.run()
+}
+
+// Stop halts the event loop and waits for it to exit. Injections still
+// queued when the loop exits are executed during the final drain, so
+// in-flight Calls complete; anything injected afterwards fails with
+// ErrStopped. Stopping a driver that was never started is a clean
+// no-op shutdown.
+func (d *Driver) Stop() {
+	d.stopOnce.Do(func() {
+		close(d.stopCh)
+		if !d.started.Load() {
+			// The loop never ran, so nobody else will complete the
+			// shutdown protocol.
+			d.deadMu.Lock()
+			d.dead = true
+			d.deadMu.Unlock()
+			close(d.done)
+		}
+	})
+	<-d.done
+}
+
+// Inject serializes fn into the event loop; it runs at the kernel's
+// current virtual instant, after all events due before it. Safe from
+// any goroutine. Injection order is preserved (one FIFO channel), and
+// a full queue blocks the caller — natural backpressure against a
+// gateway outrunning the fabric. A nil return means fn has run or is
+// guaranteed to run (the shutdown drain executes whatever was
+// accepted); ErrStopped means it was not accepted.
+func (d *Driver) Inject(fn func()) error {
+	d.deadMu.RLock()
+	defer d.deadMu.RUnlock()
+	if d.dead {
+		return ErrStopped
+	}
+	// The stopCh case keeps a blocked sender from deadlocking against
+	// the exiting loop (which acquires deadMu exclusively before the
+	// final drain).
+	select {
+	case d.inj <- fn:
+		return nil
+	case <-d.stopCh:
+		select {
+		case d.inj <- fn:
+			return nil
+		default:
+			return ErrStopped
+		}
+	}
+}
+
+// Call injects fn and waits until it has executed. It must not be
+// called from inside the event loop (a tap or timer callback): the
+// loop would wait on itself.
+func (d *Driver) Call(fn func()) error {
+	ran := make(chan struct{})
+	if err := d.Inject(func() { fn(); close(ran) }); err != nil {
+		return err
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-d.done:
+		// The final drain may still have run it.
+		select {
+		case <-ran:
+			return nil
+		default:
+			return ErrStopped
+		}
+	}
+}
+
+// Stats reports driver progress.
+func (d *Driver) Stats() Stats {
+	return Stats{
+		VirtualTime: sim.Time(d.vnow.Load()),
+		EventsFired: d.fired.Load(),
+		Injections:  d.injections.Load(),
+	}
+}
+
+// run is the event loop: advance the kernel to the wall clock's virtual
+// position, drain injections, sleep until the next event is due or an
+// injection arrives. When the fabric falls behind the wall clock (a
+// burst of events at small dilation), it catches up as fast as the CPU
+// allows — time dilation is a target, not a guarantee.
+func (d *Driver) run() {
+	defer func() {
+		// Refuse new injections first, then drain what was accepted:
+		// every Inject that returned nil has its function executed.
+		d.deadMu.Lock()
+		d.dead = true
+		d.deadMu.Unlock()
+		for {
+			select {
+			case fn := <-d.inj:
+				fn()
+			default:
+				close(d.done)
+				return
+			}
+		}
+	}()
+	t0 := time.Now()
+	v0 := d.k.Now()
+	dil := d.cfg.Dilation
+	vAt := func(w time.Time) sim.Time {
+		return v0 + sim.Time(float64(w.Sub(t0))/dil)
+	}
+	wallAt := func(v sim.Time) time.Time {
+		return t0.Add(time.Duration(float64(v-v0) * dil))
+	}
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		default:
+		}
+		d.k.RunUntil(vAt(time.Now()))
+		d.vnow.Store(int64(d.k.Now()))
+		d.fired.Store(d.k.Fired())
+		// Drain queued injections; each runs at the current instant and
+		// may schedule fresh events, picked up by the next pass.
+		for drained := false; !drained; {
+			select {
+			case fn := <-d.inj:
+				fn()
+				d.injections.Add(1)
+			default:
+				drained = true
+			}
+		}
+		var wait time.Duration
+		if next, ok := d.k.NextEventTime(); ok {
+			wait = time.Until(wallAt(next))
+			if wait <= 0 {
+				continue
+			}
+		} else {
+			// Idle fabric (cannot normally happen — leases and announce
+			// trains are always pending): poll for injections.
+			wait = 100 * time.Millisecond
+		}
+		timer.Reset(wait)
+		select {
+		case <-d.stopCh:
+			stopTimer(timer)
+			return
+		case fn := <-d.inj:
+			stopTimer(timer)
+			fn()
+			d.injections.Add(1)
+		case <-timer.C:
+		}
+	}
+}
+
+// stopTimer halts a running timer and drains a concurrent expiry so the
+// next Reset starts clean.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}

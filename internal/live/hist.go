@@ -1,0 +1,125 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram is a concurrency-safe latency recorder with logarithmic
+// buckets: 5% relative resolution from 1µs to ~5min, fixed memory, no
+// dependencies. sdload shares one per operation type across all client
+// goroutines.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	n      uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// histBase is the per-bucket growth factor (≈5% resolution).
+const histBase = 1.05
+
+// histMin is the smallest distinguishable latency.
+const histMin = time.Microsecond
+
+func histBucket(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	return int(math.Log(float64(d)/float64(histMin)) / math.Log(histBase))
+}
+
+func histValue(bucket int) time.Duration {
+	return time.Duration(float64(histMin) * math.Pow(histBase, float64(bucket)+0.5))
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	b := histBucket(d)
+	h.mu.Lock()
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+16)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Quantiles reports the latencies at the given ranks (each in [0,1]).
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if h.n == 0 {
+		return out
+	}
+	ranks := make([]uint64, len(qs))
+	order := make([]int, len(qs))
+	for i, q := range qs {
+		r := uint64(math.Ceil(q * float64(h.n)))
+		if r < 1 {
+			r = 1
+		}
+		if r > h.n {
+			r = h.n
+		}
+		ranks[i] = r
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+	var seen uint64
+	oi := 0
+	for b, c := range h.counts {
+		seen += c
+		for oi < len(order) && seen >= ranks[order[oi]] {
+			v := histValue(b)
+			if v > h.max {
+				v = h.max
+			}
+			out[order[oi]] = v
+			oi++
+		}
+		if oi == len(order) {
+			break
+		}
+	}
+	return out
+}
+
+// Mean reports the average latency.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Summary renders "n=… mean=… p50=… p95=… p99=… max=…".
+func (h *Histogram) Summary() string {
+	q := h.Quantiles(0.50, 0.95, 0.99)
+	h.mu.Lock()
+	n, max := h.n, h.max
+	h.mu.Unlock()
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		n, h.Mean().Round(time.Microsecond), q[0].Round(time.Microsecond),
+		q[1].Round(time.Microsecond), q[2].Round(time.Microsecond), max.Round(time.Microsecond))
+}

@@ -206,17 +206,90 @@ func (k *Kernel) UniformTime(lo, hi Time) Time {
 	return Time(k.UniformDuration(Duration(lo), Duration(hi)))
 }
 
-// Stop makes Run return after the currently executing event completes.
+// Stop makes Run (or RunUntil) return after the currently executing
+// event completes. The clock still advances to the call's horizon, so
+// events scheduled before it may remain pending behind the clock; see
+// the re-entrancy invariant on Run.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Run executes events in time order until the queue drains or the next
 // event lies beyond horizon. The clock finishes at horizon so that model
 // code observing Now at the end of a run sees the full duration.
+//
+// # Re-entrancy invariant
+//
+// Run, RunUntil and Step may be freely interleaved on one kernel; each
+// call resumes from the current heap, and the clock NEVER rewinds. The
+// one way an event can come to sit behind the clock is a Stop()ed Run
+// (or RunUntil): the clock jumps to the horizon while undrained events
+// keep their original times. Such events fire at the current instant —
+// drainTo clamps the clock monotonically instead of assigning e.at —
+// exactly as a real scheduler fires an overdue timer late. Before this
+// was an invariant, a Stop'ed Run followed by another drain call would
+// rewind Now to the stale event's time, breaking the "schedule only in
+// the future" rule for every callback that fired after it.
 func (k *Kernel) Run(horizon Time) {
 	k.stopped = false
+	k.drainTo(horizon)
+	if k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// RunUntil executes every event due at or before target and leaves the
+// clock at target, like Run — the live driver calls it repeatedly to
+// chase the wall clock, so unlike the one-shot Run it is documented as
+// a resumable API: consecutive calls with non-decreasing targets drain
+// the heap incrementally. A target at or before Now fires nothing and
+// leaves the clock untouched (the clock never rewinds).
+func (k *Kernel) RunUntil(target Time) {
+	k.stopped = false
+	k.drainTo(target)
+	if k.now < target {
+		k.now = target
+	}
+}
+
+// Step executes the single next pending event, advancing the clock to
+// its time (or holding the clock if the event is overdue — see Run's
+// re-entrancy invariant). It reports whether an event fired; false
+// means the queue held nothing but canceled events, which it discards.
+func (k *Kernel) Step() bool {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		k.pop()
+		if e.canceled {
+			k.release(e)
+			continue
+		}
+		k.fire(e)
+		return true
+	}
+	return false
+}
+
+// NextEventTime reports the virtual time of the earliest pending
+// non-canceled event. Canceled heap heads are discarded on the way, so
+// the answer is exact, not an upper bound. The live driver uses it to
+// compute how long the event loop may sleep on the wall clock.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		if !e.canceled {
+			return e.at, true
+		}
+		k.pop()
+		k.release(e)
+	}
+	return 0, false
+}
+
+// drainTo fires events with at <= limit in (time, seq) order until the
+// heap drains, the limit is reached, or Stop is called.
+func (k *Kernel) drainTo(limit Time) {
 	for len(k.heap) > 0 && !k.stopped {
 		e := k.heap[0]
-		if e.at > horizon {
+		if e.at > limit {
 			break
 		}
 		k.pop()
@@ -224,18 +297,24 @@ func (k *Kernel) Run(horizon Time) {
 			k.release(e)
 			continue
 		}
+		k.fire(e)
+	}
+}
+
+// fire executes one event, clamping the clock monotonically: an event
+// left behind the clock by a Stop()ed Run fires at the current instant
+// rather than rewinding Now.
+func (k *Kernel) fire(e *Event) {
+	if e.at > k.now {
 		k.now = e.at
-		k.fired++
-		if e.argFn != nil {
-			e.argFn(e.arg)
-		} else {
-			e.fn()
-		}
-		k.release(e)
 	}
-	if k.now < horizon {
-		k.now = horizon
+	k.fired++
+	if e.argFn != nil {
+		e.argFn(e.arg)
+	} else {
+		e.fn()
 	}
+	k.release(e)
 }
 
 // Pending reports the number of queued events, including canceled events

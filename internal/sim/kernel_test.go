@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -341,3 +342,78 @@ func TestSplitmixStream(t *testing.T) {
 		t.Error("different seeds produced identical streams")
 	}
 }
+
+// RunUntil must drain incrementally and leave the clock at its target,
+// and Step must resume from wherever the previous drain left off —
+// preserving the global (time, seq) order across the API boundary.
+func TestStepRunUntilInterleave(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i, at := range []Time{1 * Second, 2 * Second, 2 * Second, 3 * Second, 5 * Second} {
+		i := i
+		k.At(at, func() { got = append(got, i) })
+	}
+	if at, ok := k.NextEventTime(); !ok || at != 1*Second {
+		t.Fatalf("NextEventTime = %v, %v; want 1s, true", at, ok)
+	}
+	k.RunUntil(2 * Second) // fires events 0, 1, 2
+	if want := []int{0, 1, 2}; !slices.Equal(got, want) {
+		t.Fatalf("after RunUntil(2s): fired %v, want %v", got, want)
+	}
+	if k.Now() != 2*Second {
+		t.Fatalf("Now = %v after RunUntil(2s)", k.Now())
+	}
+	k.RunUntil(1 * Second) // target behind the clock: no-op, no rewind
+	if k.Now() != 2*Second {
+		t.Fatalf("RunUntil rewound the clock to %v", k.Now())
+	}
+	if !k.Step() {
+		t.Fatal("Step found no event")
+	}
+	if want := []int{0, 1, 2, 3}; !slices.Equal(got, want) || k.Now() != 3*Second {
+		t.Fatalf("after Step: fired %v at %v", got, k.Now())
+	}
+	k.Run(10 * Second) // Run resumes from the partially drained heap
+	if want := []int{0, 1, 2, 3, 4}; !slices.Equal(got, want) {
+		t.Fatalf("after Run: fired %v, want %v", got, want)
+	}
+	if k.Now() != 10*Second {
+		t.Fatalf("Now = %v after Run(10s)", k.Now())
+	}
+	if k.Step() {
+		t.Fatal("Step fired on an empty heap")
+	}
+}
+
+// A Stop()ed Run advances the clock past still-pending events; firing
+// them later must NOT rewind the clock (the re-entrancy invariant), and
+// callbacks that schedule relative to Now must stay in the future.
+func TestRunReenterableAfterStop(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	note := func() { fired = append(fired, k.Now()) }
+	k.At(1*Second, func() { note(); k.Stop() })
+	k.At(2*Second, note)
+	// An overdue callback scheduling After(d) must land in the future.
+	k.At(3*Second, func() { k.After(Second, note) })
+	k.Run(10 * Second)
+	if k.Now() != 10*Second {
+		t.Fatalf("Now = %v after stopped Run; want the horizon", k.Now())
+	}
+	if len(fired) != 1 {
+		t.Fatalf("fired %v before Stop; want one event", fired)
+	}
+	// The overdue events fire at the current instant, clock held.
+	if !k.Step() || k.Now() != 10*Second {
+		t.Fatalf("overdue Step rewound the clock to %v", k.Now())
+	}
+	k.Run(20 * Second)
+	if k.Now() != 20*Second {
+		t.Fatalf("Now = %v after resumed Run", k.Now())
+	}
+	want := []Time{1 * Second, 10 * Second, 11 * Second}
+	if !slices.Equal(fired, want) {
+		t.Fatalf("firing instants %v, want %v", fired, want)
+	}
+}
+

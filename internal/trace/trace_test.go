@@ -97,3 +97,26 @@ func TestTraceTimesAreSeconds(t *testing.T) {
 		t.Errorf("T = %v, want 1.5 seconds", events[0].T)
 	}
 }
+
+// Err must report nil on a healthy writer and the first write error —
+// independently of Flush — once the underlying writer fails.
+func TestWriterErr(t *testing.T) {
+	healthy := NewWriter(&bytes.Buffer{})
+	healthy.MessageDelivered(1, &netsim.Message{Kind: "x"})
+	if err := healthy.Err(); err != nil {
+		t.Fatalf("healthy writer reports error %v", err)
+	}
+	w := NewWriter(&failingWriter{})
+	m := netsim.Message{From: 1, To: 2, Kind: "Announce"}
+	for i := 0; i < 10000; i++ {
+		w.MessageSent(sim.Time(i), &m)
+	}
+	if w.Err() == nil {
+		t.Fatal("write error never surfaced via Err")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush swallowed the sticky error")
+	}
+	// Emitting after the error is a silent no-op, not a panic.
+	w.MessageDropped(1, &m, "lost")
+}

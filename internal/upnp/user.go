@@ -169,6 +169,12 @@ func (u *User) CachedVersion(manager netsim.NodeID) uint64 {
 // Subscribed reports whether the user currently holds a subscription.
 func (u *User) Subscribed() bool { return u.subscribedTo != netsim.NoNode }
 
+// EachCached visits every cached service record — the live gateway's
+// read path. The records share immutable snapshots and may be retained.
+func (u *User) EachCached(fn func(discovery.ServiceRecord)) {
+	u.cache.Each(func(_ netsim.NodeID, rec discovery.ServiceRecord) { fn(rec) })
+}
+
 // Deliver implements netsim.Endpoint.
 func (u *User) Deliver(msg *netsim.Message) {
 	switch p := msg.Payload.(type) {

@@ -232,7 +232,7 @@ func AttachOracle(sc *experiment.Scenario, cfg OracleConfig) *Oracle {
 	o := NewOracle(sc.K, sc.ManagerID, cfg)
 	sc.AddTracer(o)
 	sc.TapConsistency(o)
-	sc.TapChange(o.notePublished)
+	sc.TapChange(o.NotePublished)
 	return o
 }
 
@@ -261,8 +261,11 @@ func (o *Oracle) Report() OracleReport {
 		ProbesScheduled: o.probesScheduled, ProbesRun: o.probesRun}
 }
 
-// notePublished is the change tap: the Manager published a new version.
-func (o *Oracle) notePublished() { o.published++ }
+// NotePublished is the change tap: the measured Manager published a new
+// version. The run driver wires it through Scenario.TapChange; the live
+// driver, which fans a single change tap out to several hooks, calls it
+// directly.
+func (o *Oracle) NotePublished() { o.published++ }
 
 func (o *Oracle) violate(inv Invariant, node netsim.NodeID, format string, args ...any) {
 	o.total++

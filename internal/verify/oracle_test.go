@@ -71,7 +71,7 @@ func TestOracleFiresOnVersionBound(t *testing.T) {
 	const mgr netsim.NodeID = 0
 	o := NewOracle(k, mgr, OracleConfig{})
 	o.CacheUpdated(0, 3, mgr, 1) // initial discovery: fine
-	o.notePublished()            // manager publishes version 2
+	o.NotePublished()            // manager publishes version 2
 	o.CacheUpdated(0, 3, mgr, 2) // consistent: fine
 	if rep := o.Report(); rep.Total != 0 {
 		t.Fatalf("legal versions flagged: %s", rep)

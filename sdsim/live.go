@@ -1,0 +1,55 @@
+package sdsim
+
+import (
+	"repro/internal/live"
+)
+
+// The live runtime: the same five systems, protocol code unchanged,
+// served to real clients in wall-clock time. See package internal/live
+// for the architecture (Driver event loop, Gateway HTTP/UDP surface)
+// and cmd/sdlived + cmd/sdload for the command-line tools.
+
+// Re-exported live-runtime types; see package live for field docs.
+type (
+	// LiveConfig parameterizes a live scenario: system, topology,
+	// options, seed, the virtual-to-wall time dilation, and an optional
+	// consistency-oracle configuration.
+	LiveConfig = live.Config
+	// LiveServer is a running driver plus its gateway.
+	LiveServer = live.Server
+	// LiveClient drives a live gateway over loopback HTTP.
+	LiveClient = live.Client
+	// LiveNotifyHub receives pushed update notifications on one shared
+	// UDP socket.
+	LiveNotifyHub = live.NotifyHub
+	// LiveNotification is one pushed cache-write datagram.
+	LiveNotification = live.Notification
+	// LiveServiceQuery and LiveServiceSpec are the external forms of
+	// query and service description.
+	LiveServiceQuery = live.ServiceQuery
+	LiveServiceSpec  = live.ServiceSpec
+	// LiveRecord is the external form of a discovered service record.
+	LiveRecord = live.Record
+)
+
+// Serve boots one system as a wall-clock serving system: the scenario
+// is built exactly as for a virtual run, a dedicated goroutine maps
+// virtual time onto the wall clock, and the returned server's gateway
+// accepts real clients on addr ("127.0.0.1:0" picks a free port).
+//
+//	ocfg := sdsim.DefaultOracleConfig(sdsim.Frodo2P)
+//	srv, err := sdsim.Serve(sdsim.LiveConfig{
+//	    System: sdsim.Frodo2P, Dilation: 0.001, Oracle: &ocfg,
+//	}, "127.0.0.1:0")
+//	...
+//	cl := sdsim.NewLiveClient(srv.Addr())
+func Serve(cfg LiveConfig, addr string) (*LiveServer, error) {
+	return live.Serve(cfg, addr)
+}
+
+// NewLiveClient returns a client for a live gateway at addr.
+func NewLiveClient(addr string) *LiveClient { return live.NewClient(addr) }
+
+// NewLiveNotifyHub opens a notification hub on an ephemeral loopback
+// port; pass its Addr to LiveClient.Subscribe.
+func NewLiveNotifyHub() (*LiveNotifyHub, error) { return live.NewNotifyHub() }
