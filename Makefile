@@ -10,11 +10,11 @@
 # snapshot as BENCH_BASELINE, and commit the refreshed file.
 
 GO ?= go
-BENCH_PR ?= 4
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_PR ?= 5
+BENCH_BASELINE ?= BENCH_4.json
 COVER_FLOOR ?= 70
 
-.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke clean
+.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke clean
 
 check: vet build race
 
@@ -34,7 +34,8 @@ race:
 # microbenchmarks, with allocation stats, written to BENCH_<pr>.json.
 bench:
 	{ $(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout|BenchmarkUnicastFrame' -benchtime 200000x -benchmem -run xxx ./internal/sim ./internal/netsim && \
-	  $(GO) test -bench 'BenchmarkSingleRunScale|BenchmarkSweepScale' -benchtime 5x -benchmem -run xxx . ; } | tee /dev/stderr | \
+	  $(GO) test -bench 'BenchmarkSingleRunScale$$|BenchmarkSweepScale' -benchtime 5x -benchmem -run xxx . && \
+	  $(GO) test -bench 'BenchmarkSingleRunScaleSharded' -benchtime 1x -benchmem -run xxx . ; } | tee /dev/stderr | \
 	  $(GO) run ./cmd/benchjson -pr $(BENCH_PR) -baseline $(BENCH_BASELINE) > BENCH_$(BENCH_PR).json
 
 # Regression gate: re-run the hot-path microbenchmarks and fail if
@@ -73,6 +74,13 @@ live-smoke:
 	$$tmp/sdload -addr $$(cat $$tmp/addr) -clients 200 -duration 5s -oracle -quiet; \
 	kill $$pid; \
 	wait $$pid || { echo "sdlived exited nonzero (race detected or oracle violation)"; exit 1; }
+
+# Sharded-fabric smoke test (CI-enforced): a 4-shard N=10k FRODO run
+# under the race detector with the per-shard consistency oracles
+# attached; fails on any data race, oracle violation or propagation
+# collapse. ~1 minute of wall time.
+shard-smoke:
+	SHARD_SMOKE=1 $(GO) test -race -run TestShardSmoke -v ./internal/verify
 
 # Full benchmark suite (slow: full-scale sweeps per iteration).
 bench-all:

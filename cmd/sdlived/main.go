@@ -35,6 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "kernel seed")
 		dilation = flag.Float64("dilation", 0.001, "wall seconds per virtual second (0.001 = 1000× faster than real time)")
 		loss     = flag.Float64("loss", 0, "i.i.d. per-frame loss probability")
+		shards   = flag.Int("shards", 0, "partition the fabric across this many parallel shards (0/1 = single fabric; ≥2 is FRODO-only)")
 		noOracle = flag.Bool("no-oracle", false, "serve without the consistency oracle attached")
 
 		users      = flag.Int("users", 5, "scenario Users built at boot (clients come on top)")
@@ -64,6 +65,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdlived: -dilation must be positive, got %v\n", *dilation)
 		os.Exit(2)
 	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "sdlived: -shards must not be negative, got %d\n", *shards)
+		os.Exit(2)
+	}
 
 	cfg := live.Config{
 		System:   sys,
@@ -71,6 +76,7 @@ func main() {
 		Options:  experiment.Options{Loss: *loss},
 		Seed:     *seed,
 		Dilation: *dilation,
+		Shards:   *shards,
 	}
 	if !*noOracle {
 		ocfg := verify.DefaultOracleConfig(sys)
@@ -83,8 +89,12 @@ func main() {
 	}
 
 	expvar.Publish("sdlived", expvar.Func(func() any { return srv.Gateway.Stats() }))
-	fmt.Printf("sdlived: %v serving on %s (dilation %g, oracle %v)\n",
-		sys, srv.Addr(), *dilation, !*noOracle)
+	fabric := "single fabric"
+	if *shards >= 2 {
+		fabric = fmt.Sprintf("%d shards", *shards)
+	}
+	fmt.Printf("sdlived: %v serving on %s (%s, dilation %g, oracle %v)\n",
+		sys, srv.Addr(), fabric, *dilation, !*noOracle)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "sdlived: -addr-file: %v\n", err)

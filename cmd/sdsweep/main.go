@@ -12,6 +12,7 @@
 //	sdsweep -figure all -runs 30 # everything, paper-sized
 //	sdsweep -figure loss         # extension: message-loss failure model
 //	sdsweep -figure adversarial  # extension: burst vs i.i.d. loss at equal rate
+//	sdsweep -figure shard -shards 8 -users 100000   # sharded-fabric speedup table
 //
 // Adversarial network knobs (apply to figures 4-6 and scale):
 //
@@ -26,13 +27,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/sdsim"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: 4|5|6|7|loss|polling|scale|all")
+		figure  = flag.String("figure", "all", "figure to regenerate: 4|5|6|7|loss|polling|scale|shard|all")
 		runs    = flag.Int("runs", 30, "runs per (system, λ) point (X in the paper)")
 		seed    = flag.Int64("seed", 1, "base seed for the whole sweep")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -47,6 +49,7 @@ func main() {
 		managers   = flag.Int("managers", 0, "Manager nodes; extras host background services (0 = 1)")
 		registries = flag.Int("registries", 0, "Registry nodes (0 = the system's Table 4 count)")
 		services   = flag.Int("services", 0, "distinct background service types (0 = one per extra Manager)")
+		shards     = flag.Int("shards", 0, "shard count S for -figure shard (the fabric is split across S parallel kernel/netsim pairs)")
 		churn      = flag.Float64("churn", 0, "expected departures per User over the run (Poisson; 0 = no churn)")
 		absence    = flag.Float64("absence", 0, "mean absence before rejoining, seconds (0 = departures are permanent)")
 		arrivals   = flag.Float64("arrivals", 0, "expected fresh User arrivals over the run (Poisson)")
@@ -64,8 +67,17 @@ func main() {
 	// not leave a started-but-unflushed (truncated) CPU profile behind.
 	switch *figure {
 	case "4", "5", "6", "7", "loss", "polling", "scale", "adversarial", "all":
+	case "shard":
+		if *shards < 2 {
+			fmt.Fprintf(os.Stderr, "-figure shard needs -shards ≥ 2, got %d\n", *shards)
+			os.Exit(2)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+	if *shards != 0 && *figure != "shard" {
+		fmt.Fprintf(os.Stderr, "-shards applies to -figure shard only\n")
 		os.Exit(2)
 	}
 
@@ -218,6 +230,8 @@ func main() {
 		emit(pollingSweep(params, *workers, progress))
 	case "scale":
 		emit(scaleSweep(params, linkOpts, *workers, progress))
+	case "shard":
+		emit(shardTable(params, linkOpts, *shards, *quiet))
 	case "adversarial":
 		emit(sdsim.FigureAdversarial(params, *workers, progress))
 	case "all":
@@ -302,6 +316,67 @@ func scaleSweep(params sdsim.Params, opts sdsim.Options, workers int, progress f
 	}
 	t.Notes = append(t.Notes,
 		"streaming per-cell aggregation keeps sweep memory flat in N; combine with -churn/-managers/-registries for populated-network scenarios")
+	return t
+}
+
+// shardTable is the sharded-fabric extension: the same single FRODO
+// two-party run (λ=0, one service change) executed on one fabric and on
+// S shards, timed against the wall clock. The sharded run is a
+// different — equally valid — timeline of the same scenario, so the
+// consistency score F is reported for both fabrics as the sanity
+// column. Use -users for one population size; the default charts the
+// trajectory the ROADMAP's single-run scale item tracks.
+func shardTable(params sdsim.Params, opts sdsim.Options, shards int, quiet bool) sdsim.Table {
+	sizes := []int{1_000, 10_000, 100_000}
+	if params.Topology.Users > 0 {
+		sizes = []int{params.Topology.Users}
+	}
+	t := sdsim.Table{
+		Title: fmt.Sprintf("Extension: sharded-fabric wall clock, 1 vs %d shards (FRODO 2-party, λ=0)", shards),
+		Header: []string{"N", "1-shard s", fmt.Sprintf("%d-shard s", shards), "speedup",
+			"F(1)", fmt.Sprintf("F(%d)", shards)},
+	}
+	for _, n := range sizes {
+		p := params
+		p.Topology.Users = n
+		spec := sdsim.RunSpec{System: sdsim.Frodo2P, Lambda: 0, Seed: p.BaseSeed, Params: p, Opts: opts}
+		f := func(res sdsim.RunResult) float64 {
+			reached := 0
+			for _, u := range res.Users {
+				if u.Reached {
+					reached++
+				}
+			}
+			return float64(reached) / float64(len(res.Users))
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "N=%d: single fabric...", n)
+		}
+		t0 := time.Now()
+		fBase := f(sdsim.Run(spec))
+		dBase := time.Since(t0).Seconds()
+		spec.Shards = shards
+		if !quiet {
+			fmt.Fprintf(os.Stderr, " %.1fs, %d shards...", dBase, shards)
+		}
+		t0 = time.Now()
+		fShard := f(sdsim.Run(spec))
+		dShard := time.Since(t0).Seconds()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, " %.1fs\n", dShard)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", dBase),
+			fmt.Sprintf("%.1f", dShard),
+			fmt.Sprintf("%.2f×", dBase/dShard),
+			fmt.Sprintf("%.3f", fBase),
+			fmt.Sprintf("%.3f", fShard),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("this host exposes %d CPU(s); the parallel win needs as many cores as shards", runtime.NumCPU()),
+		"shards hold disjoint User subsets coupled by conservative lookahead windows; see DESIGN.md \"Sharded fabric\"")
 	return t
 }
 

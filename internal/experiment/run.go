@@ -136,6 +136,19 @@ type RunSpec struct {
 	// schedules are drawn afterwards and must replay bit for bit with
 	// and without an observer.
 	Attach func(*Scenario)
+	// Shards, when ≥ 2, partitions the run's topology across that many
+	// kernel/network pairs advancing in parallel (see shard.go). 0 or 1
+	// is the classic single-fabric path, byte-identical to before the
+	// field existed. Sharded runs are deterministic in (Seed, Shards)
+	// and support the FRODO systems without churn, partitions, explicit
+	// failures, tracers or Attach observers.
+	Shards int
+	// AttachSharded is Attach's S ≥ 2 counterpart: it observes the built
+	// ShardSet before any schedule is drawn, under the same contract
+	// (must not consume any kernel's random stream). Hooks attached to
+	// remote shards' scenarios fire on those shards' worker goroutines —
+	// see ShardSet.ShardScenario.
+	AttachSharded func(*ShardSet)
 }
 
 // Run executes one full scenario and returns the raw observations. It
@@ -146,6 +159,9 @@ type RunSpec struct {
 // next user rebuilds from a clean Reset, so a half-built scenario cannot
 // poison the pool.
 func Run(spec RunSpec) metrics.RunResult {
+	if spec.Shards >= 2 {
+		return runSharded(spec)
+	}
 	ws := wsPool.Get().(*Workspace)
 	defer wsPool.Put(ws)
 	res, _ := runInWorkspace(ws, spec)
@@ -154,8 +170,12 @@ func Run(spec RunSpec) metrics.RunResult {
 
 // RunInto executes one run on the caller's workspace. Sweep workers use
 // it to reuse simulation scratch across consecutive runs on one
-// goroutine.
+// goroutine. A sharded spec builds its own per-shard storage; the
+// workspace is untouched.
 func RunInto(ws *Workspace, spec RunSpec) metrics.RunResult {
+	if spec.Shards >= 2 {
+		return runSharded(spec)
+	}
 	res, _ := runInWorkspace(ws, spec)
 	return res
 }

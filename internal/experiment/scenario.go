@@ -551,11 +551,14 @@ func (s *Scenario) RegistryIDs() []netsim.NodeID {
 	return ids
 }
 
-// AllNodeIDs lists every node for the failure planner.
+// AllNodeIDs lists every node for the failure planner. On a sharded
+// fabric each shard's scenario lists its own nodes with the shard baked
+// into the IDs; unsharded networks are shard 0, where the encoding is
+// the plain table index.
 func (s *Scenario) AllNodeIDs() []netsim.NodeID {
 	ids := make([]netsim.NodeID, 0, s.Net.Nodes())
 	for i := 0; i < s.Net.Nodes(); i++ {
-		ids = append(ids, netsim.NodeID(i))
+		ids = append(ids, netsim.MakeNodeID(s.Net.Shard(), i))
 	}
 	return ids
 }

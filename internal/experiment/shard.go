@@ -1,0 +1,486 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/discovery"
+	"repro/internal/frodo"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// The sharded fabric: one run's topology partitioned across S
+// kernel/network pairs, each advancing on its own goroutine, coupled
+// only through cross-shard frames exchanged at window barriers
+// (conservative parallel discrete-event simulation — see
+// netsim/shard.go for the transport half).
+//
+// Placement: shard 0 holds all infrastructure (Registries, Managers)
+// plus every Sth User; shards 1..S-1 hold Users round-robin. A User's
+// global boot index is preserved, so the population boots on the same
+// schedule shape as the single-fabric run. Each shard draws from its
+// own seeded RNG, so an S-shard run is deterministic in (seed, S) —
+// but a different timeline from the 1-shard run of the same seed
+// (shards=1 never goes through this path at all, which is how the
+// single-fabric byte-identity is kept).
+//
+// The window protocol: all shards sit at a common clock T. The
+// coordinator bounds the next window at W = min(M + L, target), where
+// M is the earliest thing that can happen anywhere — the minimum of
+// every shard's next local event and of every buffered cross frame's
+// earliest possible arrival — and L is the cross-shard lookahead
+// (minimum inter-shard delay). Each shard first ingests all frames
+// buffered for it, then drains to W. Any frame sent during the window
+// was sent at ≥ M, so it arrives at ≥ M + L ≥ W — never behind the
+// clock of the shard that will ingest it at the next barrier. L > 0
+// means W > T: every window makes progress.
+
+// shardCmd is one window order from the coordinator: ingest these
+// frames, then advance to until.
+type shardCmd struct {
+	frames []netsim.CrossFrame
+	until  sim.Time
+}
+
+// shardRep is the shard's barrier reply: its next pending event.
+type shardRep struct {
+	next sim.Time
+	ok   bool
+}
+
+// shardState is one shard of the fabric. Shards 1..S-1 own a worker
+// goroutine; shard 0 runs inline on the coordinator's goroutine, so
+// every protocol callback of the infrastructure shard — taps, gateway
+// spawns, service changes — happens on the caller's goroutine, exactly
+// as in an unsharded run.
+type shardState struct {
+	k      *sim.Kernel
+	nw     *netsim.Network
+	sc     *Scenario
+	router *netsim.ShardRouter
+	cmds   chan shardCmd
+	reps   chan shardRep
+}
+
+func (st *shardState) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cmd := range st.cmds {
+		st.nw.IngestCross(cmd.frames)
+		next, ok := st.k.RunWindow(cmd.until)
+		st.reps <- shardRep{next: next, ok: ok}
+	}
+}
+
+// ShardSet is a sharded fabric mid-flight. Its advancing API mirrors
+// the kernel's (RunUntil is resumable with non-decreasing targets), so
+// the live Driver can chase the wall clock across it the way it chases
+// a single kernel. Not safe for concurrent use: one coordinator
+// goroutine owns it, and between RunUntil calls every worker is parked
+// at its barrier.
+type ShardSet struct {
+	shards    []*shardState
+	pending   [][]netsim.CrossFrame // inbound frames per shard, staged at barriers
+	next      []sim.Time            // each shard's next event, as of the last barrier
+	nextOK    []bool
+	lookahead sim.Time
+	clock     sim.Time // the common time every shard has reached
+	userOrder []netsim.NodeID
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// BuildSharded partitions a topology across S ≥ 2 shards and starts the
+// worker goroutines. Only the FRODO systems are supported: their wire
+// protocol is pure UDP unicast/multicast, which the cross-shard frame
+// exchange carries faithfully, while the Jini/UPnP two-phase TCP
+// abstraction binds connection state to a single network. The zero
+// CrossLink means netsim.DefaultCrossLink. Callers must Close the set.
+func BuildSharded(sys System, topo Topology, opts Options, seed int64, shards int, cross netsim.CrossLink) (*ShardSet, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("experiment: BuildSharded needs ≥ 2 shards, got %d (use Run for a single fabric)", shards)
+	}
+	if sys != Frodo3P && sys != Frodo2P {
+		return nil, fmt.Errorf("experiment: sharded fabric supports the FRODO systems only (%v uses TCP connections, which cannot span shards)", sys)
+	}
+	if cross == (netsim.CrossLink{}) {
+		cross = netsim.DefaultCrossLink()
+	}
+	if err := cross.Validate(); err != nil {
+		return nil, err
+	}
+	netCfg, err := opts.netConfig()
+	if err != nil {
+		return nil, err
+	}
+	topo = topo.normalized(sys, 0)
+
+	ss := &ShardSet{
+		shards:    make([]*shardState, shards),
+		pending:   make([][]netsim.CrossFrame, shards),
+		next:      make([]sim.Time, shards),
+		nextOK:    make([]bool, shards),
+		lookahead: sim.Time(cross.MinDelay),
+	}
+	for s := 0; s < shards; s++ {
+		sd := seed
+		if s > 0 {
+			sd = seed + int64(s)*1_000_000_007
+		}
+		k := sim.New(sd)
+		nw, err := netsim.New(k, netCfg)
+		if err != nil {
+			return nil, err
+		}
+		router := netsim.NewShardRouter(shards, cross)
+		nw.SetShard(s, router)
+		st := &shardState{k: k, nw: nw, router: router,
+			cmds: make(chan shardCmd), reps: make(chan shardRep)}
+		st.sc = buildFrodoShard(sys, k, nw, topo, opts, s, shards)
+		ss.shards[s] = st
+	}
+	// Every shard's recorder (and scenario) points at the one measured
+	// Manager, which lives on shard 0 — remote Users' cache writes carry
+	// its global NodeID across the fabric.
+	mgr := ss.shards[0].sc.ManagerID
+	for _, st := range ss.shards {
+		st.sc.ManagerID = mgr
+		st.sc.rec.manager = mgr
+	}
+	// The global User order: User i lives on shard i%S at local rank i/S.
+	ss.userOrder = make([]netsim.NodeID, topo.Users)
+	for i := range ss.userOrder {
+		ss.userOrder[i] = ss.shards[i%shards].sc.UserIDs[i/shards]
+	}
+	// Seed the barrier state with each kernel's boot events, or the
+	// first window would see an empty fabric and jump straight to its
+	// target.
+	for s, st := range ss.shards {
+		ss.next[s], ss.nextOK[s] = st.k.NextEventTime()
+	}
+	for _, st := range ss.shards[1:] {
+		ss.wg.Add(1)
+		go st.loop(&ss.wg)
+	}
+	return ss, nil
+}
+
+// buildFrodoShard constructs one shard's slice of the population:
+// shard 0 gets the full infrastructure (and the spawn hooks the live
+// gateway uses) plus its User subset; other shards get Users only. It
+// parallels buildTopology's FRODO arm — same constructors, same boot
+// schedule shape — with global User boot indices, so the population
+// boots as one staggered wave regardless of S.
+func buildFrodoShard(sys System, k *sim.Kernel, nw *netsim.Network, topo Topology, opts Options, shard, shards int) *Scenario {
+	sc := &Scenario{System: sys, Topo: topo, K: k, Net: nw, TargetVersion: 2}
+	sc.rec = &recorder{target: 2, manager: netsim.NoNode,
+		first: make(map[netsim.NodeID]sim.Time, (topo.Users+shards-1)/shards)}
+	sc.absent = map[netsim.NodeID]bool{}
+	sc.stopUser = map[netsim.NodeID]func() bool{}
+
+	cfg := frodo.DefaultConfig()
+	mgrClass, mgrPower := frodo.Class3D, 5
+	userClass := frodo.Class3D
+	if sys == Frodo2P {
+		cfg = frodo.TwoPartyConfig()
+		mgrClass, mgrPower = frodo.Class300D, 5
+		userClass = frodo.Class300D
+	}
+	if opts.Frodo != nil {
+		// Runs once per shard on identical defaults; mutators must be
+		// deterministic (the same contract workspace reuse already sets).
+		opts.Frodo(&cfg)
+	}
+
+	infraBoot := func(slot int) sim.Duration {
+		return sim.Duration(slot)*topo.BootSpacing + k.UniformDuration(0, topo.BootJitter)
+	}
+	userBase := sim.Duration(topo.Registries+topo.Managers) * topo.BootSpacing
+	userBoot := func(i int) sim.Duration {
+		return userBase + sim.Duration(i)*topo.UserBootSpacing + k.UniformDuration(0, topo.BootJitter)
+	}
+
+	if shard == 0 {
+		for i := 0; i < topo.Registries; i++ {
+			reg := frodo.NewNode(nw.AddNode(registryName(sys, i)), cfg, frodo.Class300D, registryPower(i))
+			reg.Start(infraBoot(i))
+		}
+		for j := 0; j < topo.Managers; j++ {
+			sd := printerSD()
+			if j > 0 {
+				sd = auxSD(topo, j)
+			}
+			mn := frodo.NewNode(nw.AddNode(managerName(j)), cfg, mgrClass, mgrPower)
+			m := mn.AttachManager(sd)
+			mn.Start(infraBoot(topo.Registries + j))
+			if j == 0 {
+				sc.ManagerID = m.ID()
+				sc.Change = func() { m.ChangeService(changePrinter) }
+			}
+		}
+	}
+
+	newUser := func(name string, q discovery.Query, l discovery.ConsistencyListener) *frodo.Node {
+		un := frodo.NewNode(nw.AddNode(name), cfg, userClass, 1)
+		un.AttachUser(q, l)
+		sc.stopUser[un.ID()] = un.Detach
+		return un
+	}
+	for i := shard; i < topo.Users; i += shards {
+		un := newUser(userName(i), printerQuery, sc.rec)
+		un.Start(userBoot(i))
+		sc.UserIDs = append(sc.UserIDs, un.ID())
+	}
+
+	if shard == 0 {
+		sc.makeClient = func(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord))) {
+			un := newUser(name, q, l)
+			un.Start(0)
+			return un.ID(), un.User().EachCached
+		}
+		sc.makeManager = func(name string, sd discovery.ServiceDescription) (netsim.NodeID, func(func(map[string]string))) {
+			mn := frodo.NewNode(nw.AddNode(name), cfg, mgrClass, mgrPower)
+			m := mn.AttachManager(sd)
+			mn.Start(0)
+			return m.ID(), m.ChangeService
+		}
+		sc.makeUser = func(name string) netsim.NodeID {
+			id, _ := sc.makeClient(name, printerQuery, sc.rec)
+			return id
+		}
+	}
+	sc.bootNodes = nw.Nodes()
+	return sc
+}
+
+// Scenario returns shard 0's scenario: the infrastructure shard, whose
+// Change, spawn hooks and taps run on the coordinator goroutine.
+func (ss *ShardSet) Scenario() *Scenario { return ss.shards[0].sc }
+
+// ShardScenario returns shard s's scenario. Remote shards' scenarios
+// carry only their User subset and recorder — their callbacks fire on
+// the shard's worker goroutine, so anything attached to them (the
+// per-shard oracles) must not share unsynchronized state across shards.
+func (ss *ShardSet) ShardScenario(s int) *Scenario { return ss.shards[s].sc }
+
+// Shards reports the shard count.
+func (ss *ShardSet) Shards() int { return len(ss.shards) }
+
+// Users reports every measured User in global boot order (User i lives
+// on shard i mod S).
+func (ss *ShardSet) Users() []netsim.NodeID { return ss.userOrder }
+
+// SetTargetVersion sets the consistency target on every shard's
+// recorder. Coordinator goroutine, between windows only.
+func (ss *ShardSet) SetTargetVersion(v uint64) {
+	for _, st := range ss.shards {
+		st.sc.SetTargetVersion(v)
+	}
+}
+
+// ReachedAt reports when a User first held the target version, from
+// whichever shard owns it.
+func (ss *ShardSet) ReachedAt(user netsim.NodeID) (sim.Time, bool) {
+	return ss.shards[user.Shard()].sc.ReachedAt(user)
+}
+
+// Now reports the common time every shard has reached.
+func (ss *ShardSet) Now() sim.Time { return ss.clock }
+
+// Fired sums the fired-event counts of all shard kernels.
+func (ss *ShardSet) Fired() uint64 {
+	var total uint64
+	for _, st := range ss.shards {
+		total += st.k.Fired()
+	}
+	return total
+}
+
+// NextEventTime reports the earliest pending event anywhere in the
+// fabric: local kernel events and the earliest possible arrival of
+// still-buffered cross frames.
+func (ss *ShardSet) NextEventTime() (sim.Time, bool) {
+	var m sim.Time
+	ok := false
+	take := func(t sim.Time) {
+		if !ok || t < m {
+			m, ok = t, true
+		}
+	}
+	for s := range ss.shards {
+		if ss.nextOK[s] {
+			take(ss.next[s])
+		}
+	}
+	for _, pend := range ss.pending {
+		for i := range pend {
+			at := pend[i].SentAt + ss.lookahead
+			if at < ss.clock {
+				at = ss.clock
+			}
+			take(at)
+		}
+	}
+	return m, ok
+}
+
+// RunUntil advances every shard to target through conservative
+// lookahead windows. Resumable: consecutive calls with non-decreasing
+// targets continue the same run, matching Kernel.RunUntil's contract.
+func (ss *ShardSet) RunUntil(target sim.Time) {
+	if ss.closed {
+		panic("experiment: RunUntil on a closed ShardSet")
+	}
+	for ss.clock < target {
+		// The window bound: nothing anywhere can happen before m.
+		m := target
+		if at, ok := ss.NextEventTime(); ok && at < m {
+			m = at
+		}
+		w := m + ss.lookahead
+		if w > target {
+			w = target
+		}
+		// Workers: ingest, drain, reply. The coordinator keeps ownership
+		// of pending[s] storage but must not touch it until s replies.
+		for s := 1; s < len(ss.shards); s++ {
+			ss.shards[s].cmds <- shardCmd{frames: ss.pending[s], until: w}
+		}
+		// Shard 0 runs inline, so its protocol callbacks stay on this
+		// goroutine.
+		st0 := ss.shards[0]
+		st0.nw.IngestCross(ss.pending[0])
+		ss.pending[0] = ss.pending[0][:0]
+		ss.next[0], ss.nextOK[0] = st0.k.RunWindow(w)
+		for s := 1; s < len(ss.shards); s++ {
+			rep := <-ss.shards[s].reps
+			ss.next[s], ss.nextOK[s] = rep.next, rep.ok
+			ss.pending[s] = ss.pending[s][:0]
+		}
+		// All shards are parked at w: collect this window's cross-shard
+		// sends in deterministic order — by source shard, and within a
+		// source in send order.
+		for s := range ss.shards {
+			for dest := range ss.shards {
+				if dest == s {
+					continue
+				}
+				ss.pending[dest] = ss.shards[s].router.Drain(dest, ss.pending[dest])
+			}
+		}
+		ss.clock = w
+	}
+}
+
+// Close stops the worker goroutines. Idempotent; the ShardSet is dead
+// afterwards (read-only accessors keep working).
+func (ss *ShardSet) Close() {
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	for _, st := range ss.shards[1:] {
+		close(st.cmds)
+	}
+	ss.wg.Wait()
+}
+
+// runSharded is Run's S ≥ 2 path: one experiment run on a sharded
+// fabric. It mirrors runInWorkspace — per-shard failure plans drawn
+// from each shard's own kernel, change times from shard 0's — and
+// assembles one RunResult with Users in global boot order and effort
+// summed across all shards' counters.
+func runSharded(spec RunSpec) metrics.RunResult {
+	switch {
+	case spec.Params.Churn.Enabled():
+		panic("experiment: sharded runs do not support churn (arrivals/departures mutate one shard's table)")
+	case len(spec.Params.Partitions) > 0:
+		panic("experiment: sharded runs do not support partitions (a split is defined over one node table)")
+	case spec.ExplicitFailures != nil:
+		panic("experiment: sharded runs do not support explicit failure schedules")
+	case spec.MakeTracer != nil:
+		panic("experiment: sharded runs do not support tracers (frames fire on several goroutines)")
+	case spec.Attach != nil:
+		panic("experiment: sharded runs do not support Attach; use per-shard oracles via ShardScenario")
+	}
+	topo := spec.Params.Topology
+	if topo.Users <= 0 {
+		topo.Users = spec.Params.Users
+	}
+	ss, err := BuildSharded(spec.System, topo, spec.Opts, spec.Seed, spec.Shards, netsim.CrossLink{})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	defer ss.Close()
+	if spec.AttachSharded != nil {
+		// Same contract as Attach: observe before any schedule is drawn,
+		// consuming no kernel's random stream. Workers are parked at their
+		// barriers, so remote scenarios are safe to hook here; the first
+		// window's channel exchange publishes the writes.
+		spec.AttachSharded(ss)
+	}
+
+	for _, st := range ss.shards {
+		plan := netsim.PlanInterfaceFailures(st.k, st.sc.AllNodeIDs(), netsim.FailurePlanConfig{
+			Lambda:      spec.Lambda,
+			WindowStart: spec.Params.FailureWindowStart,
+			WindowEnd:   spec.Params.FailureWindowEnd,
+			RunDuration: spec.Params.RunDuration,
+		})
+		st.nw.ScheduleFailures(plan)
+	}
+
+	k0 := ss.shards[0].k
+	nChanges := spec.Params.Changes
+	if nChanges < 1 {
+		nChanges = 1
+	}
+	changeTimes := make([]sim.Time, nChanges)
+	for i := range changeTimes {
+		changeTimes[i] = k0.UniformTime(spec.Params.ChangeMin, spec.Params.ChangeMax)
+	}
+	sort.Slice(changeTimes, func(i, j int) bool { return changeTimes[i] < changeTimes[j] })
+	ss.SetTargetVersion(uint64(1 + nChanges))
+	sc0 := ss.Scenario()
+	for _, at := range changeTimes {
+		k0.At(at, sc0.fireChange)
+	}
+	changeAt := changeTimes[len(changeTimes)-1]
+
+	deadline := sim.Time(spec.Params.RunDuration)
+	ss.RunUntil(deadline)
+
+	res := metrics.RunResult{
+		Lambda:   spec.Lambda,
+		Seed:     spec.Seed,
+		ChangeAt: changeAt,
+		Deadline: deadline,
+	}
+	allDone := changeAt
+	allReached := true
+	for _, uid := range ss.userOrder {
+		at, ok := ss.ReachedAt(uid)
+		res.Users = append(res.Users, metrics.UserOutcome{User: uid, Reached: ok, At: at})
+		if !ok {
+			allReached = false
+		} else if at > allDone {
+			allDone = at
+		}
+	}
+	winEnd := deadline
+	if allReached {
+		winEnd = allDone + spec.Params.EffortPad
+		if winEnd > deadline {
+			winEnd = deadline
+		}
+	}
+	for _, st := range ss.shards {
+		c := st.nw.Counters()
+		res.Effort += c.CountedInWindow(changeAt, winEnd)
+		res.TotalDiscoverySends += c.DiscoverySends
+		res.TotalTransport += c.TransportFrames
+	}
+	return res
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// shardSpec is a compact FRODO two-party run used by the sharding
+// tests: short horizon, mid-sweep failure rate, enough Users that every
+// shard of a 4-way split holds several.
+func shardSpec(shards int) RunSpec {
+	return RunSpec{
+		System: Frodo2P,
+		Lambda: 0.30,
+		Seed:   42,
+		Shards: shards,
+		Params: Params{
+			Users:              40,
+			RunDuration:        900 * sim.Second,
+			ChangeMin:          100 * sim.Second,
+			ChangeMax:          300 * sim.Second,
+			FailureWindowStart: 100 * sim.Second,
+			FailureWindowEnd:   900 * sim.Second,
+			EffortPad:          sim.Second,
+		},
+	}
+}
+
+// TestShardedRunSingleShardIdentity pins the shards ∈ {0,1} contract:
+// both take the classic single-fabric path, so the results are equal
+// field for field. (The byte-level guarantee for that path is the
+// golden sweep fingerprint in perf_regress_test.go.)
+func TestShardedRunSingleShardIdentity(t *testing.T) {
+	a := Run(shardSpec(0))
+	b := Run(shardSpec(1))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shards=1 diverged from the unsharded run:\n  shards=0: %+v\n  shards=1: %+v", a, b)
+	}
+}
+
+// TestShardedRunDeterminism runs the same (seed, S) twice for S = 2 and
+// S = 4 and requires identical results — the sharded fabric's windowed
+// exchange must be a deterministic function of the spec, independent of
+// goroutine scheduling.
+func TestShardedRunDeterminism(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		a := Run(shardSpec(shards))
+		b := Run(shardSpec(shards))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shards=%d: two runs of the same spec diverged:\n  first:  %+v\n  second: %+v", shards, a, b)
+		}
+		if len(a.Users) != 40 {
+			t.Fatalf("shards=%d: %d user outcomes, want 40", shards, len(a.Users))
+		}
+		for i, u := range a.Users {
+			if want := i % shards; u.User.Shard() != want {
+				t.Fatalf("shards=%d: user %d reported from shard %d, want %d", shards, i, u.User.Shard(), want)
+			}
+		}
+	}
+}
+
+// TestShardedRunPropagatesAcrossShards drops the failure rate to zero
+// and requires every User — on every shard — to reach consistency: the
+// service change is published on shard 0, so a remote User can only
+// become consistent if update propagation genuinely crossed the
+// fabric's shard boundaries.
+func TestShardedRunPropagatesAcrossShards(t *testing.T) {
+	spec := shardSpec(4)
+	spec.Lambda = 0
+	res := Run(spec)
+	if res.Effort == 0 {
+		t.Fatalf("sharded run recorded zero update effort")
+	}
+	for i, u := range res.Users {
+		if !u.Reached {
+			t.Fatalf("user %d (node %d, shard %d) never reached consistency in a failure-free run",
+				i, u.User, u.User.Shard())
+		}
+	}
+}

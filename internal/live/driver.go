@@ -29,6 +29,8 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +63,14 @@ type Config struct {
 	// thousandfold faster, so second-scale protocol timers land on
 	// millisecond-scale wall latencies. 0 means 1.0.
 	Dilation float64
+	// Shards, when ≥ 2, serves the scenario from a sharded fabric
+	// (experiment.BuildSharded): Users spread round-robin across S
+	// kernel/network pairs advancing in parallel, infrastructure and
+	// gateway-facing spawns on shard 0. FRODO systems only. Remote
+	// shards' Users are measured (and audited by per-shard oracles) but
+	// not reachable through the gateway's subscribe/notify taps, which
+	// observe shard 0. 0 or 1 serves the classic single-kernel fabric.
+	Shards int
 	// Oracle, when non-nil, attaches the run-time consistency oracle to
 	// the live driver via the tracer tee; zero fields take the system's
 	// defaults. The gateway exposes the report at /v1/oracle.
@@ -70,13 +80,29 @@ type Config struct {
 	Attach func(*experiment.Scenario)
 }
 
+// fabric is what the event loop advances: a single kernel, or a
+// ShardSet whose coordinator runs on the loop goroutine. Both expose
+// the same resumable-RunUntil contract.
+type fabric interface {
+	RunUntil(sim.Time)
+	Now() sim.Time
+	NextEventTime() (sim.Time, bool)
+	Fired() uint64
+}
+
 // Driver runs one scenario in wall-clock time. Create with New,
 // customize (AttachOracle, AddListener, OnChange), then Start; after
 // Start all access to simulation state must go through Inject or Call.
 type Driver struct {
 	cfg Config
-	k   *sim.Kernel
+	k   *sim.Kernel // shard 0's kernel on a sharded fabric
 	sc  *experiment.Scenario
+	fab fabric
+	ss  *experiment.ShardSet // nil on a single-kernel fabric
+
+	// oracles holds every oracle AttachOracle hooked up — one on a
+	// single fabric, one per shard on a sharded one. Reports are merged.
+	oracles []*verify.Oracle
 
 	inj      chan func()
 	stopCh   chan struct{}
@@ -131,18 +157,30 @@ func New(cfg Config) (*Driver, error) {
 	if err := cfg.Options.Validate(); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
 	}
-	k := sim.New(cfg.Seed)
 	topo := cfg.Topology
 	if topo.Users <= 0 {
 		topo.Users = 5
 	}
 	d := &Driver{
 		cfg:    cfg,
-		k:      k,
-		sc:     experiment.BuildTopology(cfg.System, k, topo, cfg.Options),
 		inj:    make(chan func(), 1024),
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	if cfg.Shards >= 2 {
+		ss, err := experiment.BuildSharded(cfg.System, topo, cfg.Options, cfg.Seed, cfg.Shards, netsim.CrossLink{})
+		if err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+		d.ss = ss
+		d.fab = ss
+		d.sc = ss.Scenario()
+		d.k = d.sc.K
+	} else {
+		k := sim.New(cfg.Seed)
+		d.k = k
+		d.fab = k
+		d.sc = experiment.BuildTopology(cfg.System, k, topo, cfg.Options)
 	}
 	// Install the fan-out taps now, so oracle and gateway can both
 	// observe without displacing each other.
@@ -183,15 +221,42 @@ func (d *Driver) OnChange(fn func()) {
 
 // AttachOracle hooks a run-time consistency oracle onto the live
 // scenario: the tracer tee, the fanned-out cache-write tap and the
-// fanned-out change tap. Before Start only; the returned oracle must be
-// read (Report) via Call once the driver runs.
+// fanned-out change tap. On a sharded fabric every shard gets its own
+// oracle (a remote shard's frames fire on its worker goroutine), all
+// auditing against one shared publication counter; oracleReport merges
+// them. Before Start only; read reports via Call once the driver runs.
 func (d *Driver) AttachOracle(cfg verify.OracleConfig) *verify.Oracle {
 	d.mustNotBeStarted()
 	o := verify.NewOracle(d.k, d.sc.ManagerID, cfg)
 	d.sc.AddTracer(o)
 	d.listeners = append(d.listeners, o)
 	d.changeHooks = append(d.changeHooks, o.NotePublished)
+	d.oracles = append(d.oracles, o)
+	if d.ss != nil {
+		shared := new(atomic.Uint64)
+		o.SharePublished(shared)
+		for s := 1; s < d.ss.Shards(); s++ {
+			ssc := d.ss.ShardScenario(s)
+			os := verify.NewOracle(ssc.K, ssc.ManagerID, cfg)
+			os.SharePublished(shared)
+			ssc.AddTracer(os)
+			ssc.TapConsistency(os)
+			d.oracles = append(d.oracles, os)
+		}
+	}
 	return o
+}
+
+// oracleReport merges every attached oracle's report. It touches
+// per-shard oracle state, so it must run on the event-loop goroutine
+// between windows (via Call) or after the driver has stopped — both
+// points where every shard worker is parked at its barrier.
+func (d *Driver) oracleReport() verify.OracleReport {
+	reps := make([]verify.OracleReport, len(d.oracles))
+	for i, o := range d.oracles {
+		reps[i] = o.Report()
+	}
+	return verify.MergeReports(reps...)
 }
 
 func (d *Driver) mustNotBeStarted() {
@@ -240,6 +305,9 @@ func (d *Driver) Stop() {
 			d.deadMu.Lock()
 			d.dead = true
 			d.deadMu.Unlock()
+			if d.ss != nil {
+				d.ss.Close()
+			}
 			close(d.done)
 		}
 	})
@@ -323,20 +391,15 @@ func (d *Driver) run() {
 			case fn := <-d.inj:
 				fn()
 			default:
+				if d.ss != nil {
+					d.ss.Close()
+				}
 				close(d.done)
 				return
 			}
 		}
 	}()
-	t0 := time.Now()
-	v0 := d.k.Now()
-	dil := d.cfg.Dilation
-	vAt := func(w time.Time) sim.Time {
-		return v0 + sim.Time(float64(w.Sub(t0))/dil)
-	}
-	wallAt := func(v sim.Time) time.Time {
-		return t0.Add(time.Duration(float64(v-v0) * dil))
-	}
+	tm := newTimeMap(time.Now(), d.fab.Now(), d.cfg.Dilation)
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
@@ -345,9 +408,9 @@ func (d *Driver) run() {
 			return
 		default:
 		}
-		d.k.RunUntil(vAt(time.Now()))
-		d.vnow.Store(int64(d.k.Now()))
-		d.fired.Store(d.k.Fired())
+		d.fab.RunUntil(tm.vAt(time.Now()))
+		d.vnow.Store(int64(d.fab.Now()))
+		d.fired.Store(d.fab.Fired())
 		// Drain queued injections; each runs at the current instant and
 		// may schedule fresh events, picked up by the next pass.
 		for drained := false; !drained; {
@@ -360,8 +423,8 @@ func (d *Driver) run() {
 			}
 		}
 		var wait time.Duration
-		if next, ok := d.k.NextEventTime(); ok {
-			wait = time.Until(wallAt(next))
+		if next, ok := d.fab.NextEventTime(); ok {
+			wait = time.Until(tm.wallAt(next))
 			if wait <= 0 {
 				continue
 			}
@@ -382,6 +445,65 @@ func (d *Driver) run() {
 		case <-timer.C:
 		}
 	}
+}
+
+// timeMap converts between wall and virtual time in pure integer
+// arithmetic. The dilation factor (wall seconds per virtual second) is
+// quantized to a rational num/1e9 — one wall-nanosecond-per-virtual-
+// second resolution — and both directions use a 128-bit multiply/divide.
+// The float64 mapping this replaces lost integer precision once the
+// nanosecond products passed 2^53 (~104 wall-days at dilation 1), after
+// which a long-running driver drifted against the wall clock and could
+// hand RunUntil a virtual target below a previously used one.
+type timeMap struct {
+	t0 time.Time
+	v0 sim.Time
+	// num is wall nanoseconds per 1e9 virtual nanoseconds (dilation
+	// quantized to 1e-9); always ≥ 1.
+	num uint64
+}
+
+func newTimeMap(t0 time.Time, v0 sim.Time, dilation float64) timeMap {
+	num := int64(math.Round(dilation * 1e9))
+	if num < 1 {
+		num = 1
+	}
+	return timeMap{t0: t0, v0: v0, num: uint64(num)}
+}
+
+// vAt maps a wall instant to the virtual time the fabric should have
+// reached. Instants before t0 clamp to v0: the mapping never goes
+// backwards, preserving the non-decreasing RunUntil targets the kernel's
+// resumable drain relies on.
+func (tm timeMap) vAt(w time.Time) sim.Time {
+	d := w.Sub(tm.t0)
+	if d <= 0 {
+		return tm.v0
+	}
+	return tm.v0 + sim.Time(mulDiv(uint64(d), 1e9, tm.num))
+}
+
+// wallAt maps a virtual instant to its wall-clock due time.
+func (tm timeMap) wallAt(v sim.Time) time.Time {
+	if v <= tm.v0 {
+		return tm.t0
+	}
+	return tm.t0.Add(time.Duration(mulDiv(uint64(v-tm.v0), tm.num, 1e9)))
+}
+
+// mulDiv computes a*b/c with a 128-bit intermediate, saturating at
+// MaxInt64 when the quotient itself would overflow (virtual offsets
+// beyond ~292 years — far past any run length).
+func mulDiv(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= c {
+		return math.MaxInt64
+	}
+	q, _ := bits.Div64(hi, lo, c)
+	if q > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return q
 }
 
 // stopTimer halts a running timer and drains a concurrent expiry so the

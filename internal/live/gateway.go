@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"strconv"
@@ -278,7 +279,11 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire, so the client sees a
+		// half-written body; log it instead of failing silently.
+		log.Printf("live: gateway response encode failed (status %d): %v", code, err)
+	}
 }
 
 func (gw *Gateway) fail(w http.ResponseWriter, code int, format string, args ...any) {
@@ -522,7 +527,7 @@ func (gw *Gateway) handleOracle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rep verify.OracleReport
-	if err := gw.d.Call(func() { rep = gw.oracle.Report() }); err != nil {
+	if err := gw.d.Call(func() { rep = gw.d.oracleReport() }); err != nil {
 		gw.fail(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}

@@ -17,6 +17,7 @@ type Histogram struct {
 	counts []uint64
 	n      uint64
 	sum    time.Duration
+	min    time.Duration
 	max    time.Duration
 }
 
@@ -49,6 +50,9 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[b]++
 	h.n++
 	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
 	if d > h.max {
 		h.max = d
 	}
@@ -66,6 +70,14 @@ func (h *Histogram) Count() uint64 {
 func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantilesLocked(qs)
+}
+
+// quantilesLocked is Quantiles' core; h.mu must be held. Results are
+// clamped to [h.min, h.max]: a bucket midpoint can overshoot the largest
+// sample, and bucket 0 spans everything up to 1µs, whose ~1.025µs
+// midpoint would otherwise overstate sub-microsecond samples.
+func (h *Histogram) quantilesLocked(qs []float64) []time.Duration {
 	out := make([]time.Duration, len(qs))
 	if h.n == 0 {
 		return out
@@ -90,8 +102,17 @@ func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
 		seen += c
 		for oi < len(order) && seen >= ranks[order[oi]] {
 			v := histValue(b)
+			if b == 0 {
+				// Bucket 0 spans everything up to 1µs; its ~1.025µs
+				// midpoint would overstate sub-microsecond samples, so
+				// report the true observed minimum instead.
+				v = h.min
+			}
 			if v > h.max {
 				v = h.max
+			}
+			if v < h.min {
+				v = h.min
 			}
 			out[order[oi]] = v
 			oi++
@@ -113,13 +134,20 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(h.n)
 }
 
-// Summary renders "n=… mean=… p50=… p95=… p99=… max=…".
+// Summary renders "n=… mean=… p50=… p95=… p99=… max=…". Every field is
+// derived from one locked snapshot, so concurrent Observe calls can
+// never yield a torn line (a p99 computed over fewer samples than the
+// printed n, or a mean inconsistent with it).
 func (h *Histogram) Summary() string {
-	q := h.Quantiles(0.50, 0.95, 0.99)
 	h.mu.Lock()
 	n, max := h.n, h.max
+	var mean time.Duration
+	if n > 0 {
+		mean = h.sum / time.Duration(n)
+	}
+	q := h.quantilesLocked([]float64{0.50, 0.95, 0.99})
 	h.mu.Unlock()
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
-		n, h.Mean().Round(time.Microsecond), q[0].Round(time.Microsecond),
+		n, mean.Round(time.Microsecond), q[0].Round(time.Microsecond),
 		q[1].Round(time.Microsecond), q[2].Round(time.Microsecond), max.Round(time.Microsecond))
 }

@@ -266,3 +266,56 @@ func TestDriverStopBeforeStart(t *testing.T) {
 		t.Fatalf("Inject after Stop = %v; want ErrStopped", err)
 	}
 }
+
+// TestLiveServeSharded runs the gateway round trip against a sharded
+// fabric: the driver's event loop coordinates a 3-shard ShardSet while
+// external registration, discovery, update and push notification all
+// land through shard 0 — and the per-shard oracles stay clean.
+func TestLiveServeSharded(t *testing.T) {
+	ocfg := verify.DefaultOracleConfig(experiment.Frodo2P)
+	srv, err := Serve(Config{
+		System:   experiment.Frodo2P,
+		Topology: experiment.Topology{Users: 6},
+		Seed:     7,
+		Shards:   3,
+		Dilation: 1e-5,
+		Oracle:   &ocfg,
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(srv.Addr())
+
+	mgr, err := cl.Register(ServiceSpec{Device: "Cam", Service: "PanTilt",
+		Attrs: map[string]string{"Zoom": "3x"}})
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	user, err := cl.Attach(ServiceQuery{Service: "PanTilt"})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	recs := waitDiscovered(t, cl, user, 30*time.Second)
+	if recs[0].Manager != mgr {
+		t.Fatalf("discovered %+v; want manager %d", recs[0], mgr)
+	}
+	if v, err := cl.Update(mgr, map[string]string{"Zoom": "10x"}); err != nil || v != 2 {
+		t.Fatalf("update: v=%d err=%v", v, err)
+	}
+	// The fabric must genuinely advance all shards: remote Users' boot
+	// and announce traffic contributes to the fired-event count.
+	if st := srv.Driver.Stats(); st.EventsFired == 0 {
+		t.Fatalf("no events fired on the sharded fabric")
+	}
+	rep, err := cl.Oracle()
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !rep.Attached || !rep.Clean {
+		t.Fatalf("oracle report: %+v", rep)
+	}
+	srv.Close()
+	if mrep, ok := srv.OracleReport(); !ok || !mrep.Clean() {
+		t.Fatalf("merged oracle report after close: ok=%v %+v", ok, mrep)
+	}
+}

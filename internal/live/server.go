@@ -48,10 +48,10 @@ func (s *Server) OracleReport() (verify.OracleReport, bool) {
 		return verify.OracleReport{}, false
 	}
 	var rep verify.OracleReport
-	if err := s.Driver.Call(func() { rep = s.oracle.Report() }); err != nil {
-		// Driver stopped: the loop is gone, single-threaded access is
-		// safe again.
-		rep = s.oracle.Report()
+	if err := s.Driver.Call(func() { rep = s.Driver.oracleReport() }); err != nil {
+		// Driver stopped: the loop is gone (and every shard worker is
+		// parked), so single-threaded access is safe again.
+		rep = s.Driver.oracleReport()
 	}
 	return rep, true
 }

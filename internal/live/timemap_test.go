@@ -1,0 +1,80 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestTimeMapLargeOffsets pins the integer wall↔virtual mapping at
+// offsets past 2^53 nanoseconds, where the float64 mapping it replaced
+// lost integer precision and drifted.
+func TestTimeMapLargeOffsets(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	v0 := sim.Time(7 * sim.Second)
+
+	// Dilation 0.5: every wall nanosecond is exactly two virtual ones.
+	tm := newTimeMap(t0, v0, 0.5)
+	// (1<<60)+1 ns ≈ 36.6 wall-years; float64 cannot represent the +1.
+	off := int64(1<<60 + 1)
+	got := tm.vAt(t0.Add(time.Duration(off)))
+	want := v0 + sim.Time(2*off)
+	if got != want {
+		t.Fatalf("vAt at 2^60+1 ns: got %d, want %d (drift %d ns)", got, want, int64(got-want))
+	}
+	// Round trip back to the exact wall instant.
+	if back := tm.wallAt(want); !back.Equal(t0.Add(time.Duration(off))) {
+		t.Fatalf("wallAt round trip: got %v, want %v", back, t0.Add(time.Duration(off)))
+	}
+
+	// Dilation 0.001 (the sdlived fast mode): 1 wall ms per virtual s.
+	tm = newTimeMap(t0, 0, 0.001)
+	off = int64(1<<53 + 3)
+	got = tm.vAt(t0.Add(time.Duration(off)))
+	want = sim.Time(off * 1000)
+	if got != want {
+		t.Fatalf("vAt dilation 0.001: got %d, want %d", got, want)
+	}
+
+	// Monotonicity across consecutive nanoseconds at a large offset: the
+	// float path could map a later wall instant to an earlier virtual
+	// time, violating the non-decreasing RunUntil contract.
+	base := t0.Add(time.Duration(int64(1) << 58))
+	prev := tm.vAt(base)
+	for i := 1; i <= 1000; i++ {
+		v := tm.vAt(base.Add(time.Duration(i)))
+		if v < prev {
+			t.Fatalf("vAt went backwards at offset 2^58+%d", i)
+		}
+		prev = v
+	}
+
+	// Instants before t0 clamp to v0 instead of going negative.
+	if v := tm.vAt(t0.Add(-time.Hour)); v != 0 {
+		t.Fatalf("vAt before t0: got %d, want 0", v)
+	}
+}
+
+// TestHistogramSummaryAndMinFloor covers the single-snapshot Summary and
+// the true-minimum floor on bucket-0 quantiles.
+func TestHistogramSummaryAndMinFloor(t *testing.T) {
+	var h Histogram
+	// All samples land in bucket 0 (≤1µs); the old midpoint answer was
+	// ~1.025µs regardless of the data.
+	h.Observe(200 * time.Nanosecond)
+	h.Observe(300 * time.Nanosecond)
+	h.Observe(400 * time.Nanosecond)
+	q := h.Quantiles(0.50)
+	if q[0] != 200*time.Nanosecond {
+		t.Fatalf("bucket-0 quantile: got %v, want the observed minimum 200ns", q[0])
+	}
+
+	h2 := &Histogram{}
+	h2.Observe(5 * time.Millisecond)
+	h2.Observe(10 * time.Millisecond)
+	s := h2.Summary()
+	if want := "n=2"; len(s) < len(want) || s[:len(want)] != want {
+		t.Fatalf("summary %q does not start with %q", s, want)
+	}
+}

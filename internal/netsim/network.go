@@ -140,6 +140,16 @@ type Network struct {
 	partSideB  []bool
 	partEvents []*partEvent
 	partNext   int
+
+	// Sharded-fabric state (see shard.go): the shard this network is,
+	// the NodeID base its table indexes from, the egress router for
+	// frames addressed to other shards, and the scratch message used to
+	// account cross-shard sends without allocating. router == nil is the
+	// unsharded fast path: a single nil check per send, no other change.
+	shard        int
+	idBase       int
+	router       *ShardRouter
+	crossScratch Message
 }
 
 // New creates an empty network on the given kernel. An invalid
@@ -189,6 +199,9 @@ func (nw *Network) Reset(k *sim.Kernel, cfg Config) {
 	nw.partActive = false
 	nw.partOwner = nil
 	nw.partNext = 0
+	nw.shard = 0
+	nw.idBase = 0
+	nw.router = nil
 	nw.prepareLink()
 }
 
@@ -212,6 +225,12 @@ func (nw *Network) Rearm(k *sim.Kernel, cfg Config, keep int) {
 	}
 	if keep > len(nw.nodes) {
 		panic("netsim: Rearm keep exceeds node count")
+	}
+	if nw.router != nil {
+		// The kept slots' IDs encode the shard, but the router and its
+		// peers are gone after the run; sharded workspaces are invalidated
+		// instead of reused, so a rearm here is a caller bug.
+		panic("netsim: sharded networks cannot be rearmed")
 	}
 	nw.k = k
 	nw.cfg = cfg
@@ -267,10 +286,11 @@ func (nw *Network) AddNode(name string) *Node {
 	if n := len(nw.retired); n > 0 {
 		id := nw.retired[n-1]
 		nw.retired = nw.retired[:n-1]
-		node := nw.nodes[id]
+		local := int(id) - nw.idBase
+		node := nw.nodes[local]
 		*node = Node{ID: id, Name: name, txUp: true, rxUp: true, net: nw, gen: node.gen + 1}
 		if nw.burstOn {
-			nw.geState[id] = geGood // a fresh tenant starts a fresh chain
+			nw.geState[local] = geGood // a fresh tenant starts a fresh chain
 		}
 		nw.traceNode(id, "attached")
 		return node
@@ -283,7 +303,7 @@ func (nw *Network) AddNode(name string) *Node {
 	} else {
 		n = &Node{}
 	}
-	*n = Node{ID: NodeID(len(nw.nodes)), Name: name, txUp: true, rxUp: true, net: nw}
+	*n = Node{ID: MakeNodeID(nw.shard, len(nw.nodes)), Name: name, txUp: true, rxUp: true, net: nw}
 	nw.nodes = append(nw.nodes, n)
 	if nw.burstOn {
 		nw.geState = append(nw.geState, geGood)
@@ -315,12 +335,15 @@ func (nw *Network) Retire(id NodeID) {
 	nw.traceNode(id, "retired")
 }
 
-// Node returns the node with the given ID.
+// Node returns the node with the given ID. An ID owned by a different
+// shard falls outside [idBase, idBase+len) and hits the same panic as a
+// plain unknown ID — wrong-shard lookups cost nothing extra to catch.
 func (nw *Network) Node(id NodeID) *Node {
-	if int(id) < 0 || int(id) >= len(nw.nodes) {
-		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	i := int(id) - nw.idBase
+	if i < 0 || i >= len(nw.nodes) {
+		panic(fmt.Sprintf("netsim: unknown node %d (shard %d)", id, nw.shard))
 	}
-	return nw.nodes[id]
+	return nw.nodes[i]
 }
 
 // Nodes reports how many nodes are attached (including retired slots).
@@ -432,6 +455,10 @@ func (nw *Network) deliverNow(m *Message, gen uint32) {
 // transmitter is down — the device cannot know its interface has failed —
 // and the frame is then silently lost.
 func (nw *Network) SendUDP(from, to NodeID, out Outgoing) {
+	if nw.router != nil && to.Shard() != nw.shard {
+		nw.crossUnicast(from, to, out)
+		return
+	}
 	d := nw.allocDelivery()
 	d.m = Message{From: from, To: to, Kind: out.Kind, Counted: out.Counted,
 		Payload: out.Payload, Transport: UDP, SentAt: nw.k.Now()}
@@ -558,6 +585,12 @@ func (nw *Network) multicastCopy(from NodeID, g Group, out Outgoing) {
 	nw.accountSend(&f.wire)
 
 	members := nw.members(g)
+	if nw.router != nil && nw.Node(from).txUp {
+		// One wire copy reaches every shard's segment of the group: hand
+		// each remote shard one CrossFrame; it re-fans over its own local
+		// membership with its own loss and delay draws at ingest.
+		nw.router.egressMulticast(nw.shard, from, g, &f.wire)
+	}
 	if !nw.Node(from).txUp {
 		// The transmitter is down: every receiver's frame is lost on the
 		// wire, one drop per would-be receiver (matching the per-frame

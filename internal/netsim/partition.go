@@ -92,13 +92,13 @@ func (nw *Network) activatePartition(p Partition) {
 	}
 	if p.SideB != nil {
 		for _, id := range p.SideB {
-			if int(id) >= 0 && int(id) < need {
-				nw.partSideB[id] = true
+			if i := int(id) - nw.idBase; i >= 0 && i < need {
+				nw.partSideB[i] = true
 			}
 		}
 	} else {
-		for id := need / 2; id < need; id++ {
-			nw.partSideB[id] = true
+		for i := need / 2; i < need; i++ {
+			nw.partSideB[i] = true
 		}
 	}
 	nw.partActive = true
@@ -116,7 +116,8 @@ func (nw *Network) partitioned(from, to NodeID) bool {
 }
 
 func (nw *Network) side(id NodeID) bool {
-	return int(id) < len(nw.partSideB) && nw.partSideB[id]
+	i := int(id) - nw.idBase
+	return i >= 0 && i < len(nw.partSideB) && nw.partSideB[i]
 }
 
 // SchedulePartition arms the split and heal transitions for one planned

@@ -250,6 +250,15 @@ func (k *Kernel) RunUntil(target Time) {
 	}
 }
 
+// RunWindow advances to target like RunUntil and reports the next
+// pending event time (ok == false for an empty queue). It is the
+// sharded fabric's per-window drain: advancing and peeking in one call
+// keeps the barrier round-trip to a single exchange per shard.
+func (k *Kernel) RunWindow(target Time) (next Time, ok bool) {
+	k.RunUntil(target)
+	return k.NextEventTime()
+}
+
 // Step executes the single next pending event, advancing the clock to
 // its time (or holding the clock if the event is overdue — see Run's
 // re-entrancy invariant). It reports whether an event fired; false

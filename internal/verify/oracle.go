@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/discovery"
 	"repro/internal/experiment"
@@ -135,6 +136,23 @@ type OracleReport struct {
 // scheduled heal probe actually ran.
 func (r OracleReport) Clean() bool { return r.Total == 0 && r.ProbesRun == r.ProbesScheduled }
 
+// MergeReports combines per-shard oracle reports into one fabric-wide
+// report: counts and probe tallies sum, violation details concatenate
+// in shard order.
+func MergeReports(reports ...OracleReport) OracleReport {
+	var out OracleReport
+	for _, r := range reports {
+		out.Total += r.Total
+		for i := range r.ByInvariant {
+			out.ByInvariant[i] += r.ByInvariant[i]
+		}
+		out.Violations = append(out.Violations, r.Violations...)
+		out.ProbesScheduled += r.ProbesScheduled
+		out.ProbesRun += r.ProbesRun
+	}
+	return out
+}
+
 func (r OracleReport) String() string {
 	if pending := r.ProbesScheduled - r.ProbesRun; pending > 0 {
 		return fmt.Sprintf("oracle: %d violations, %d heal probes never ran (deadline before heal+HealSlack — extend RunDuration)",
@@ -168,6 +186,9 @@ type Oracle struct {
 	// published is the highest version the measured Manager has ever
 	// published: 1 at boot, bumped on every scheduled change.
 	published uint64
+	// shared, when set, replaces published with a counter shared across
+	// the per-shard oracles of a sharded fabric (see SharePublished).
+	shared *atomic.Uint64
 	// retiredAt records when each currently-retired node left; AddNode
 	// reuse clears the entry ("attached").
 	retiredAt map[netsim.NodeID]sim.Time
@@ -236,12 +257,57 @@ func AttachOracle(sc *experiment.Scenario, cfg OracleConfig) *Oracle {
 	return o
 }
 
+// AttachShardedOracles hooks one oracle per shard of a sharded fabric,
+// all bound to the measured Manager and sharing one publication counter
+// (the change fires on shard 0 while cache writes land everywhere).
+// Call it from RunSpec.AttachSharded; remote shards' oracles run on
+// their shards' worker goroutines, which is safe because each touches
+// only its own shard's state plus the shared atomic. Merge the reports
+// with MergeReports once the set is closed.
+func AttachShardedOracles(ss *experiment.ShardSet, cfg OracleConfig) []*Oracle {
+	shared := new(atomic.Uint64)
+	mgr := ss.Scenario().ManagerID
+	oracles := make([]*Oracle, ss.Shards())
+	for s := range oracles {
+		sc := ss.ShardScenario(s)
+		o := NewOracle(sc.K, mgr, cfg)
+		o.SharePublished(shared)
+		sc.AddTracer(o)
+		sc.TapConsistency(o)
+		if s == 0 {
+			sc.TapChange(o.NotePublished)
+		}
+		oracles[s] = o
+	}
+	return oracles
+}
+
 // ObserveRun executes one run with an oracle attached and returns its
 // report alongside the run's metrics. A nil cfg.Partitions inherits the
-// run's own partition schedule, so heal probes follow the spec.
+// run's own partition schedule, so heal probes follow the spec. A
+// sharded spec (Shards ≥ 2) is audited by one oracle per shard; the
+// returned report is the fabric-wide merge.
 func ObserveRun(spec experiment.RunSpec, cfg OracleConfig) (OracleReport, metrics.RunResult) {
 	if cfg.Partitions == nil {
 		cfg.Partitions = spec.Params.Partitions
+	}
+	if spec.Shards >= 2 {
+		var oracles []*Oracle
+		prev := spec.AttachSharded
+		spec.AttachSharded = func(ss *experiment.ShardSet) {
+			if prev != nil {
+				prev(ss)
+			}
+			oracles = AttachShardedOracles(ss, cfg)
+		}
+		res := experiment.Run(spec)
+		// Run closed the ShardSet before returning, so every worker has
+		// joined and the per-shard reports are plain data.
+		reports := make([]OracleReport, len(oracles))
+		for i, o := range oracles {
+			reports[i] = o.Report()
+		}
+		return MergeReports(reports...), res
 	}
 	var o *Oracle
 	prev := spec.Attach
@@ -265,7 +331,25 @@ func (o *Oracle) Report() OracleReport {
 // version. The run driver wires it through Scenario.TapChange; the live
 // driver, which fans a single change tap out to several hooks, calls it
 // directly.
-func (o *Oracle) NotePublished() { o.published++ }
+func (o *Oracle) NotePublished() {
+	if o.shared != nil {
+		o.shared.Add(1)
+		return
+	}
+	o.published++
+}
+
+// SharePublished moves the oracle's publication counter to c, shared by
+// every shard's oracle of one sharded run: publications fire on shard 0
+// while cache writes land on every shard, so the version-bound check
+// must read one fabric-wide count. The first oracle to share seeds c
+// with the boot count; a publication is separated from any remote cache
+// write it enables by at least one window barrier, whose channel
+// exchange orders the Add before the Load.
+func (o *Oracle) SharePublished(c *atomic.Uint64) {
+	c.CompareAndSwap(0, o.published)
+	o.shared = c
+}
 
 func (o *Oracle) violate(inv Invariant, node netsim.NodeID, format string, args ...any) {
 	o.total++
@@ -283,10 +367,14 @@ func (o *Oracle) CacheUpdated(t sim.Time, user, manager netsim.NodeID, version u
 	if o.manager != netsim.NoNode && manager != o.manager {
 		return
 	}
-	if version > o.published {
+	published := o.published
+	if o.shared != nil {
+		published = o.shared.Load()
+	}
+	if version > published {
 		o.violate(InvVersionBound, user,
 			"User caches version %d of Manager %d, but only %d was ever published",
-			version, manager, o.published)
+			version, manager, published)
 	}
 }
 

@@ -1,0 +1,90 @@
+package verify
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+// TestObserveShardedRun pins the sharded audit path at unit-test scale:
+// ObserveRun on a Shards ≥ 2 spec attaches one oracle per shard with a
+// shared publication counter, and a failure-free run must come back
+// clean with every User consistent.
+func TestObserveShardedRun(t *testing.T) {
+	spec := experiment.RunSpec{
+		System: experiment.Frodo2P,
+		Lambda: 0,
+		Seed:   7,
+		Shards: 3,
+		Params: experiment.Params{
+			Users:              30,
+			RunDuration:        900 * sim.Second,
+			ChangeMin:          100 * sim.Second,
+			ChangeMax:          300 * sim.Second,
+			FailureWindowStart: 100 * sim.Second,
+			FailureWindowEnd:   900 * sim.Second,
+			EffortPad:          sim.Second,
+		},
+	}
+	rep, res := ObserveRun(spec, DefaultOracleConfig(spec.System))
+	if !rep.Clean() {
+		t.Fatalf("sharded oracle not clean: %v\n%v", rep, rep.Violations)
+	}
+	if len(res.Users) != 30 {
+		t.Fatalf("%d user outcomes, want 30", len(res.Users))
+	}
+	for i, u := range res.Users {
+		if !u.Reached {
+			t.Fatalf("user %d (shard %d) never reached consistency in a failure-free run", i, u.User.Shard())
+		}
+	}
+}
+
+// TestShardSmoke is the CI shard-smoke gate (`make shard-smoke`): a
+// 4-shard, N=10k FRODO two-party run under the race detector with the
+// per-shard oracles attached. Gated behind SHARD_SMOKE=1 — it simulates
+// a 10k-node fabric, far too heavy for every `go test ./...`.
+func TestShardSmoke(t *testing.T) {
+	if os.Getenv("SHARD_SMOKE") == "" {
+		t.Skip("set SHARD_SMOKE=1 (or run `make shard-smoke`) for the 4-shard N=10k oracle gate")
+	}
+	spec := experiment.RunSpec{
+		System: experiment.Frodo2P,
+		Lambda: 0.15,
+		Seed:   1,
+		Shards: 4,
+		Params: experiment.Params{
+			Users:              10_000,
+			RunDuration:        2400 * sim.Second,
+			ChangeMin:          100 * sim.Second,
+			ChangeMax:          600 * sim.Second,
+			FailureWindowStart: 100 * sim.Second,
+			FailureWindowEnd:   2400 * sim.Second,
+			EffortPad:          sim.Second,
+		},
+	}
+	rep, res := ObserveRun(spec, DefaultOracleConfig(spec.System))
+	if !rep.Clean() {
+		t.Fatalf("shard smoke: oracle not clean: %v\n%v", rep, rep.Violations)
+	}
+	if len(res.Users) != 10_000 {
+		t.Fatalf("shard smoke: %d user outcomes, want 10000", len(res.Users))
+	}
+	reached := 0
+	for _, u := range res.Users {
+		if u.Reached {
+			reached++
+		}
+	}
+	// λ=0.15 outages knock some Users out past the deadline; the gate is
+	// that propagation genuinely spans the fabric, not a perfect score.
+	if reached < 8_500 {
+		t.Fatalf("shard smoke: only %d/10000 users reached consistency", reached)
+	}
+	if res.Effort == 0 {
+		t.Fatalf("shard smoke: zero counted update effort")
+	}
+	t.Logf("shard smoke: %d/10000 users consistent, effort %d, %v", reached, res.Effort, rep)
+}
