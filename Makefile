@@ -14,7 +14,7 @@ BENCH_PR ?= 5
 BENCH_BASELINE ?= BENCH_4.json
 COVER_FLOOR ?= 70
 
-.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke clean
+.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke hunt-smoke clean
 
 check: vet build race
 
@@ -47,12 +47,12 @@ bench-gate:
 	$(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout|BenchmarkUnicastFrame' -benchtime 5000x -benchmem -run xxx ./internal/sim ./internal/netsim | \
 	  $(GO) run ./cmd/benchjson -check -baseline BENCH_$(BENCH_PR).json
 
-# Coverage floor for the oracle, the conditioned network and the trace
-# layer (the live runtime's observability path): the packages whose
-# correctness everything else leans on must stay ≥ $(COVER_FLOOR)%
-# statement coverage (CI-enforced).
+# Coverage floor for the oracle, the conditioned network, the trace
+# layer and the chaos hunter: the packages whose correctness everything
+# else leans on must stay ≥ $(COVER_FLOOR)% statement coverage
+# (CI-enforced).
 cover-floor:
-	@set -e; for pkg in ./internal/verify ./internal/netsim ./internal/trace; do \
+	@set -e; for pkg in ./internal/verify ./internal/netsim ./internal/trace ./internal/hunt; do \
 	  pct=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 	  echo "$$pkg coverage: $$pct%"; \
 	  awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' || \
@@ -74,6 +74,19 @@ live-smoke:
 	$$tmp/sdload -addr $$(cat $$tmp/addr) -clients 200 -duration 5s -oracle -quiet; \
 	kill $$pid; \
 	wait $$pid || { echo "sdlived exited nonzero (race detected or oracle violation)"; exit 1; }
+
+# Chaos-hunter smoke test (CI-enforced): a race-built sdhunt with a
+# 60-second deterministic budget (the budget is a cost model, so the
+# hunt is identical on every machine), then a replay of every committed
+# fixture under internal/hunt/testdata. The hunt exits 1 when it finds
+# violations — that is its job, not a failure, so only a usage error
+# (exit 2) fails the hunt step; the replay must be fully green.
+hunt-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -race -o $$tmp/sdhunt ./cmd/sdhunt; \
+	$$tmp/sdhunt -budget 60s -seed 1 -out $$tmp/hunted -report $$tmp/report.json || [ $$? -eq 1 ]; \
+	$$tmp/sdhunt -replay internal/hunt/testdata
 
 # Sharded-fabric smoke test (CI-enforced): a 4-shard N=10k FRODO run
 # under the race detector with the per-shard consistency oracles

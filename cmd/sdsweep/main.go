@@ -42,6 +42,8 @@ func main() {
 		asPlot  = flag.Bool("plot", false, "render figures 4-6 as ASCII charts too")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 
+		scenario = flag.String("scenario", "", "sweep over this scenario spec JSON as the base design (strictly validated; its λ is replaced by the sweep grid)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
@@ -79,6 +81,27 @@ func main() {
 	if *shards != 0 && *figure != "shard" {
 		fmt.Fprintf(os.Stderr, "-shards applies to -figure shard only\n")
 		os.Exit(2)
+	}
+
+	// A scenario spec fixes the same dimensions the ad-hoc flags do;
+	// mixing the two would make the effective design ambiguous.
+	if *scenario != "" {
+		specOwned := map[string]bool{
+			"users": true, "managers": true, "registries": true, "services": true,
+			"churn": true, "absence": true, "arrivals": true,
+			"burst-loss": true, "burst-len": true, "delay-dist": true,
+			"delay-sigma": true, "delay-alpha": true, "partition": true,
+		}
+		conflict := ""
+		flag.Visit(func(f *flag.Flag) {
+			if specOwned[f.Name] {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(os.Stderr, "-scenario already fixes the design; drop -%s or edit the spec\n", conflict)
+			os.Exit(2)
+		}
 	}
 
 	// Topology flags too: a friendly error up front, not a panic from
@@ -174,6 +197,22 @@ func main() {
 		Arrivals:    *arrivals,
 	}
 	params.Partitions = partitions
+
+	if *scenario != "" {
+		// The shared spec codec: strict decoding, field-path validation.
+		// The spec supplies every design dimension except the sweep's own
+		// axes — the λ grid, the run count and the base seed stay flags.
+		spec, err := sdsim.LoadSpec(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		params = spec.Params()
+		params.Runs = *runs
+		params.BaseSeed = *seed
+		params.Lambdas = sdsim.DefaultLambdas()
+		linkOpts = spec.Options()
+	}
 
 	progress := func(done, total int) {
 		if *quiet {

@@ -5,22 +5,39 @@
 // claims: FRODO holds the principles ([24]); first-generation systems do
 // not ([8]).
 //
+// With -scenario it instead audits one declarative scenario through
+// the run-time consistency oracle: the file is either a bare
+// ScenarioSpec (audited on all five systems) or a chaos-hunter fixture
+// (internal/hunt/testdata — replayed against its recorded expectation),
+// so a hunted-and-minimized violation can be fed straight back through
+// the standalone checker.
+//
 // Usage:
 //
-//	sdverify              # summary table
-//	sdverify -violations  # also list every violating scenario
+//	sdverify                          # summary table
+//	sdverify -violations              # also list every violating scenario
+//	sdverify -scenario spec.json      # oracle-audit one scenario, all systems
+//	sdverify -scenario fixture.json   # replay one hunted fixture
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/hunt"
 	"repro/sdsim"
 )
 
 func main() {
 	listViolations := flag.Bool("violations", false, "list every violating scenario")
+	scenario := flag.String("scenario", "", "audit this scenario spec or hunted fixture instead of the outage grid")
 	flag.Parse()
+
+	if *scenario != "" {
+		os.Exit(auditScenario(*scenario, *listViolations))
+	}
 
 	grid := sdsim.DefaultGuaranteeGrid()
 	fmt.Println("Configuration Update Principles — single-outage scenario grid")
@@ -44,4 +61,66 @@ func main() {
 	fmt.Println()
 	fmt.Println("The paper: FRODO \"provides guarantees\" [24]; \"first-generation service")
 	fmt.Println("discovery systems do not provide guarantees of correct behavior\" [8].")
+}
+
+// auditScenario runs one spec (or hunted fixture) through the oracle.
+// Exit status mirrors the grid checker: 0 all clean, 1 violations.
+func auditScenario(path string, listViolations bool) int {
+	// A fixture wraps its spec under "scenario"; a bare spec has no such
+	// key. Peek instead of guessing from the error message.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	var probe struct {
+		Scenario *json.RawMessage `json:"scenario"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 2
+	}
+
+	if probe.Scenario != nil {
+		fx, err := hunt.LoadFixture(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 2
+		}
+		rep, err := hunt.Replay(fx)
+		if err != nil {
+			fmt.Printf("FAIL  %s\n", err)
+			printViolations(rep, listViolations)
+			return 1
+		}
+		fmt.Printf("ok    %s on %s: expectation met (%s)\n", path, fx.System, rep)
+		return 0
+	}
+
+	spec, err := sdsim.LoadSpec(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	fmt.Printf("Run-time consistency oracle — scenario %s (seed %d)\n\n", path, spec.Seed)
+	fmt.Printf("%-34s  %s\n", "system", "oracle report")
+	status := 0
+	for _, sys := range sdsim.Systems() {
+		rep, _ := sdsim.ObserveRun(spec.RunSpec(sys), sdsim.DefaultOracleConfig(sys))
+		fmt.Printf("%-34s  %s\n", sys, rep)
+		printViolations(rep, listViolations)
+		if rep.Total > 0 {
+			status = 1
+		}
+	}
+	return status
+}
+
+func printViolations(rep sdsim.OracleReport, list bool) {
+	if !list {
+		return
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("    %v\n", v)
+	}
 }

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Regression: an explicit FailureWindowStart of 0 must survive
+// withDefaults — the old code pattern-matched "zero field = unset" and
+// silently replaced it with the paper's 100s default.
+func TestParamsExplicitZeroFailureWindow(t *testing.T) {
+	p := Params{
+		FailureWindowSet:   true,
+		FailureWindowStart: 0,
+		FailureWindowEnd:   2000 * sim.Second,
+	}.withDefaults()
+	if p.FailureWindowStart != 0 {
+		t.Errorf("explicit zero window start overwritten with %v", p.FailureWindowStart)
+	}
+	if p.FailureWindowEnd != 2000*sim.Second {
+		t.Errorf("explicit window end overwritten with %v", p.FailureWindowEnd)
+	}
+	// Without the flag the legacy fill stays: zero means the default.
+	d := Params{}.withDefaults()
+	if d.FailureWindowStart != 100*sim.Second || d.FailureWindowEnd != 5400*sim.Second {
+		t.Errorf("legacy default fill broken: [%v, %v]", d.FailureWindowStart, d.FailureWindowEnd)
+	}
+}
+
+// A flash crowd must spawn exactly its Users, spread over its window,
+// all measured like ordinary arrivals — and a run without crowds must
+// replay bit-identically to one with an empty crowd list.
+func TestFlashCrowdArrivals(t *testing.T) {
+	params := DefaultParams()
+	params.Runs = 1
+	base := RunSpec{System: UPnP, Lambda: 0, Seed: 3, Params: params}
+
+	plain := Run(base)
+	withEmpty := base
+	withEmpty.Params.FlashCrowds = []FlashCrowd{}
+	if got := Run(withEmpty); got.Effort != plain.Effort || len(got.Users) != len(plain.Users) {
+		t.Fatalf("empty flash-crowd list perturbed the run: %+v vs %+v", got, plain)
+	}
+
+	crowd := base
+	crowd.Params.FlashCrowds = []FlashCrowd{
+		{At: 1000 * sim.Second, Users: 12, Window: 30 * sim.Second},
+	}
+	res := Run(crowd)
+	if want := len(plain.Users) + 12; len(res.Users) != want {
+		t.Fatalf("flash crowd of 12 produced %d user outcomes, want %d", len(res.Users), want)
+	}
+	reached := 0
+	for _, u := range res.Users {
+		if u.Reached {
+			reached++
+		}
+	}
+	// No failures, no loss: the whole population (initial + crowd) must
+	// discover and reach consistency.
+	if reached != len(res.Users) {
+		t.Errorf("only %d/%d users reached consistency under a failure-free flash crowd", reached, len(res.Users))
+	}
+}
+
+// Rack planning: contiguous blocks, all-interface outages inside the
+// window, deterministic per seed, and disabled configs draw nothing.
+func TestPlanRackFailures(t *testing.T) {
+	mkNodes := func(n int) []netsim.NodeID {
+		ids := make([]netsim.NodeID, n)
+		for i := range ids {
+			ids[i] = netsim.NodeID(i)
+		}
+		return ids
+	}
+	cfg := netsim.RackPlanConfig{
+		Racks: 4, Fail: 2,
+		WindowStart: 500 * sim.Second, WindowEnd: 3000 * sim.Second,
+		Duration: 600 * sim.Second, Spread: 5 * sim.Second,
+	}
+	k := sim.New(42)
+	plan := netsim.PlanRackFailures(k, mkNodes(20), cfg)
+	if len(plan) != 10 {
+		t.Fatalf("2 of 4 racks over 20 nodes should fail 10 nodes, got %d", len(plan))
+	}
+	for _, f := range plan {
+		if f.Mode != netsim.FailBoth {
+			t.Errorf("rack member %d failed %v, want both interfaces", f.Node, f.Mode)
+		}
+		if f.Start < cfg.WindowStart || f.Start >= cfg.WindowEnd+sim.Time(cfg.Spread) {
+			t.Errorf("rack member %d fails at %v, outside the window", f.Node, f.Start)
+		}
+		if f.Duration != cfg.Duration {
+			t.Errorf("rack member %d outage %v, want %v", f.Node, f.Duration, cfg.Duration)
+		}
+	}
+	// Same seed ⇒ same plan; different seed ⇒ (almost surely) different.
+	again := netsim.PlanRackFailures(sim.New(42), mkNodes(20), cfg)
+	for i := range plan {
+		if plan[i] != again[i] {
+			t.Fatalf("rack plan not deterministic at %d: %v vs %v", i, plan[i], again[i])
+		}
+	}
+	if netsim.PlanRackFailures(sim.New(1), mkNodes(20), netsim.RackPlanConfig{}) != nil {
+		t.Error("disabled rack plan produced failures")
+	}
+	if err := (netsim.RackPlanConfig{Racks: 2, Fail: 3, Duration: sim.Second}).Validate(); err == nil {
+		t.Error("failing more racks than exist validated")
+	}
+}
+
+// A rack failure hitting the infrastructure rack mid-run must not wedge
+// the run: the outage heals, the protocols recover, the run completes.
+func TestRackFailureRunCompletes(t *testing.T) {
+	params := DefaultParams()
+	params.RackFailures = netsim.RackPlanConfig{
+		Racks: 2, Fail: 1,
+		WindowStart: 500 * sim.Second, WindowEnd: 1500 * sim.Second,
+		Duration: 300 * sim.Second, Spread: 2 * sim.Second,
+	}
+	for _, sys := range Systems() {
+		res := Run(RunSpec{System: sys, Lambda: 0, Seed: 9, Params: params})
+		if len(res.Users) == 0 {
+			t.Errorf("%v: rack-failure run produced no user outcomes", sys)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FlashCrowd is one scheduled arrival spike: Users fresh Users join the
+// network over [At, At+Window), evenly spaced — the flash-crowd regime
+// (a conference room fills, a device fleet reboots) whose discovery
+// burst the smooth Poisson arrival model never produces. Flash-crowd
+// Users boot immediately on arrival, discover the running system and are
+// measured like initial Users. Scheduling draws no randomness, so runs
+// without flash crowds replay unchanged.
+type FlashCrowd struct {
+	// At is when the spike starts.
+	At sim.Time
+	// Users is the number of arrivals in the spike.
+	Users int
+	// Window is the interval the arrivals spread over; 0 means all Users
+	// arrive at the same instant.
+	Window sim.Duration
+}
+
+// ScheduleFlashCrowds arms the arrival events of every spike. Call it
+// after BuildTopology (the arrival hook must exist) and after
+// ScheduleChurn, whose Poisson arrivals share the User namespace; flash
+// arrivals get their own names so the two never collide.
+func (s *Scenario) ScheduleFlashCrowds(crowds []FlashCrowd) {
+	for ci, fc := range crowds {
+		if fc.Users <= 0 {
+			continue
+		}
+		for i := 0; i < fc.Users; i++ {
+			at := fc.At
+			if fc.Window > 0 {
+				at += sim.Time(int64(fc.Window) * int64(i) / int64(fc.Users))
+			}
+			name := flashUserName(ci, i)
+			s.K.At(at, func() {
+				id := s.makeUser(name)
+				s.UserIDs = append(s.UserIDs, id)
+			})
+		}
+	}
+}
+
+func flashUserName(crowd, i int) string {
+	return fmt.Sprintf("Flash%d-%d", crowd+1, i+1)
+}

@@ -24,7 +24,14 @@ type Params struct {
 	// update followed by a received one). Zero means one.
 	Changes int
 	// FailureWindowStart/End bound the random failure activation time.
+	// Zero fields fall back to the paper's window (100s–5400s) unless
+	// FailureWindowSet is true, which takes both verbatim — the only way
+	// to express a window that genuinely starts (or ends) at 0.
 	FailureWindowStart, FailureWindowEnd sim.Time
+	// FailureWindowSet marks FailureWindowStart/End as explicit. Without
+	// it a deliberate FailureWindowStart of 0 would be silently
+	// overwritten with the 100s default.
+	FailureWindowSet bool
 	// Runs is X, the number of repetitions per (system, λ).
 	Runs int
 	// Lambdas is the failure-rate sweep.
@@ -43,6 +50,13 @@ type Params struct {
 	// down). Use netsim.Partition.Bisect for a system-agnostic split —
 	// explicit SideB node IDs differ across systems' build orders.
 	Partitions []netsim.Partition
+	// FlashCrowds schedules arrival spikes: bursts of fresh Users joining
+	// within a short window, on top of any Poisson churn.
+	FlashCrowds []FlashCrowd
+	// RackFailures adds correlated rack-level outages: whole contiguous
+	// blocks of the node table lose both interfaces inside one window,
+	// composing with the per-node λ plan.
+	RackFailures netsim.RackPlanConfig
 	// EffortPad extends the effort window so frames of the final
 	// exchange still in flight when the last User turns consistent are
 	// counted (see DESIGN.md).
@@ -84,11 +98,13 @@ func (p Params) withDefaults() Params {
 	if p.ChangeMax == 0 {
 		p.ChangeMax = d.ChangeMax
 	}
-	if p.FailureWindowStart == 0 {
-		p.FailureWindowStart = d.FailureWindowStart
-	}
-	if p.FailureWindowEnd == 0 {
-		p.FailureWindowEnd = d.FailureWindowEnd
+	if !p.FailureWindowSet {
+		if p.FailureWindowStart == 0 {
+			p.FailureWindowStart = d.FailureWindowStart
+		}
+		if p.FailureWindowEnd == 0 {
+			p.FailureWindowEnd = d.FailureWindowEnd
+		}
 	}
 	if p.Runs == 0 {
 		p.Runs = d.Runs
@@ -229,8 +245,10 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 		spec.Attach(sc)
 	}
 	// Churn draws its whole schedule now, before the failure plan, so a
-	// given seed yields one fixed event timeline.
+	// given seed yields one fixed event timeline. Flash crowds draw no
+	// randomness and ride on the same arrival hook.
 	sc.ScheduleChurn(spec.Params.Churn, spec.Params.RunDuration)
+	sc.ScheduleFlashCrowds(spec.Params.FlashCrowds)
 
 	// Plan the interface failures (§5 Step 2): one outage per node — or
 	// use the caller's fixed schedule.
@@ -244,6 +262,11 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 		})
 	}
 	sc.Net.ScheduleFailures(plan)
+	// Correlated rack outages draw after the λ plan and compose with it;
+	// a disabled config draws nothing, keeping default runs bit-identical.
+	if spec.Params.RackFailures.Enabled() {
+		sc.Net.ScheduleFailures(netsim.PlanRackFailures(k, sc.AllNodeIDs(), spec.Params.RackFailures))
+	}
 	// Transient partitions ride on top of the failure plan; scheduling
 	// them draws no randomness, so default runs replay unchanged.
 	sc.Net.SchedulePartitions(spec.Params.Partitions)

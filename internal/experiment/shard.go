@@ -404,6 +404,10 @@ func runSharded(spec RunSpec) metrics.RunResult {
 		panic("experiment: sharded runs do not support tracers (frames fire on several goroutines)")
 	case spec.Attach != nil:
 		panic("experiment: sharded runs do not support Attach; use per-shard oracles via ShardScenario")
+	case len(spec.Params.FlashCrowds) > 0:
+		panic("experiment: sharded runs do not support flash crowds (arrivals mutate one shard's table)")
+	case spec.Params.RackFailures.Enabled():
+		panic("experiment: sharded runs do not support rack failures (racks are defined over one node table)")
 	}
 	topo := spec.Params.Topology
 	if topo.Users <= 0 {

@@ -1,0 +1,91 @@
+package hunt
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/experiment"
+	"repro/internal/verify"
+)
+
+// The hunter's feedback is behavioral coverage, not code coverage: a
+// candidate scenario is interesting if it drove the audited fabric into
+// a state no earlier candidate reached. The signal is distilled into a
+// set of small string keys — readable in reports, trivially comparable,
+// and stable across runs — drawn from three observers:
+//
+//   - the oracle's near-miss counters and per-invariant slack
+//     histograms (how close each invariant came to a violation),
+//   - the network's event mix (which message kinds flowed, log-scale
+//     how many, plus drop and effort magnitudes),
+//   - the run outcome (users left inconsistent, heal probes that never
+//     ran).
+//
+// A violation itself is also a key, so the first breach of an invariant
+// on a system always refreshes the corpus.
+
+// runStats is everything the hunter observes about one (spec, system)
+// run, read out immediately after the run while the borrowed scenario
+// storage is still valid.
+type runStats struct {
+	Report    verify.OracleReport
+	PerKind   map[string]int
+	Drops     int
+	Effort    int
+	Unreached int
+}
+
+// logBucket compresses a non-negative count onto a log2 scale: 0 → 0,
+// then the bit length (1, 2-3 → 2, 4-7 → 3, …), so "an order of
+// magnitude more of X" is a new behavior but "one more frame" is not.
+func logBucket(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n))
+}
+
+// coverageKeys renders one run's observations as coverage keys. The
+// order is deterministic (invariants in declaration order, message
+// kinds sorted) so corpus growth replays identically.
+func coverageKeys(sys experiment.System, st runStats) []string {
+	s := sys.Short()
+	var keys []string
+	cov := st.Report.Coverage
+	for inv, n := range st.Report.ByInvariant {
+		if n > 0 {
+			keys = append(keys, fmt.Sprintf("%s/violation/%v", s, verify.Invariant(inv)))
+		}
+	}
+	for inv, n := range cov.NearMisses {
+		if n > 0 {
+			keys = append(keys, fmt.Sprintf("%s/near/%v/%d", s, verify.Invariant(inv), logBucket(n)))
+		}
+	}
+	for inv := range cov.Slack {
+		for b, n := range cov.Slack[inv] {
+			if n > 0 {
+				keys = append(keys, fmt.Sprintf("%s/slack/%v/%d", s, verify.Invariant(inv), b))
+			}
+		}
+	}
+	kinds := make([]string, 0, len(st.PerKind))
+	for k := range st.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		keys = append(keys, fmt.Sprintf("%s/kind/%s/%d", s, k, logBucket(st.PerKind[k])))
+	}
+	keys = append(keys,
+		fmt.Sprintf("%s/drops/%d", s, logBucket(st.Drops)),
+		fmt.Sprintf("%s/effort/%d", s, logBucket(st.Effort)))
+	if st.Unreached > 0 {
+		keys = append(keys, fmt.Sprintf("%s/unreached/%d", s, logBucket(st.Unreached)))
+	}
+	if pending := st.Report.ProbesScheduled - st.Report.ProbesRun; pending > 0 {
+		keys = append(keys, fmt.Sprintf("%s/probes-pending", s))
+	}
+	return keys
+}

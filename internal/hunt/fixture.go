@@ -1,0 +1,118 @@
+package hunt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/verify"
+)
+
+// A fixture is a hunted scenario frozen into the repository: the
+// minimized spec, the system it runs on, and what replaying it must
+// observe. Replay needs nothing but the file — the spec carries its
+// seed, so the violation (or the documented clean outcome) reproduces
+// bit-for-bit under the default oracle tolerances.
+
+// Expect states the replay obligation. Exactly one form is valid:
+// Clean (a regression fixture pinning a hostile-but-correct scenario),
+// or Invariant with a minimum violation count.
+type Expect struct {
+	Clean     bool   `json:"clean,omitempty"`
+	Invariant string `json:"invariant,omitempty"`
+	MinCount  int    `json:"min_count,omitempty"`
+}
+
+// Fixture is the committable unit under internal/hunt/testdata.
+type Fixture struct {
+	Comment  string                  `json:"comment,omitempty"`
+	System   string                  `json:"system"`
+	Scenario experiment.ScenarioSpec `json:"scenario"`
+	Expect   Expect                  `json:"expect"`
+}
+
+// Validate checks the envelope; the embedded scenario validates with
+// the spec codec's own rules.
+func (f *Fixture) Validate() error {
+	if _, err := experiment.ParseSystem(f.System); err != nil {
+		return fmt.Errorf("fixture: %w", err)
+	}
+	if f.Expect.Clean == (f.Expect.Invariant != "") {
+		return fmt.Errorf("fixture: expect must set exactly one of clean or invariant")
+	}
+	if f.Expect.Invariant != "" {
+		if _, ok := parseInvariant(f.Expect.Invariant); !ok {
+			return fmt.Errorf("fixture: unknown invariant %q", f.Expect.Invariant)
+		}
+	}
+	if f.Expect.MinCount < 0 {
+		return fmt.Errorf("fixture: expect.min_count must not be negative")
+	}
+	return f.Scenario.Validate()
+}
+
+func parseInvariant(name string) (verify.Invariant, bool) {
+	for inv := verify.Invariant(0); inv.String() != "?"; inv++ {
+		if inv.String() == name {
+			return inv, true
+		}
+	}
+	return 0, false
+}
+
+// Encode renders the fixture as committable indented JSON.
+func (f *Fixture) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// LoadFixture reads one fixture strictly: unknown fields anywhere in
+// the file — envelope or embedded scenario — are errors.
+func LoadFixture(path string) (*Fixture, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f Fixture
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Replay runs the fixture under the default oracle tolerances and
+// checks its expectation. The report is returned either way, so a
+// failing replay can be diagnosed from the violations it did produce.
+func Replay(f *Fixture) (verify.OracleReport, error) {
+	sys, err := experiment.ParseSystem(f.System)
+	if err != nil {
+		return verify.OracleReport{}, err
+	}
+	rep, _ := verify.ObserveRun(f.Scenario.RunSpec(sys), verify.DefaultOracleConfig(sys))
+	if f.Expect.Clean {
+		if rep.Total != 0 {
+			return rep, fmt.Errorf("fixture expects a clean run, got %s", rep)
+		}
+		return rep, nil
+	}
+	inv, _ := parseInvariant(f.Expect.Invariant)
+	min := f.Expect.MinCount
+	if min == 0 {
+		min = 1
+	}
+	if got := rep.ByInvariant[inv]; got < min {
+		return rep, fmt.Errorf("fixture expects ≥%d %s violations, got %d (%s)",
+			min, f.Expect.Invariant, got, rep)
+	}
+	return rep, nil
+}

@@ -1,0 +1,88 @@
+package hunt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func writeFixture(t *testing.T, f *Fixture) string {
+	t.Helper()
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fixture.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFixtureRoundTripAndReplayClean(t *testing.T) {
+	f := &Fixture{
+		Comment:  "paper design, no faults: must audit clean",
+		System:   "upnp",
+		Scenario: experiment.ScenarioSpec{Seed: 5},
+		Expect:   Expect{Clean: true},
+	}
+	back, err := LoadFixture(writeFixture(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.System != "upnp" || back.Scenario.Seed != 5 || !back.Expect.Clean {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	rep, err := Replay(back)
+	if err != nil {
+		t.Errorf("clean fixture failed replay: %v", err)
+	}
+	if rep.Total != 0 {
+		t.Errorf("unexpected violations: %s", rep)
+	}
+
+	// A violation expectation the run does not meet must fail replay.
+	f.Expect = Expect{Invariant: "lease-purge"}
+	if _, err := Replay(f); err == nil || !strings.Contains(err.Error(), "lease-purge") {
+		t.Errorf("unmet violation expectation not reported: %v", err)
+	}
+}
+
+func TestFixtureValidation(t *testing.T) {
+	base := func() *Fixture {
+		return &Fixture{System: "upnp", Scenario: experiment.ScenarioSpec{Seed: 1},
+			Expect: Expect{Clean: true}}
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Fixture)
+		want   string
+	}{
+		{"system", func(f *Fixture) { f.System = "bonjour" }, "unknown system"},
+		{"both", func(f *Fixture) { f.Expect.Invariant = "lease-purge" }, "exactly one"},
+		{"neither", func(f *Fixture) { f.Expect.Clean = false }, "exactly one"},
+		{"invariant", func(f *Fixture) { f.Expect = Expect{Invariant: "lease-prune"} }, "unknown invariant"},
+		{"count", func(f *Fixture) { f.Expect = Expect{Invariant: "lease-purge", MinCount: -1} }, "min_count"},
+		{"scenario", func(f *Fixture) { f.Scenario.Lambda = 7 }, "lambda"},
+	}
+	for _, c := range cases {
+		f := base()
+		c.break_(f)
+		if err := f.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: want error containing %q, got %v", c.name, c.want, err)
+		}
+	}
+
+	// Strict load: an unknown field inside the embedded scenario fails.
+	path := filepath.Join(t.TempDir(), "bad.json")
+	bad := `{"system": "upnp", "scenario": {"seed": 1, "lamda": 0.2}, "expect": {"clean": true}}`
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFixture(path); err == nil || !strings.Contains(err.Error(), "lamda") {
+		t.Errorf("unknown nested field not rejected: %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+package hunt
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/experiment"
+)
+
+// Mutations operate on the declarative ScenarioSpec, not on any live
+// simulation state: each one clones the parent, perturbs one fault
+// dimension, then repairs the spec back into the valid envelope. All
+// randomness comes from the hunter's own rand.Rand, so a (seed, budget)
+// pair replays the identical mutation chain on any machine.
+
+// healMarginSec is how long before the deadline every partition must
+// heal: the oracle's single-Central probe fires HealSlack (FRODO
+// Central timeout 3000s + announce period 1200s + 60s) after the heal,
+// and a probe scheduled past the deadline never runs. Keeping the
+// margin means hunted specs always audit what they schedule.
+const healMarginSec = 4300
+
+// Envelope bounds, chosen to keep one candidate's cost within a small
+// multiple of the paper run: long enough for lease cycles, partitions
+// and churn to interact, short enough that a 60s hunt tries dozens.
+const (
+	minDurationSec = 3600
+	maxDurationSec = 16200 // 3× the paper's 5400s
+	maxUsers       = 24
+	maxCrowds      = 3
+	maxPartitions  = 2
+)
+
+func cloneSpec(s *experiment.ScenarioSpec) *experiment.ScenarioSpec {
+	c := *s
+	if s.FailureWindow != nil {
+		w := *s.FailureWindow
+		c.FailureWindow = &w
+	}
+	c.Partitions = append([]experiment.SpecPartition(nil), s.Partitions...)
+	c.FlashCrowds = append([]experiment.SpecFlashCrowd(nil), s.FlashCrowds...)
+	return &c
+}
+
+// durationSec resolves the effective run length (0 means the paper's
+// 5400s default).
+func durationSec(s *experiment.ScenarioSpec) float64 {
+	if s.DurationSec == 0 {
+		return 5400
+	}
+	return s.DurationSec
+}
+
+// mutations is the fixed operator table. Each entry perturbs one
+// dimension; repair() afterwards restores global feasibility.
+var mutations = []func(*rand.Rand, *experiment.ScenarioSpec){
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // reseed the timeline
+		s.Seed = r.Int63n(1 << 20)
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // interface-failure rate
+		s.Lambda = float64(r.Intn(10)) * 0.1 * 0.9 // 0 … 0.81
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // run length
+		s.DurationSec = float64(minDurationSec + r.Intn((maxDurationSec-minDurationSec)/600+1)*600)
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // add a partition
+		if len(s.Partitions) >= maxPartitions {
+			s.Partitions = s.Partitions[:len(s.Partitions)-1]
+		}
+		start := 200 + float64(r.Intn(40))*100
+		s.Partitions = append(s.Partitions, experiment.SpecPartition{
+			StartSec:    start,
+			DurationSec: 200 + float64(r.Intn(30))*100,
+		})
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // drop partitions
+		s.Partitions = nil
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // churn on/off
+		if r.Intn(3) == 0 {
+			s.Churn = experiment.SpecChurn{}
+			return
+		}
+		s.Churn = experiment.SpecChurn{
+			Departures:     float64(1+r.Intn(6)) * 0.25,
+			MeanAbsenceSec: float64(r.Intn(4)) * 300, // 0 = permanent departures
+			Arrivals:       float64(r.Intn(5)),
+		}
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // flash crowd
+		if len(s.FlashCrowds) >= maxCrowds || r.Intn(4) == 0 {
+			s.FlashCrowds = nil
+			return
+		}
+		s.FlashCrowds = append(s.FlashCrowds, experiment.SpecFlashCrowd{
+			AtSec:     100 + float64(r.Intn(30))*100,
+			Users:     2 + r.Intn(10),
+			WindowSec: float64(1 + r.Intn(30)),
+		})
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // rack failures
+		if r.Intn(4) == 0 {
+			s.RackFailures = experiment.SpecRacks{}
+			return
+		}
+		racks := 2 + r.Intn(4)
+		s.RackFailures = experiment.SpecRacks{
+			Racks:          racks,
+			Fail:           1 + r.Intn(racks-1),
+			WindowStartSec: 200 + float64(r.Intn(20))*100,
+			WindowEndSec:   2500 + float64(r.Intn(10))*100,
+			DurationSec:    60 + float64(r.Intn(10))*60,
+			SpreadSec:      float64(r.Intn(10)),
+		}
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // burst loss
+		if r.Intn(4) == 0 {
+			s.Link.BurstAvg, s.Link.BurstLen = 0, 0
+			return
+		}
+		s.Link.Loss = 0
+		s.Link.BurstAvg = float64(1+r.Intn(6)) * 0.05
+		s.Link.BurstLen = float64(2 + r.Intn(12))
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // i.i.d. loss
+		s.Link.BurstAvg, s.Link.BurstLen = 0, 0
+		s.Link.Loss = float64(r.Intn(7)) * 0.05
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // delay + reorder
+		s.Link.DelayDist = []string{"", "lognormal", "pareto"}[r.Intn(3)]
+		s.Link.ReorderProb = float64(r.Intn(4)) * 0.1
+		if s.Link.ReorderProb > 0 {
+			s.Link.ReorderExtraSec = float64(1+r.Intn(5)) * 0.05
+		} else {
+			s.Link.ReorderExtraSec = 0
+		}
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // population size
+		s.Topology.Users = []int{0, 2, 8, 12, maxUsers}[r.Intn(5)]
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // service-change time
+		s.ChangeMinSec = 100 + float64(r.Intn(10))*100
+		s.ChangeMaxSec = s.ChangeMinSec + float64(1+r.Intn(10))*200
+	},
+	func(r *rand.Rand, s *experiment.ScenarioSpec) { // failure window incl. start 0
+		end := durationSec(s)
+		s.FailureWindow = &experiment.SpecWindow{
+			StartSec: float64(r.Intn(3)) * 50, // 0, 50 or 100
+			EndSec:   end * (0.5 + 0.5*float64(r.Intn(2))),
+		}
+	},
+}
+
+// mutate derives one child from a parent: 1-3 operators, then repair.
+// The result always validates; repair guarantees it by construction,
+// and the impossible fallback is the untouched parent.
+func mutate(r *rand.Rand, parent *experiment.ScenarioSpec) *experiment.ScenarioSpec {
+	s := cloneSpec(parent)
+	for n := 1 + r.Intn(3); n > 0; n-- {
+		mutations[r.Intn(len(mutations))](r, s)
+	}
+	repair(s)
+	if s.Validate() != nil {
+		return cloneSpec(parent)
+	}
+	return s
+}
+
+// repair restores the global feasibility the operators may have broken:
+// partitions sorted, overlap-free, inside the run with the heal margin;
+// the rack window inside the run; flash crowds before the deadline.
+func repair(s *experiment.ScenarioSpec) {
+	dur := durationSec(s)
+
+	sort.Slice(s.Partitions, func(i, j int) bool {
+		return s.Partitions[i].StartSec < s.Partitions[j].StartSec
+	})
+	kept := s.Partitions[:0]
+	lastEnd := -1.0
+	for _, p := range s.Partitions {
+		if p.StartSec <= lastEnd || p.DurationSec <= 0 {
+			continue // overlaps the previous one: drop
+		}
+		kept = append(kept, p)
+		lastEnd = p.StartSec + p.DurationSec
+	}
+	s.Partitions = kept
+	if len(s.Partitions) == 0 {
+		s.Partitions = nil
+	}
+	// Every partition must heal healMarginSec before the deadline, or
+	// its single-Central probe would be scheduled past the end of the
+	// run. Extend the run rather than shrink the fault.
+	if lastEnd > 0 && dur < lastEnd+healMarginSec {
+		dur = lastEnd + healMarginSec
+		if over := dur - float64(int(dur/100))*100; over > 0 {
+			dur += 100 - over // round up to a readable boundary
+		}
+		s.DurationSec = dur
+	}
+
+	if r := &s.RackFailures; r.Racks > 0 {
+		if r.WindowEndSec > dur {
+			r.WindowEndSec = dur
+		}
+		if r.WindowStartSec >= r.WindowEndSec {
+			r.WindowStartSec = 0
+		}
+	}
+	kept2 := s.FlashCrowds[:0]
+	for _, fc := range s.FlashCrowds {
+		if fc.AtSec < dur && fc.Users > 0 {
+			kept2 = append(kept2, fc)
+		}
+	}
+	s.FlashCrowds = kept2
+	if len(s.FlashCrowds) == 0 {
+		s.FlashCrowds = nil
+	}
+	if w := s.FailureWindow; w != nil && w.EndSec > dur {
+		w.EndSec = dur
+	}
+	if s.ChangeMaxSec > dur/2 {
+		s.ChangeMinSec, s.ChangeMaxSec = 0, 0 // back to the paper's window
+	}
+}

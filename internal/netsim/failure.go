@@ -95,6 +95,84 @@ func PlanInterfaceFailures(k *sim.Kernel, nodes []NodeID, cfg FailurePlanConfig)
 	return failures
 }
 
+// RackPlanConfig parameterizes correlated rack-level failures: the node
+// table is divided into Racks contiguous blocks ("racks" — infrastructure
+// occupies the first slots, so rack 0 holds the Registries and Managers),
+// Fail of them are drawn at random, and every member of a failing rack
+// loses both interfaces within one short window — the correlated regime
+// (a switch dies, a PDU trips) that per-node λ draws never concentrate
+// on. The zero value is disabled and draws no randomness, so default
+// runs replay unchanged.
+type RackPlanConfig struct {
+	// Racks is the number of contiguous rack groups; nodes are assigned
+	// by table position (rack r owns slots [r·N/Racks, (r+1)·N/Racks)).
+	Racks int
+	// Fail is how many distinct racks fail, drawn uniformly.
+	Fail int
+	// WindowStart and WindowEnd bound the uniformly-drawn instant each
+	// failing rack starts to go down.
+	WindowStart, WindowEnd sim.Time
+	// Duration is each member's outage length.
+	Duration sim.Duration
+	// Spread staggers the members of one failing rack: each goes down at
+	// the rack's start plus U[0, Spread) — near-simultaneous, not
+	// instant, like a real cascading power event. 0 means simultaneous.
+	Spread sim.Duration
+}
+
+// Enabled reports whether the plan does anything.
+func (c RackPlanConfig) Enabled() bool { return c.Racks > 0 && c.Fail > 0 }
+
+// Validate rejects impossible rack plans.
+func (c RackPlanConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	switch {
+	case c.Fail > c.Racks:
+		return fmt.Errorf("netsim: rack plan fails %d of %d racks", c.Fail, c.Racks)
+	case c.Duration <= 0:
+		return fmt.Errorf("netsim: rack outage duration %v must be positive", c.Duration)
+	case c.Spread < 0:
+		return fmt.Errorf("netsim: negative rack spread %v", c.Spread)
+	case c.WindowEnd < c.WindowStart:
+		return fmt.Errorf("netsim: rack window end %v before start %v", c.WindowEnd, c.WindowStart)
+	}
+	return nil
+}
+
+// PlanRackFailures draws one correlated outage per failing rack: the
+// failing racks come from a random permutation, each draws one start
+// time in the window, and every member node fails both interfaces at
+// start + U[0, Spread) for cfg.Duration. The returned failures compose
+// with the per-node λ plan via ScheduleFailures. Racks larger than the
+// node table degrade gracefully (some racks are empty).
+func PlanRackFailures(k *sim.Kernel, nodes []NodeID, cfg RackPlanConfig) []InterfaceFailure {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	failing := k.Rand().Perm(cfg.Racks)[:cfg.Fail]
+	failures := make([]InterfaceFailure, 0, cfg.Fail*len(nodes)/cfg.Racks+1)
+	for _, r := range failing {
+		lo := r * len(nodes) / cfg.Racks
+		hi := (r + 1) * len(nodes) / cfg.Racks
+		start := k.UniformTime(cfg.WindowStart, cfg.WindowEnd)
+		for _, id := range nodes[lo:hi] {
+			at := start
+			if cfg.Spread > 0 {
+				at += sim.Time(k.UniformDuration(0, cfg.Spread))
+			}
+			failures = append(failures, InterfaceFailure{
+				Node: id, Mode: FailBoth, Start: at, Duration: cfg.Duration,
+			})
+		}
+	}
+	return failures
+}
+
 // outage is the pooled record behind one scheduled interface transition.
 // Records live in the network's index-recycled arena rather than a free
 // list: a recovery event frequently lies beyond the run horizon and never

@@ -104,6 +104,63 @@ func DefaultOracleConfig(sys experiment.System) OracleConfig {
 	}
 }
 
+// CoverageBuckets is the resolution of the per-invariant slack
+// histograms: bucket 0 holds margins under a second (or at the exact
+// bound), bucket k margins in [2^(k-1), 2^k) seconds, and the last
+// bucket everything comfortable beyond that. For the version-bound
+// invariant the "margin" is a version count, bucketed directly.
+const CoverageBuckets = 8
+
+// OracleCoverage is the oracle's behavioral coverage signal: how close
+// each invariant came to violating, not just whether it did. A scenario
+// fuzzer keeps candidates that push an invariant into a slack bucket or
+// near-miss region no earlier candidate reached — the gradient toward
+// a violation that binary clean/violated feedback cannot provide.
+type OracleCoverage struct {
+	// NearMisses counts events in the final grace region before a
+	// violation: a RenewAck inside PurgeSlack after expiry, a retired
+	// node's frame inside RetireGrace, a heal probe whose sole live
+	// claim is older than half the CentralWindow, a cache write exactly
+	// at the published bound after at least one change.
+	NearMisses [numInvariants]int
+	// Slack histograms the margin left on every non-violating check.
+	Slack [numInvariants][CoverageBuckets]int
+}
+
+// Merge accumulates other into c, for sharded or multi-run aggregation.
+func (c *OracleCoverage) Merge(other OracleCoverage) {
+	for i := range c.NearMisses {
+		c.NearMisses[i] += other.NearMisses[i]
+		for b := range c.Slack[i] {
+			c.Slack[i][b] += other.Slack[i][b]
+		}
+	}
+}
+
+// slackBucket maps a time margin onto a histogram bucket: <1s (or
+// negative, i.e. inside a grace region) → 0, then doubling second
+// ranges, saturating at the top bucket.
+func slackBucket(margin sim.Duration) int {
+	if margin < sim.Second {
+		return 0
+	}
+	s := int64(margin / sim.Second)
+	b := 1
+	for s > 1 && b < CoverageBuckets-1 {
+		s >>= 1
+		b++
+	}
+	return b
+}
+
+// countBucket maps a non-negative count (version gap) onto a bucket.
+func countBucket(n uint64) int {
+	if n >= CoverageBuckets {
+		return CoverageBuckets - 1
+	}
+	return int(n)
+}
+
 // OracleViolation is one observed invariant breach.
 type OracleViolation struct {
 	At        sim.Time
@@ -124,6 +181,9 @@ type OracleReport struct {
 	ByInvariant [numInvariants]int
 	// Violations retains the first MaxViolations details.
 	Violations []OracleViolation
+	// Coverage carries the near-miss/slack signal alongside the
+	// verdict, so one audited run yields both.
+	Coverage OracleCoverage
 	// ProbesScheduled and ProbesRun count the single-central heal
 	// probes. A probe scheduled past the run deadline never fires; the
 	// difference makes that visible instead of silently vacuous — a run
@@ -147,6 +207,7 @@ func MergeReports(reports ...OracleReport) OracleReport {
 			out.ByInvariant[i] += r.ByInvariant[i]
 		}
 		out.Violations = append(out.Violations, r.Violations...)
+		out.Coverage.Merge(r.Coverage)
 		out.ProbesScheduled += r.ProbesScheduled
 		out.ProbesRun += r.ProbesRun
 	}
@@ -203,6 +264,7 @@ type Oracle struct {
 
 	total           int
 	byInvariant     [numInvariants]int
+	cov             OracleCoverage
 	violations      []OracleViolation
 	probesScheduled int
 	probesRun       int
@@ -324,8 +386,11 @@ func ObserveRun(spec experiment.RunSpec, cfg OracleConfig) (OracleReport, metric
 // Report summarizes the audit so far; call it after the run completes.
 func (o *Oracle) Report() OracleReport {
 	return OracleReport{Total: o.total, ByInvariant: o.byInvariant, Violations: o.violations,
-		ProbesScheduled: o.probesScheduled, ProbesRun: o.probesRun}
+		Coverage: o.cov, ProbesScheduled: o.probesScheduled, ProbesRun: o.probesRun}
 }
+
+// Coverage returns the near-miss/slack signal accumulated so far.
+func (o *Oracle) Coverage() OracleCoverage { return o.cov }
 
 // NotePublished is the change tap: the measured Manager published a new
 // version. The run driver wires it through Scenario.TapChange; the live
@@ -375,14 +440,29 @@ func (o *Oracle) CacheUpdated(t sim.Time, user, manager netsim.NodeID, version u
 		o.violate(InvVersionBound, user,
 			"User caches version %d of Manager %d, but only %d was ever published",
 			version, manager, published)
+		return
+	}
+	o.cov.Slack[InvVersionBound][countBucket(published-version)]++
+	if version == published && published > 1 {
+		// A post-change write landing exactly at the bound: the closest
+		// legal state to a fabrication, and the consistency event the
+		// paper measures.
+		o.cov.NearMisses[InvVersionBound]++
 	}
 }
 
 // MessageSent implements netsim.Tracer.
 func (o *Oracle) MessageSent(t sim.Time, m *netsim.Message) {
-	if at, ok := o.retiredAt[m.From]; ok && t > at+sim.Time(o.cfg.RetireGrace) {
-		o.violate(InvRetiredSilence, m.From,
-			"retired node transmits %s %.3fs after departure", m.Kind, (t - at).Sec())
+	if at, ok := o.retiredAt[m.From]; ok {
+		if t > at+sim.Time(o.cfg.RetireGrace) {
+			o.violate(InvRetiredSilence, m.From,
+				"retired node transmits %s %.3fs after departure", m.Kind, (t - at).Sec())
+		} else {
+			// Every in-grace frame is the redundancy train running down;
+			// the remaining grace is the margin.
+			o.cov.Slack[InvRetiredSilence][slackBucket(o.cfg.RetireGrace-sim.Duration(t-at))]++
+			o.cov.NearMisses[InvRetiredSilence]++
+		}
 	}
 	switch p := m.Payload.(type) {
 	case discovery.Announce:
@@ -392,11 +472,20 @@ func (o *Oracle) MessageSent(t sim.Time, m *netsim.Message) {
 		}
 	case discovery.RenewAck:
 		key := leaseKey{holder: m.From, renewer: m.To, manager: p.Manager}
-		if expiry, ok := o.leases[key]; ok && t > expiry+sim.Time(o.cfg.PurgeSlack) {
-			o.violate(InvLeasePurge, m.From,
-				"RenewAck to node %d for Manager %d a lease that expired %.3fs ago (never purged)",
-				m.To, p.Manager, (t - expiry).Sec())
-			delete(o.leases, key) // report each dead lease once
+		if expiry, ok := o.leases[key]; ok {
+			if t > expiry+sim.Time(o.cfg.PurgeSlack) {
+				o.violate(InvLeasePurge, m.From,
+					"RenewAck to node %d for Manager %d a lease that expired %.3fs ago (never purged)",
+					m.To, p.Manager, (t - expiry).Sec())
+				delete(o.leases, key) // report each dead lease once
+			} else {
+				o.cov.Slack[InvLeasePurge][slackBucket(sim.Duration(expiry-t))]++
+				if t > expiry {
+					// Acknowledged inside PurgeSlack: legal only thanks
+					// to the grace — the purge is losing the race.
+					o.cov.NearMisses[InvLeasePurge]++
+				}
+			}
 		}
 	}
 }
@@ -441,10 +530,23 @@ func (o *Oracle) probeCentral() {
 	now := o.k.Now()
 	live := 0
 	var last netsim.NodeID = netsim.NoNode
+	var freshest sim.Time
 	for id, at := range o.claims {
 		if now-at <= sim.Time(o.cfg.CentralWindow) {
 			live++
 			last = id
+			if at > freshest {
+				freshest = at
+			}
+		}
+	}
+	if live == 1 {
+		age := sim.Duration(now - freshest)
+		o.cov.Slack[InvSingleCentral][slackBucket(o.cfg.CentralWindow-age)]++
+		if 2*age > o.cfg.CentralWindow {
+			// Converged, but the surviving claim is going stale: the
+			// election is closer to "no Central" than the verdict shows.
+			o.cov.NearMisses[InvSingleCentral]++
 		}
 	}
 	switch {

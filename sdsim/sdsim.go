@@ -262,3 +262,26 @@ func DefaultOracleConfig(sys System) OracleConfig { return verify.DefaultOracleC
 func ObserveRun(spec RunSpec, cfg OracleConfig) (OracleReport, RunResult) {
 	return verify.ObserveRun(spec, cfg)
 }
+
+// Re-exported declarative scenario specs — the JSON currency shared by
+// sdsweep, sdverify and the chaos hunter (internal/hunt): one file
+// describes topology, λ, churn, partitions, link conditioning, flash
+// crowds and rack failures, and replays deterministically by its seed.
+type (
+	// ScenarioSpec is the JSON-serializable form of one scenario.
+	ScenarioSpec = experiment.ScenarioSpec
+	// FlashCrowd is one scheduled arrival spike (Params.FlashCrowds).
+	FlashCrowd = experiment.FlashCrowd
+	// RackPlanConfig schedules correlated rack-level interface outages
+	// (Params.RackFailures).
+	RackPlanConfig = netsim.RackPlanConfig
+	// OracleCoverage is the oracle's behavioral near-miss/slack signal.
+	OracleCoverage = verify.OracleCoverage
+)
+
+// ParseSpec decodes one scenario spec strictly: unknown fields are
+// errors, and the spec is validated with field-path diagnostics.
+func ParseSpec(r io.Reader) (*ScenarioSpec, error) { return experiment.ParseSpec(r) }
+
+// LoadSpec reads and parses a scenario spec file.
+func LoadSpec(path string) (*ScenarioSpec, error) { return experiment.LoadSpec(path) }
