@@ -14,7 +14,7 @@ BENCH_PR ?= 5
 BENCH_BASELINE ?= BENCH_4.json
 COVER_FLOOR ?= 70
 
-.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke hunt-smoke clean
+.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke hunt-smoke harden-smoke clean
 
 check: vet build race
 
@@ -48,11 +48,11 @@ bench-gate:
 	  $(GO) run ./cmd/benchjson -check -baseline BENCH_$(BENCH_PR).json
 
 # Coverage floor for the oracle, the conditioned network, the trace
-# layer and the chaos hunter: the packages whose correctness everything
-# else leans on must stay ≥ $(COVER_FLOOR)% statement coverage
-# (CI-enforced).
+# layer, the chaos hunter and the hardening layer: the packages whose
+# correctness everything else leans on must stay ≥ $(COVER_FLOOR)%
+# statement coverage (CI-enforced).
 cover-floor:
-	@set -e; for pkg in ./internal/verify ./internal/netsim ./internal/trace ./internal/hunt; do \
+	@set -e; for pkg in ./internal/verify ./internal/netsim ./internal/trace ./internal/hunt ./internal/harden; do \
 	  pct=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 	  echo "$$pkg coverage: $$pct%"; \
 	  awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' || \
@@ -87,6 +87,26 @@ hunt-smoke:
 	$(GO) build -race -o $$tmp/sdhunt ./cmd/sdhunt; \
 	$$tmp/sdhunt -budget 60s -seed 1 -out $$tmp/hunted -report $$tmp/report.json || [ $$? -eq 1 ]; \
 	$$tmp/sdhunt -replay internal/hunt/testdata
+
+# Hardening smoke test (CI-enforced): replay the committed fixture sets
+# race-built — the hunted baselines must still exhibit their recorded
+# violations AND their hardened counterparts must replay clean — then
+# one hardened 4-shard live pass: sdlived with the full hardening layer
+# on, driven by sdload with per-request timeouts and jittered retries,
+# failing on any client error, race or oracle violation.
+harden-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -race -o $$tmp/sdhunt ./cmd/sdhunt; \
+	$$tmp/sdhunt -replay internal/hunt/testdata; \
+	$(GO) build -race -o $$tmp/sdlived ./cmd/sdlived; \
+	$(GO) build -race -o $$tmp/sdload ./cmd/sdload; \
+	$$tmp/sdlived -system frodo2p -harden -shards 4 -users 1000 -dilation 0.002 -addr 127.0.0.1:0 -addr-file $$tmp/addr & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "sdlived never published its address"; exit 1; }; \
+	$$tmp/sdload -addr $$(cat $$tmp/addr) -clients 100 -duration 5s -retries 4 -retry-base 50ms -oracle -quiet; \
+	kill $$pid; \
+	wait $$pid || { echo "sdlived exited nonzero (race detected or oracle violation)"; exit 1; }
 
 # Sharded-fabric smoke test (CI-enforced): a 4-shard N=10k FRODO run
 # under the race detector with the per-shard consistency oracles

@@ -13,6 +13,8 @@
 //	sdhunt -budget 60s -seed 1            # hunt for one budgeted minute
 //	sdhunt -iters 50 -systems frodo2p     # iteration-capped, one system
 //	sdhunt -budget 60s -out hunted/       # write fixtures + corpus specs
+//	sdhunt -budget 60s -corpus hunted/corpus  # resume from a committed corpus
+//	sdhunt -budget 60s -harden            # hunt with the hardening layer on
 //	sdhunt -replay internal/hunt/testdata # replay every committed fixture
 //
 // Exit status: 0 — clean hunt or all replays pass; 1 — violations
@@ -42,6 +44,8 @@ func main() {
 		out     = flag.String("out", "", "directory to write finding fixtures and the corpus into")
 		report  = flag.String("report", "", "also write the JSON report to this file (always printed to stdout)")
 		replay  = flag.String("replay", "", "replay every *.json fixture in this directory instead of hunting")
+		corpus  = flag.String("corpus", "", "seed the hunt with every *.json spec in this directory (resume from a committed corpus)")
+		harden  = flag.Bool("harden", false, "hunt with the full protocol-hardening layer on (find what the layer does NOT close)")
 		verbose = flag.Bool("v", false, "log hunt progress to stderr")
 	)
 	flag.Parse()
@@ -58,6 +62,15 @@ func main() {
 		Seed:   *seed,
 		Budget: int64(budget.Seconds() * hunt.CostPerWallSecond),
 		Iters:  *iters,
+		Harden: *harden,
+	}
+	if *corpus != "" {
+		specs, err := loadCorpus(*corpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdhunt: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Corpus = specs
 	}
 	if *systems != "" {
 		for _, name := range strings.Split(*systems, ",") {
@@ -136,6 +149,28 @@ func writeOutputs(h *hunt.Hunter, dir string, rep *hunt.Report) error {
 		}
 	}
 	return nil
+}
+
+// loadCorpus reads every *.json bare spec under dir (the layout -out
+// writes to <out>/corpus/), in sorted order for determinism.
+func loadCorpus(dir string) ([]*experiment.ScenarioSpec, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no corpus specs under %s", dir)
+	}
+	var specs []*experiment.ScenarioSpec
+	for _, path := range paths {
+		spec, err := experiment.LoadSpec(path)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }
 
 // replayDir loads and replays every fixture under dir, reporting each

@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/discovery"
 	"repro/internal/experiment"
 	"repro/internal/live"
 	"repro/internal/verify"
@@ -35,6 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "kernel seed")
 		dilation = flag.Float64("dilation", 0.001, "wall seconds per virtual second (0.001 = 1000× faster than real time)")
 		loss     = flag.Float64("loss", 0, "i.i.d. per-frame loss probability")
+		harden   = flag.Bool("harden", false, "serve with the full protocol-hardening layer on")
 		shards   = flag.Int("shards", 0, "partition the fabric across this many parallel shards (0/1 = single fabric; ≥2 is FRODO-only)")
 		noOracle = flag.Bool("no-oracle", false, "serve without the consistency oracle attached")
 
@@ -70,10 +72,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	opts := experiment.Options{Loss: *loss}
+	if *harden {
+		opts.Harden = discovery.HardenAll()
+	}
 	cfg := live.Config{
 		System:   sys,
 		Topology: topo,
-		Options:  experiment.Options{Loss: *loss},
+		Options:  opts,
 		Seed:     *seed,
 		Dilation: *dilation,
 		Shards:   *shards,

@@ -12,15 +12,24 @@
 //
 //	sdload -addr 127.0.0.1:8460 -clients 1000 -duration 30s
 //	sdload -addr $(cat .addr) -clients 200 -duration 5s -oracle
+//	sdload -req-timeout 5s -retries 4 -retry-base 50ms   # bounded, jittered retries
+//
+// Every request runs under -req-timeout and is retried up to -retries
+// times with decorrelated-jitter backoff; failed attempts are classified
+// (timeout vs connection-refused vs transport) in the final report.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/live"
@@ -32,6 +41,58 @@ type counters struct {
 	errors                          atomic.Uint64
 	notifyMisses                    atomic.Uint64
 	discovered                      atomic.Uint64
+	// Per-attempt error classes: a request that times out twice and then
+	// succeeds contributes 2 to timeouts and 0 to errors.
+	timeouts, refused, transport atomic.Uint64
+	retries                      atomic.Uint64
+}
+
+// classify buckets one failed attempt: timeout (the per-request deadline
+// fired), refused (the daemon is down or its accept queue is full), or
+// transport (every other connection-level failure).
+func (c *counters) classify(err error) {
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		c.timeouts.Add(1)
+	case errors.Is(err, syscall.ECONNREFUSED):
+		c.refused.Add(1)
+	default:
+		c.transport.Add(1)
+	}
+}
+
+// retrier reruns one request under the retry budget, classifying every
+// failed attempt and sleeping a decorrelated-jitter backoff between
+// attempts (U[base, 3·prev], capped at 32·base) so a herd of clients
+// hitting the same stall desynchronizes instead of re-stampeding.
+type retrier struct {
+	c        *counters
+	attempts int
+	base     time.Duration
+	rng      *rand.Rand
+}
+
+func (r *retrier) do(f func() error) error {
+	prev := r.base
+	for attempt := 1; ; attempt++ {
+		err := f()
+		if err == nil {
+			return nil
+		}
+		r.c.classify(err)
+		if attempt >= r.attempts {
+			return err
+		}
+		r.c.retries.Add(1)
+		hi, lo := 3*prev, r.base
+		if max := 32 * r.base; hi > max {
+			hi = max
+		}
+		sleep := lo + time.Duration(r.rng.Int63n(int64(hi-lo)+1))
+		time.Sleep(sleep)
+		prev = sleep
+	}
 }
 
 func main() {
@@ -41,12 +102,19 @@ func main() {
 		duration   = flag.Duration("duration", 10*time.Second, "per-client measurement duration, anchored after its service is discovered")
 		discWait   = flag.Duration("discovery-wait", 60*time.Second, "max wall time for a client's service to be discovered")
 		notifyWait = flag.Duration("notify-wait", 10*time.Second, "max wall time for one pushed notification")
+		reqTimeout = flag.Duration("req-timeout", 30*time.Second, "per-request timeout (classified as a timeout error when it fires)")
+		retries    = flag.Int("retries", 3, "attempts per request before giving up (1 = no retry)")
+		retryBase  = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; jittered, capped at 32x")
 		oracle     = flag.Bool("oracle", false, "fetch /v1/oracle at the end and fail on violations")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 	if *clients <= 0 {
 		fmt.Fprintln(os.Stderr, "sdload: -clients must be positive")
+		os.Exit(2)
+	}
+	if *retries < 1 || *retryBase <= 0 || *reqTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "sdload: -retries must be ≥ 1, -retry-base and -req-timeout positive")
 		os.Exit(2)
 	}
 
@@ -60,7 +128,7 @@ func main() {
 	// One shared transport: the connection pool is the scarce resource,
 	// not the Client structs.
 	tr := &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512}
-	hc := &http.Client{Timeout: 60 * time.Second, Transport: tr}
+	hc := &http.Client{Timeout: *reqTimeout, Transport: tr}
 
 	var c counters
 	var wg sync.WaitGroup
@@ -70,7 +138,9 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			runClient(i, live.NewClientWith(*addr, hc), hub, &c, *duration, *discWait, *notifyWait)
+			rt := &retrier{c: &c, attempts: *retries, base: *retryBase,
+				rng: rand.New(rand.NewSource(int64(i)))}
+			runClient(i, live.NewClientWith(*addr, hc), hub, &c, rt, *duration, *discWait, *notifyWait)
 		}(i)
 	}
 	go func() { wg.Wait(); close(allDone) }()
@@ -100,6 +170,8 @@ func main() {
 	fmt.Printf("  discovered:   %d/%d\n", c.discovered.Load(), *clients)
 	fmt.Printf("  ops:          %d (%.0f ops/s)\n", ops, float64(ops)/elapsed.Seconds())
 	fmt.Printf("  errors:       %d, notify misses: %d\n", c.errors.Load(), c.notifyMisses.Load())
+	fmt.Printf("  err classes:  timeout %d, refused %d, transport %d (per attempt; %d retried)\n",
+		c.timeouts.Load(), c.refused.Load(), c.transport.Load(), c.retries.Load())
 	fmt.Printf("  register:     %s\n", c.register.Summary())
 	fmt.Printf("  query:        %s\n", c.query.Summary())
 	fmt.Printf("  update:       %s\n", c.update.Summary())
@@ -132,7 +204,7 @@ func main() {
 // runClient is one external participant's life: register, attach,
 // subscribe, discover, then the steady-state update/query loop for
 // duration, anchored at this client's own discovery completion.
-func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, duration,
+func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, rt *retrier, duration,
 	discWait, notifyWait time.Duration) {
 
 	service := fmt.Sprintf("LoadSvc-%d", i)
@@ -142,8 +214,13 @@ func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, duratio
 	}
 
 	t := time.Now()
-	mgr, err := cl.Register(live.ServiceSpec{Device: "LoadDev", Service: service,
-		Attrs: map[string]string{"Client": fmt.Sprint(i)}})
+	var mgr int
+	err := rt.do(func() error {
+		var e error
+		mgr, e = cl.Register(live.ServiceSpec{Device: "LoadDev", Service: service,
+			Attrs: map[string]string{"Client": fmt.Sprint(i)}})
+		return e
+	})
 	if err != nil {
 		fatal("register", err)
 		return
@@ -151,14 +228,19 @@ func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, duratio
 	c.register.Observe(time.Since(t))
 	c.ops.Add(1)
 
-	user, err := cl.Attach(live.ServiceQuery{Service: service})
+	var user int
+	err = rt.do(func() error {
+		var e error
+		user, e = cl.Attach(live.ServiceQuery{Service: service})
+		return e
+	})
 	if err != nil {
 		fatal("attach", err)
 		return
 	}
 	c.ops.Add(1)
 	notes := hub.Chan(user)
-	if err := cl.Subscribe(user, hub.Addr()); err != nil {
+	if err := rt.do(func() error { return cl.Subscribe(user, hub.Addr()) }); err != nil {
 		fatal("subscribe", err)
 		return
 	}
@@ -170,7 +252,12 @@ func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, duratio
 	deadline := time.Now().Add(discWait)
 	for {
 		t = time.Now()
-		recs, err := cl.Query(user)
+		var recs []live.Record
+		err := rt.do(func() error {
+			var e error
+			recs, e = cl.Query(user)
+			return e
+		})
 		if err != nil {
 			fatal("query", err)
 			return
@@ -195,7 +282,12 @@ func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, duratio
 		// version — the end-to-end propagation latency through the
 		// simulated fabric.
 		t = time.Now()
-		v, err := cl.Update(mgr, map[string]string{"Seq": fmt.Sprint(version + 1)})
+		var v uint64
+		err := rt.do(func() error {
+			var e error
+			v, e = cl.Update(mgr, map[string]string{"Seq": fmt.Sprint(version + 1)})
+			return e
+		})
 		if err != nil {
 			fatal("update", err)
 			return
@@ -222,7 +314,7 @@ func runClient(i int, cl *live.Client, hub *live.NotifyHub, c *counters, duratio
 		}
 
 		t = time.Now()
-		if _, err := cl.Query(user); err != nil {
+		if err := rt.do(func() error { _, e := cl.Query(user); return e }); err != nil {
 			fatal("query", err)
 			return
 		}

@@ -13,6 +13,8 @@
 //	sdsweep -figure loss         # extension: message-loss failure model
 //	sdsweep -figure adversarial  # extension: burst vs i.i.d. loss at equal rate
 //	sdsweep -figure shard -shards 8 -users 100000   # sharded-fabric speedup table
+//	sdsweep -figure hardening    # extension: baseline vs hardened under the hunted fault mix
+//	sdsweep -figure 4 -harden    # any figure with the protocol-hardening layer on
 //
 // Adversarial network knobs (apply to figures 4-6 and scale):
 //
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: 4|5|6|7|loss|polling|scale|shard|all")
+		figure  = flag.String("figure", "all", "figure to regenerate: 4|5|6|7|loss|polling|scale|shard|hardening|all")
 		runs    = flag.Int("runs", 30, "runs per (system, λ) point (X in the paper)")
 		seed    = flag.Int64("seed", 1, "base seed for the whole sweep")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -62,13 +64,15 @@ func main() {
 		delaySigma = flag.Float64("delay-sigma", 0, "lognormal shape for -delay-dist lognormal (0 = 1.0)")
 		delayAlpha = flag.Float64("delay-alpha", 0, "Pareto tail exponent for -delay-dist pareto (0 = 1.5)")
 		partition  = flag.String("partition", "", "bisect the population: start:duration in virtual seconds, e.g. 3000:4000")
+
+		hardenOn = flag.Bool("harden", false, "enable the full protocol-hardening layer for every run")
 	)
 	flag.Parse()
 
 	// Validate before the profilers start: an os.Exit on a bad flag must
 	// not leave a started-but-unflushed (truncated) CPU profile behind.
 	switch *figure {
-	case "4", "5", "6", "7", "loss", "polling", "scale", "adversarial", "all":
+	case "4", "5", "6", "7", "loss", "polling", "scale", "adversarial", "hardening", "all":
 	case "shard":
 		if *shards < 2 {
 			fmt.Fprintf(os.Stderr, "-figure shard needs -shards ≥ 2, got %d\n", *shards)
@@ -80,6 +84,10 @@ func main() {
 	}
 	if *shards != 0 && *figure != "shard" {
 		fmt.Fprintf(os.Stderr, "-shards applies to -figure shard only\n")
+		os.Exit(2)
+	}
+	if *hardenOn && *figure == "hardening" {
+		fmt.Fprintf(os.Stderr, "-figure hardening already runs both modes; drop -harden\n")
 		os.Exit(2)
 	}
 
@@ -197,6 +205,9 @@ func main() {
 		Arrivals:    *arrivals,
 	}
 	params.Partitions = partitions
+	if *hardenOn {
+		params.Hardening = sdsim.HardenAll()
+	}
 
 	if *scenario != "" {
 		// The shared spec codec: strict decoding, field-path validation.
@@ -212,6 +223,9 @@ func main() {
 		params.BaseSeed = *seed
 		params.Lambdas = sdsim.DefaultLambdas()
 		linkOpts = spec.Options()
+		if *hardenOn {
+			params.Hardening = sdsim.HardenAll()
+		}
 	}
 
 	progress := func(done, total int) {
@@ -273,6 +287,8 @@ func main() {
 		emit(shardTable(params, linkOpts, *shards, *quiet))
 	case "adversarial":
 		emit(sdsim.FigureAdversarial(params, *workers, progress))
+	case "hardening":
+		emit(sdsim.FigureHardening(params, *runs, *workers, progress))
 	case "all":
 		emit(sdsim.Figure4(main))
 		chart(sdsim.MetricEffectiveness)

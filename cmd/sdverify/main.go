@@ -16,6 +16,7 @@
 //
 //	sdverify                          # summary table
 //	sdverify -violations              # also list every violating scenario
+//	sdverify -harden                  # the grid with the hardening layer on
 //	sdverify -scenario spec.json      # oracle-audit one scenario, all systems
 //	sdverify -scenario fixture.json   # replay one hunted fixture
 package main
@@ -33,13 +34,17 @@ import (
 func main() {
 	listViolations := flag.Bool("violations", false, "list every violating scenario")
 	scenario := flag.String("scenario", "", "audit this scenario spec or hunted fixture instead of the outage grid")
+	harden := flag.Bool("harden", false, "enable the full protocol-hardening layer")
 	flag.Parse()
 
 	if *scenario != "" {
-		os.Exit(auditScenario(*scenario, *listViolations))
+		os.Exit(auditScenario(*scenario, *harden, *listViolations))
 	}
 
 	grid := sdsim.DefaultGuaranteeGrid()
+	if *harden {
+		grid.Harden = sdsim.HardenAll()
+	}
 	fmt.Println("Configuration Update Principles — single-outage scenario grid")
 	fmt.Printf("(change at %.0fs, horizon %.0fs, %.0fs recovery slack)\n\n",
 		grid.ChangeAt.Sec(), float64(grid.Horizon)/1e9, float64(grid.RecoverySlack)/1e9)
@@ -65,7 +70,7 @@ func main() {
 
 // auditScenario runs one spec (or hunted fixture) through the oracle.
 // Exit status mirrors the grid checker: 0 all clean, 1 violations.
-func auditScenario(path string, listViolations bool) int {
+func auditScenario(path string, harden, listViolations bool) int {
 	// A fixture wraps its spec under "scenario"; a bare spec has no such
 	// key. Peek instead of guessing from the error message.
 	raw, err := os.ReadFile(path)
@@ -82,6 +87,12 @@ func auditScenario(path string, listViolations bool) int {
 	}
 
 	if probe.Scenario != nil {
+		if harden {
+			// A fixture pins its own hardened flag — its expectation was
+			// recorded for that mode and means nothing under another.
+			fmt.Fprintf(os.Stderr, "%s is a fixture; it pins its own hardened flag, drop -harden\n", path)
+			return 2
+		}
 		fx, err := hunt.LoadFixture(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -101,6 +112,9 @@ func auditScenario(path string, listViolations bool) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
+	}
+	if harden {
+		spec.Hardened = true
 	}
 	fmt.Printf("Run-time consistency oracle — scenario %s (seed %d)\n\n", path, spec.Seed)
 	fmt.Printf("%-34s  %s\n", "system", "oracle report")

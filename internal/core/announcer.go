@@ -17,6 +17,7 @@ type Announcer struct {
 	copies int
 	make   func() netsim.Outgoing
 	tick   *sim.Ticker
+	gate   func() bool
 }
 
 // NewAnnouncer creates a stopped announcer.
@@ -45,6 +46,18 @@ func (a *Announcer) AnnounceNow() { a.announce() }
 // Rearm resets the announcer for workspace reuse after a Kernel.Reset.
 func (a *Announcer) Rearm() { a.tick.Rearm() }
 
+// SetGate installs a predicate consulted before each train: when it
+// returns false the train is skipped (the schedule keeps ticking). The
+// hardening layer uses it to silence a Central whose own interface is
+// down — with a dead transmitter the frames would be dropped anyway, and
+// with a dead receiver the node cannot hear requests or a stronger rival,
+// so either way skipping the train keeps the node's advertised claim
+// honest. A nil gate (the default) never skips.
+func (a *Announcer) SetGate(gate func() bool) { a.gate = gate }
+
 func (a *Announcer) announce() {
+	if a.gate != nil && !a.gate() {
+		return
+	}
 	a.nw.Multicast(a.from, a.group, a.make(), a.copies)
 }

@@ -17,6 +17,13 @@ type RetryPolicy struct {
 	// Limit is the maximum number of transmissions including the first;
 	// zero means unlimited.
 	Limit int
+	// Cap, when positive, replaces the fixed spacing with capped
+	// decorrelated jitter (see Backoff): the first gap stays near
+	// Interval, later gaps spread out in [Interval, min(Cap, 3·prev)),
+	// drawn from the kernel RNG. Zero keeps the paper's periodic
+	// schedule and draws nothing — the hardening layer is the only
+	// code that sets it.
+	Cap sim.Duration
 }
 
 // Retry drives one acknowledged transmission: it sends immediately on
@@ -32,9 +39,10 @@ type Retry struct {
 	send        func(attempt int)
 	onExhausted func()
 
-	sent   int
-	timer  *sim.Event
-	active bool
+	sent    int
+	timer   *sim.Event
+	active  bool
+	prevGap sim.Duration // last jittered gap when policy.Cap > 0
 }
 
 // NewRetry builds a retry engine. send transmits one attempt (1-based);
@@ -58,6 +66,7 @@ func (r *Retry) Init(k *sim.Kernel, policy RetryPolicy, send func(attempt int), 
 	r.sent = 0
 	r.timer = nil
 	r.active = false
+	r.prevGap = 0
 }
 
 // SetPolicy replaces the schedule used by future Starts.
@@ -77,7 +86,30 @@ func (r *Retry) Start() {
 	r.Stop()
 	r.active = true
 	r.sent = 0
+	r.prevGap = 0
 	r.attempt()
+}
+
+// nextGap computes the delay before the following attempt: the policy's
+// fixed Interval, or a capped decorrelated-jitter gap when Cap is set.
+func (r *Retry) nextGap() sim.Duration {
+	if r.policy.Cap <= 0 {
+		return r.policy.Interval
+	}
+	lo := r.policy.Interval
+	hi := 3 * r.prevGap
+	if r.prevGap == 0 {
+		hi = 2 * lo
+	}
+	if hi > r.policy.Cap {
+		hi = r.policy.Cap
+	}
+	gap := lo
+	if hi > lo {
+		gap = r.k.UniformDuration(lo, hi)
+	}
+	r.prevGap = gap
+	return gap
 }
 
 func (r *Retry) attempt() {
@@ -99,7 +131,7 @@ func (r *Retry) attempt() {
 	}
 	r.sent++
 	r.send(r.sent)
-	r.timer = r.k.AfterArg(r.policy.Interval, retryFire, r)
+	r.timer = r.k.AfterArg(r.nextGap(), retryFire, r)
 }
 
 // Stop halts retransmission: the acknowledgement arrived, the
@@ -117,6 +149,7 @@ func (r *Retry) Rearm() {
 	r.active = false
 	r.timer = nil
 	r.sent = 0
+	r.prevGap = 0
 }
 
 // Active reports whether the schedule is still running.

@@ -1,0 +1,41 @@
+package discovery
+
+// Hardening toggles the protocol-hardening layer (internal/harden): four
+// independent mechanisms, one per hunted failure class, each closing a
+// consistency gap the chaos hunter proved reachable under realistic
+// faults. The zero value is the paper-faithful baseline — every default
+// run, golden sweep and benchmark replays bit-identically with hardening
+// off.
+type Hardening struct {
+	// StrictLease makes lease holders refuse renewals that arrive at or
+	// after the lease expiry (the renewer must re-register in full), and
+	// forbids the silent repository heals that re-create leases no
+	// renewal ever established on the wire. Closes the unbounded
+	// lease-purge findings.
+	StrictLease bool
+	// JitterRetry replaces fixed retry spacing with capped decorrelated
+	// jitter drawn from the kernel RNG (deterministic per seed), and
+	// bounds TCP data retransmission (attempt cap + RTO ceiling), so a
+	// burst-loss window cannot convert one lost frame into an unbounded
+	// retransmission tail.
+	JitterRetry bool
+	// RetireBye has retiring nodes emit a best-effort Bye frame that
+	// peers evict on, and aborts their in-flight TCP transfers, so a
+	// departed node never transmits again. Closes the retired-silence
+	// zombies.
+	RetireBye bool
+	// CentralRepair fixes the FRODO election's liveness gaps: a demoted
+	// Central retracts its claim with a Bye, a sitting Central reasserts
+	// against weaker claims, announcements pause while the Central's own
+	// transmitter is down (resuming immediately on recovery), and the
+	// election re-arms with backoff while no Central is reachable.
+	CentralRepair bool
+}
+
+// HardenAll enables every hardening mechanism.
+func HardenAll() Hardening {
+	return Hardening{StrictLease: true, JitterRetry: true, RetireBye: true, CentralRepair: true}
+}
+
+// Enabled reports whether any mechanism is on.
+func (h Hardening) Enabled() bool { return h != Hardening{} }

@@ -95,6 +95,22 @@ func (t *LeaseTable[K, V]) Renew(key K, lease sim.Duration) bool {
 	return true
 }
 
+// RenewStrict extends an existing entry's lease only while the lease is
+// still live: a renewal processed at or after the expiry instant is
+// refused even if the purge callback has not fired yet (kernel event
+// ordering can deliver a renewal and the expiry at the same timestamp in
+// either order). Hardened holders use this instead of Renew so the
+// renewal/purge race always resolves toward re-registration, keeping the
+// holder's view and the oracle's lease ledger in lockstep.
+func (t *LeaseTable[K, V]) RenewStrict(key K, lease sim.Duration) bool {
+	e, ok := t.entries[key]
+	if !ok || t.k.Now() >= e.deadline.When() {
+		return false
+	}
+	e.deadline.SetAfter(lease)
+	return true
+}
+
 // Get returns the live value for key.
 func (t *LeaseTable[K, V]) Get(key K) (V, bool) {
 	e, ok := t.entries[key]

@@ -130,6 +130,74 @@ func TestLeaseTableEachAndKeys(t *testing.T) {
 	}
 }
 
+func TestLeaseTableRenewStrictJustBeforeExpiry(t *testing.T) {
+	k := sim.New(1)
+	expired := 0
+	tbl := NewLeaseTable[string, int](k, func(string, int) { expired++ })
+	tbl.Put("a", 1, 10*sim.Second)
+	k.At(10*sim.Second-1, func() {
+		if !tbl.RenewStrict("a", 10*sim.Second) {
+			t.Error("strict renewal one tick before expiry refused")
+		}
+	})
+	k.Run(15 * sim.Second)
+	if expired != 0 {
+		t.Fatal("entry expired despite an in-time strict renewal")
+	}
+}
+
+func TestLeaseTableRenewStrictAtExpiryRefused(t *testing.T) {
+	k := sim.New(1)
+	expired := 0
+	tbl := NewLeaseTable[string, int](k, func(string, int) { expired++ })
+	// The renewal is scheduled before Put arms the deadline, so at t=10s
+	// the kernel's FIFO tie-break delivers it first: the entry is still
+	// present, but the lease is spent. Strict must refuse, and the purge
+	// must still fire at the same instant.
+	renewed := true
+	k.At(10*sim.Second, func() { renewed = tbl.RenewStrict("a", 10*sim.Second) })
+	tbl.Put("a", 1, 10*sim.Second)
+	k.Run(20 * sim.Second)
+	if renewed {
+		t.Error("strict renewal at the expiry instant succeeded")
+	}
+	if expired != 1 {
+		t.Errorf("expirations = %d, want 1 — a refused renewal must not keep the entry alive", expired)
+	}
+}
+
+func TestLeaseTableRenewRacingPurge(t *testing.T) {
+	// The same race through the un-hardened Renew: delivered at the
+	// expiry instant ahead of the purge event, it extends the lease and
+	// the purge never fires. This is the baseline behavior the hunted
+	// lease-purge fixtures pin down — and what StrictLease turns off.
+	k := sim.New(1)
+	expired := 0
+	tbl := NewLeaseTable[string, int](k, func(string, int) { expired++ })
+	lax := false
+	k.At(10*sim.Second, func() { lax = tbl.Renew("a", 10*sim.Second) })
+	tbl.Put("a", 1, 10*sim.Second)
+	k.Run(15 * sim.Second)
+	if !lax {
+		t.Error("lax renewal at the expiry instant refused — the documented race is gone?")
+	}
+	if expired != 0 {
+		t.Errorf("expirations = %d: the lax renewal should have kept the entry alive", expired)
+	}
+	k.Run(25 * sim.Second)
+	if expired != 1 {
+		t.Errorf("expirations = %d, want 1 at the extended deadline", expired)
+	}
+}
+
+func TestLeaseTableRenewStrictAbsentFails(t *testing.T) {
+	k := sim.New(1)
+	tbl := NewLeaseTable[string, int](k, nil)
+	if tbl.RenewStrict("ghost", sim.Second) {
+		t.Error("strict renewal of an absent entry succeeded")
+	}
+}
+
 // Property: an entry expires exactly once, never fires after Drop, and
 // Get never returns an expired value — for arbitrary interleavings of
 // put/renew/drop operations at arbitrary times.

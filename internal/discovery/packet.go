@@ -164,6 +164,15 @@ type ManagerGone struct {
 	Manager netsim.NodeID
 }
 
+// Bye is a best-effort goodbye, only emitted under Hardening: a retiring
+// node deregisters itself (peers evict its leases immediately instead of
+// waiting for expiry), and a demoted FRODO Central retracts its Announce
+// claim (Role == RoleRegistry). Receivers handle Bye unconditionally —
+// baseline runs never send one, so the baseline wire trace is unchanged.
+type Bye struct {
+	Role Role
+}
+
 // Kind returns the wire-log name for a payload; protocols pass it as
 // netsim.Outgoing.Kind so traces and per-kind counters read naturally.
 func Kind(p any) string {
@@ -202,6 +211,8 @@ func Kind(p any) string {
 		return "ResubscribeRequest"
 	case ManagerGone, *ManagerGone:
 		return "ManagerGone"
+	case Bye, *Bye:
+		return "Bye"
 	default:
 		return "Unknown"
 	}

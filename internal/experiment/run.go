@@ -3,6 +3,7 @@ package experiment
 import (
 	"sort"
 
+	"repro/internal/discovery"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -61,6 +62,11 @@ type Params struct {
 	// exchange still in flight when the last User turns consistent are
 	// counted (see DESIGN.md).
 	EffortPad sim.Duration
+	// Hardening enables the protocol-hardening layer for every run built
+	// from these params; it is merged into the run's Options before the
+	// topology is built (an explicit Opts.Harden wins). Zero keeps the
+	// paper-faithful baseline bit-identical.
+	Hardening discovery.Hardening
 }
 
 // DefaultParams returns the paper's experiment design: 5 Users, 5400s
@@ -237,7 +243,11 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 	if topo.Users <= 0 {
 		topo.Users = spec.Params.Users
 	}
-	sc := buildTopology(ws, spec.System, k, topo, spec.Opts)
+	opts := spec.Opts
+	if !opts.Harden.Enabled() {
+		opts.Harden = spec.Params.Hardening
+	}
+	sc := buildTopology(ws, spec.System, k, topo, opts)
 	if spec.MakeTracer != nil {
 		sc.Net.SetTracer(spec.MakeTracer(sc.Net))
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/discovery"
 	"repro/internal/frodo"
+	"repro/internal/harden"
 	"repro/internal/jini"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -28,6 +29,10 @@ type Options struct {
 	// heavy-tailed delay, reordering); the zero value keeps the paper's
 	// idealized network. Burst loss and Loss are alternatives.
 	Link netsim.LinkConfig
+	// Harden enables the protocol-hardening layer (internal/harden) on
+	// every system built from these options. The zero value keeps the
+	// paper-faithful baseline bit-identical.
+	Harden discovery.Hardening
 }
 
 // netConfig resolves the network configuration the options produce.
@@ -252,7 +257,7 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 	if err != nil {
 		panic(fmt.Sprintf("experiment: invalid network options: %v", err))
 	}
-	key := scenarioKey{sys: sys, topo: topo, loss: opts.Loss, link: opts.Link, hasMutators: opts.hasMutators()}
+	key := scenarioKey{sys: sys, topo: topo, loss: opts.Loss, link: opts.Link, hasMutators: opts.hasMutators(), harden: opts.Harden}
 	if ws != nil && ws.reusable(key) {
 		return rearmTopology(ws, k, netCfg)
 	}
@@ -325,6 +330,7 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 		if opts.UPnP != nil {
 			opts.UPnP(&cfg)
 		}
+		harden.UPnP(&cfg, opts.Harden)
 		for j := 0; j < topo.Managers; j++ {
 			j := j
 			sd := printerSD()
@@ -370,6 +376,7 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 		if opts.Jini != nil {
 			opts.Jini(&cfg)
 		}
+		harden.Jini(&cfg, opts.Harden)
 		for i := 0; i < topo.Registries; i++ {
 			i := i
 			name := registryName(sys, i)
@@ -429,6 +436,7 @@ func buildTopology(ws *Workspace, sys System, k *sim.Kernel, topo Topology, opts
 		if opts.Frodo != nil {
 			opts.Frodo(&cfg)
 		}
+		harden.Frodo(&cfg, opts.Harden)
 		for i := 0; i < topo.Registries; i++ {
 			i := i
 			name := registryName(sys, i)

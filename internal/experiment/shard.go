@@ -413,7 +413,11 @@ func runSharded(spec RunSpec) metrics.RunResult {
 	if topo.Users <= 0 {
 		topo.Users = spec.Params.Users
 	}
-	ss, err := BuildSharded(spec.System, topo, spec.Opts, spec.Seed, spec.Shards, netsim.CrossLink{})
+	opts := spec.Opts
+	if !opts.Harden.Enabled() {
+		opts.Harden = spec.Params.Hardening
+	}
+	ss, err := BuildSharded(spec.System, topo, opts, spec.Seed, spec.Shards, netsim.CrossLink{})
 	if err != nil {
 		panic(fmt.Sprintf("experiment: %v", err))
 	}

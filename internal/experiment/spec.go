@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/discovery"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -54,6 +55,10 @@ type ScenarioSpec struct {
 	FlashCrowds []SpecFlashCrowd `json:"flash_crowds,omitempty"`
 	// RackFailures adds correlated rack-level outages.
 	RackFailures SpecRacks `json:"rack_failures,omitempty"`
+	// Hardened runs the scenario with the full protocol-hardening layer
+	// (discovery.HardenAll); hunted fixtures commit a hardened
+	// counterpart that must replay clean.
+	Hardened bool `json:"hardened,omitempty"`
 }
 
 // SpecWindow is a [start, end) time window in seconds.
@@ -343,7 +348,11 @@ func (s *ScenarioSpec) Options() Options {
 	dist, _ := netsim.ParseDelayDist(s.Link.DelayDist)
 	link.Delay = netsim.DelayConfig{Dist: dist, Sigma: s.Link.DelaySigma, Alpha: s.Link.DelayAlpha}
 	link.Reorder = netsim.ReorderConfig{Prob: s.Link.ReorderProb, Extra: secsDur(s.Link.ReorderExtraSec)}
-	return Options{Loss: s.Link.Loss, Link: link}
+	opts := Options{Loss: s.Link.Loss, Link: link}
+	if s.Hardened {
+		opts.Harden = discovery.HardenAll()
+	}
+	return opts
 }
 
 // RunSpec assembles one runnable spec for a system. The run inherits

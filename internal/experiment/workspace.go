@@ -3,6 +3,7 @@ package experiment
 import (
 	"sync"
 
+	"repro/internal/discovery"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -57,6 +58,7 @@ type scenarioKey struct {
 	loss        float64
 	link        netsim.LinkConfig
 	hasMutators bool
+	harden      discovery.Hardening
 }
 
 // NewWorkspace returns an empty workspace; capacity accretes over runs.

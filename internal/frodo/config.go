@@ -20,6 +20,7 @@ package frodo
 
 import (
 	"repro/internal/core"
+	"repro/internal/discovery"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -112,6 +113,11 @@ type Config struct {
 	CriticalUpdates bool
 	// Techniques enables recovery techniques; ablations flip bits.
 	Techniques core.TechniqueSet
+	// Harden enables the protocol-hardening mechanisms (strict lease
+	// enforcement, Central claim retraction and liveness repair,
+	// retire-time Bye frames); set via internal/harden. The zero value
+	// is the paper-faithful baseline.
+	Harden discovery.Hardening
 }
 
 // DefaultConfig returns the paper's FRODO parameters for 3-party

@@ -1,6 +1,7 @@
 package frodo
 
 import (
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -18,12 +19,21 @@ type elector struct {
 	bestPow int
 	window  *sim.Deadline
 	waitWin *sim.Deadline
+
+	// backoff (CentralRepair only) paces repeated elections that keep
+	// finding no reachable Central: a fixed retry keeps the whole cohort
+	// hammering in lockstep through a long outage, while decorrelated
+	// jitter spreads the candidacies and caps the re-arm gap.
+	backoff *core.Backoff
 }
 
 func newElector(nd *Node) *elector {
 	e := &elector{nd: nd}
 	e.window = sim.NewDeadline(nd.k, e.decide)
 	e.waitWin = sim.NewDeadline(nd.k, e.waitExpired)
+	if nd.cfg.Harden.CentralRepair {
+		e.backoff = core.NewBackoff(nd.k, nd.cfg.ElectionRetry, 8*nd.cfg.ElectionRetry)
+	}
 	return e
 }
 
@@ -46,6 +56,9 @@ func (e *elector) centralKnown() {
 	e.running = false
 	e.window.Clear()
 	e.waitWin.Clear()
+	if e.backoff != nil {
+		e.backoff.Reset()
+	}
 }
 
 // stop disarms the elector for good (node retirement). The jittered
@@ -59,6 +72,9 @@ func (e *elector) rearm() {
 	e.bestPow = 0
 	e.window.Rearm()
 	e.waitWin.Rearm()
+	if e.backoff != nil {
+		e.backoff.Reset()
+	}
 }
 
 func (e *elector) startElection() {
@@ -119,7 +135,11 @@ func (e *elector) decide() {
 		e.nd.registry.activate()
 		return
 	}
-	e.waitWin.SetAfter(e.nd.cfg.ElectionRetry)
+	wait := e.nd.cfg.ElectionRetry
+	if e.backoff != nil {
+		wait = e.backoff.Next()
+	}
+	e.waitWin.SetAfter(wait)
 }
 
 func (e *elector) waitExpired() {

@@ -324,7 +324,15 @@ func (m *ManagerRole) onSubscriptionRenew(from netsim.NodeID, p discovery.Renew)
 	if lease <= 0 {
 		lease = m.nd.cfg.SubscriptionLease
 	}
-	if m.subs.Renew(from, lease) {
+	renewed := false
+	if m.nd.cfg.Harden.StrictLease {
+		// Hardened holders refuse a renewal racing (or trailing) the
+		// purge; the User resubscribes via PR4 with fresh state.
+		renewed = m.subs.RenewStrict(from, lease)
+	} else {
+		renewed = m.subs.Renew(from, lease)
+	}
+	if renewed {
 		m.nd.nw.SendUDP(m.nd.n.ID, from, netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.RenewAck{}),
 			Counted: false, // lease upkeep, excluded from update effort
@@ -352,6 +360,14 @@ func (m *ManagerRole) onSubscriberAck(from netsim.NodeID, p discovery.UpdateAck)
 	if m.nd.cfg.CriticalUpdates {
 		m.history.Confirm(from, p.Version)
 	}
+}
+
+// onBye evicts a departing 2-party subscriber now instead of at lease
+// expiry: the retiring User said goodbye, so no notification retry or
+// SRN2 state should outlive it (the hunted zombie class).
+func (m *ManagerRole) onBye(from netsim.NodeID) {
+	m.subs.Drop(from)
+	m.onSubscriptionExpired(from, struct{}{})
 }
 
 // onSubscriptionExpired forgets the User entirely: SRN2 state is only

@@ -42,6 +42,18 @@ type Node struct {
 	// candidacies; the Central picks its Backup from it.
 	known300D map[netsim.NodeID]int
 
+	// txDown/rxDown mirror the node's interface state under CentralRepair:
+	// the Registry announcer is gated on them so a Central with a failed
+	// interface stops advertising a claim it cannot honour. A dead
+	// transmitter makes the claim a lie outright; a dead receiver is
+	// subtler — the node can still shout, but it cannot hear renewals,
+	// requests, or a stronger rival, so its advertisement only prolongs
+	// split-brain. ifaceHook is registered on every bind when
+	// CentralRepair is on.
+	txDown    bool
+	rxDown    bool
+	ifaceHook func(txUp, rxUp bool)
+
 	started bool
 	// detached marks a quiesced device (Detach): late events — notably a
 	// boot still pending when the device permanently departed — must not
@@ -64,6 +76,19 @@ func NewNode(n *netsim.Node, cfg Config, class Class, power int) *Node {
 	if class == Class300D {
 		nd.registry = newRegistryRole(nd)
 		nd.elector = newElector(nd)
+		if cfg.Harden.CentralRepair {
+			nd.ifaceHook = func(txUp, rxUp bool) {
+				wasGated := nd.txDown || nd.rxDown
+				nd.txDown = !txUp
+				nd.rxDown = !rxUp
+				if wasGated && txUp && rxUp && nd.IsCentral() {
+					// Fully back on the air: reassert the claim immediately
+					// so peers that elected around the silence demote.
+					nd.registry.announcer.AnnounceNow()
+				}
+			}
+			nd.registry.announcer.SetGate(func() bool { return !nd.txDown && !nd.rxDown })
+		}
 	}
 	nd.bind()
 	return nd
@@ -74,6 +99,9 @@ func NewNode(n *netsim.Node, cfg Config, class Class, power int) *Node {
 func (nd *Node) bind() {
 	nd.n.SetEndpoint(nd)
 	nd.nw.Join(nd.n.ID, DiscoveryGroup)
+	if nd.ifaceHook != nil {
+		nd.n.OnInterfaceChange(nd.ifaceHook)
+	}
 }
 
 // Rearm resets the whole device to its construction-time state for
@@ -98,6 +126,8 @@ func (nd *Node) Rearm() {
 	if nd.user != nil {
 		nd.user.rearm()
 	}
+	nd.txDown = false
+	nd.rxDown = false
 	nd.started = false
 	nd.detached = false
 	nd.bind()
@@ -234,6 +264,13 @@ func (nd *Node) setCentral(id netsim.NodeID, power int) {
 	// Competing claim: keep the more powerful Central (ties: higher ID).
 	if nd.central != netsim.NoNode {
 		if power < nd.centralPower || (power == nd.centralPower && id < nd.central) {
+			if nd.cfg.Harden.CentralRepair && nd.IsCentral() {
+				// Split-brain heal: a weaker rival Central just reached us.
+				// Baseline stays silent until the next periodic train, so
+				// both claims persist for up to an announce period;
+				// reasserting now makes the rival demote on first contact.
+				nd.registry.announcer.AnnounceNow()
+			}
 			return
 		}
 	}
@@ -265,6 +302,13 @@ func (nd *Node) onCentralTimeout() {
 		// We are the Central; our own belief needs no lease.
 		return
 	}
+	nd.centralGone()
+}
+
+// centralGone drops the current Central belief and resumes discovery.
+// Reached by lease expiry (onCentralTimeout) or, hardened, by the
+// Central's explicit Bye.
+func (nd *Node) centralGone() {
 	nd.central = netsim.NoNode
 	nd.centralPower = 0
 	if nd.manager != nil {
@@ -348,6 +392,29 @@ func (nd *Node) Deliver(msg *netsim.Message) {
 		if nd.user != nil {
 			nd.user.onManagerGone(msg.From, p)
 		}
+	case discovery.Bye:
+		nd.onBye(msg.From, p)
+	}
+}
+
+// onBye handles a hardened goodbye. A Registry Bye retracts the sender's
+// Central claim (demotion or retirement) — peers that believed it resume
+// discovery immediately instead of waiting out CentralTimeout. Any other
+// Bye is a departing Manager/User whose leases are evicted now. Handling
+// is unconditional: baseline runs never send a Bye.
+func (nd *Node) onBye(from netsim.NodeID, p discovery.Bye) {
+	if p.Role == discovery.RoleRegistry {
+		if from == nd.central && !nd.IsCentral() {
+			nd.centralLease.Clear()
+			nd.centralGone()
+		}
+		return
+	}
+	if nd.registry != nil {
+		nd.registry.onBye(from)
+	}
+	if nd.manager != nil {
+		nd.manager.onBye(from)
 	}
 }
 

@@ -38,6 +38,12 @@ type RegistryRole struct {
 
 	registrations *discovery.LeaseTable[netsim.NodeID, discovery.ServiceRecord]
 	subs          *discovery.LeaseTable[subKey, struct{}]
+	// provisional marks registrations seeded from Backup sync rather than
+	// established by a Register on the wire (StrictLease only). They serve
+	// queries, but renewals are refused until the Manager re-registers:
+	// the lease the Backup inherited was granted by the old Central, and a
+	// strict holder does not extend leases it never granted.
+	provisional map[netsim.NodeID]bool
 	// interests holds standing queries from Users ("Users receive
 	// notifications of new service registrations by explicitly
 	// requesting for service notification, when they first establish
@@ -84,6 +90,7 @@ func newRegistryRole(nd *Node) *RegistryRole {
 		retry = core.FrodoCriticalRetry
 	}
 	r.inconsistent = map[netsim.NodeID]*core.InconsistentSet{}
+	r.provisional = map[netsim.NodeID]bool{}
 	r.prop = newPropagator(nd.k, nd.nw, nd.n.ID, retry, r.onNotifyExhausted)
 	return r
 }
@@ -106,6 +113,7 @@ func (r *RegistryRole) rearm() {
 	for _, set := range r.inconsistent {
 		set.Reset()
 	}
+	clear(r.provisional)
 	r.searchRecs = nil
 	r.searchOut = netsim.Outgoing{}
 }
@@ -151,6 +159,9 @@ func (r *RegistryRole) activate() {
 	for _, rec := range r.backupRecs {
 		if _, ok := r.registrations.Get(rec.Manager); !ok {
 			r.registrations.Put(rec.Manager, rec, r.nd.cfg.RegistrationLease)
+			if r.nd.cfg.Harden.StrictLease {
+				r.provisional[rec.Manager] = true
+			}
 		}
 	}
 	r.backupRecs = nil
@@ -161,7 +172,10 @@ func (r *RegistryRole) activate() {
 
 // deactivate demotes the node (a stronger Central claimed the role). The
 // tables are kept: if the node is ever re-elected it resumes with its
-// last known state, like a device whose interfaces failed.
+// last known state, like a device whose interfaces failed. Hardened
+// demotion retracts the claim on the wire: peers (and the verifier's
+// claim ledger) would otherwise carry the stale Central until its
+// announce lease ran out.
 func (r *RegistryRole) deactivate() {
 	if !r.active {
 		return
@@ -169,6 +183,32 @@ func (r *RegistryRole) deactivate() {
 	r.active = false
 	r.announcer.Stop()
 	r.prop.CancelAll()
+	if r.nd.cfg.Harden.CentralRepair {
+		r.nd.nw.Multicast(r.nd.n.ID, DiscoveryGroup, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Bye{}),
+			Counted: true,
+			Payload: discovery.Bye{Role: discovery.RoleRegistry},
+		}, 1)
+	}
+}
+
+// onBye evicts every lease the departing node holds: its registration if
+// it was a Manager, its standing interest and 3-party subscriptions if it
+// was a User. Explicit cleanup mirrors the expiry cascades Drop skips.
+func (r *RegistryRole) onBye(from netsim.NodeID) {
+	r.registrations.Drop(from)
+	delete(r.provisional, from)
+	r.interests.Drop(from)
+	r.subs.EachKey(func(k subKey) {
+		if k.user != from {
+			return
+		}
+		r.subs.Drop(k)
+		r.prop.Cancel(k.user)
+		if set, ok := r.inconsistent[k.manager]; ok {
+			set.Forget(k.user)
+		}
+	})
 }
 
 // quiesce disarms every timer and lease the capability holds, for node
@@ -180,6 +220,7 @@ func (r *RegistryRole) quiesce() {
 	r.registrations.Clear()
 	r.subs.Clear()
 	r.interests.Clear()
+	clear(r.provisional)
 }
 
 // onCentralSeen refreshes the Backup's takeover timer on every sign of
@@ -260,6 +301,7 @@ func (r *RegistryRole) onRegister(from netsim.NodeID, p discovery.Register) {
 		lease = r.nd.cfg.RegistrationLease
 	}
 	r.registrations.Put(from, p.Rec, lease)
+	delete(r.provisional, from) // a real Register establishes the lease
 	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.RegisterAck{}),
 		Counted: true,
@@ -304,6 +346,16 @@ func (r *RegistryRole) notifyInterested(rec discovery.ServiceRecord) {
 func (r *RegistryRole) onUpdate(from netsim.NodeID, p discovery.Update) {
 	healed := false
 	if !r.registrations.Update(from, p.Rec) {
+		if r.nd.cfg.Harden.StrictLease {
+			// Hardened registries never heal the repository silently: the
+			// registration lease expired, so the Manager must re-register
+			// on the wire (its RenewError handler does exactly that). A
+			// silent Put here re-creates a lease no Register message ever
+			// established — the divergence behind the hunted lease-purge
+			// violations.
+			r.renewError(from)
+			return
+		}
 		// Unknown Manager (we purged it, or we are a fresh Central):
 		// treat the update as a registration so the system heals. That
 		// makes it a registration *event*, so interested Users are
@@ -408,10 +460,16 @@ func (r *RegistryRole) onSubscriptionRenew(from netsim.NodeID, p discovery.Renew
 	if lease <= 0 {
 		lease = r.nd.cfg.SubscriptionLease
 	}
+	renewInterest := r.interests.Renew
+	renewSub := r.subs.Renew
+	if r.nd.cfg.Harden.StrictLease {
+		renewInterest = r.interests.RenewStrict
+		renewSub = r.subs.RenewStrict
+	}
 	if p.Manager == netsim.NoNode {
 		// Interest-only renewal: the User maintains its standing
 		// notification request while its requirement is unmet.
-		if r.interests.Renew(from, lease) {
+		if renewInterest(from, lease) {
 			return
 		}
 		r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
@@ -421,8 +479,8 @@ func (r *RegistryRole) onSubscriptionRenew(from netsim.NodeID, p discovery.Renew
 		})
 		return
 	}
-	r.interests.Renew(from, lease)
-	if r.subs.Renew(subKey{user: from, manager: p.Manager}, lease) {
+	renewInterest(from, lease)
+	if renewSub(subKey{user: from, manager: p.Manager}, lease) {
 		r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.RenewAck{}),
 			Counted: false, // lease upkeep, excluded from update effort
@@ -454,7 +512,15 @@ func (r *RegistryRole) onRegistrationRenew(from netsim.NodeID, p discovery.Renew
 	if lease <= 0 {
 		lease = r.nd.cfg.RegistrationLease
 	}
-	if r.registrations.Renew(from, lease) {
+	renewed := false
+	if r.nd.cfg.Harden.StrictLease {
+		// Strict holders refuse renewals racing the purge, and renewals
+		// of Backup-seeded registrations no Register ever established.
+		renewed = !r.provisional[from] && r.registrations.RenewStrict(from, lease)
+	} else {
+		renewed = r.registrations.Renew(from, lease)
+	}
+	if renewed {
 		r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.RenewAck{}),
 			Counted: false, // lease upkeep, excluded from update effort
@@ -462,6 +528,12 @@ func (r *RegistryRole) onRegistrationRenew(from netsim.NodeID, p discovery.Renew
 		})
 		return
 	}
+	r.renewError(from)
+}
+
+// renewError tells a Manager its registration lease is gone; its handler
+// re-registers in full (PR1).
+func (r *RegistryRole) renewError(from netsim.NodeID) {
 	r.nd.nw.SendUDP(r.nd.n.ID, from, netsim.Outgoing{
 		Kind:    discovery.Kind(discovery.RenewError{}),
 		Counted: true,
@@ -473,6 +545,7 @@ func (r *RegistryRole) onRegistrationRenew(from netsim.NodeID, p discovery.Renew
 // Registry notifies the User when it purges the Manager." Subscribers
 // are told the Manager is gone and their subscriptions dropped.
 func (r *RegistryRole) onRegistrationExpired(manager netsim.NodeID, _ discovery.ServiceRecord) {
+	delete(r.provisional, manager)
 	if !r.active {
 		return
 	}

@@ -171,6 +171,9 @@ func (u *UserRole) ID() netsim.NodeID { return u.nd.n.ID }
 // event armed by subscribe's exhaustion handler (if any) fires into a
 // cleared cache and does nothing.
 func (u *UserRole) stop() {
+	if u.nd.cfg.Harden.RetireBye {
+		u.sendByes()
+	}
 	u.searchTick.Stop()
 	u.renewTick.Stop()
 	u.interestTick.Stop()
@@ -183,6 +186,26 @@ func (u *UserRole) stop() {
 	u.subMgr = netsim.NoNode
 	u.lessee = netsim.NoNode
 	u.searchesLeft = 0
+}
+
+// sendByes emits best-effort goodbyes to every holder of this User's
+// leases — the subscription lessee (Central in 3-party, Manager in
+// 2-party) and the Central carrying the standing interest — so they
+// evict now instead of retrying notifications at a recycled node slot.
+func (u *UserRole) sendByes() {
+	out := netsim.Outgoing{
+		Kind:    discovery.Kind(discovery.Bye{}),
+		Counted: true,
+		Payload: discovery.Bye{Role: discovery.RoleUser},
+	}
+	sent := netsim.NoNode
+	if u.lessee != netsim.NoNode && u.lessee != u.nd.n.ID {
+		u.nd.nw.SendUDP(u.nd.n.ID, u.lessee, out)
+		sent = u.lessee
+	}
+	if c := u.nd.central; c != netsim.NoNode && c != sent && c != u.nd.n.ID {
+		u.nd.nw.SendUDP(u.nd.n.ID, c, out)
+	}
 }
 
 // CachedVersion reports the cached description version for a Manager.

@@ -1,0 +1,135 @@
+package harden
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/frodo"
+	"repro/internal/jini"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/upnp"
+)
+
+// The zero Hardening must leave every configuration byte-identical:
+// baseline sweeps and goldens depend on the appliers being no-ops.
+func TestZeroValueIsNoOp(t *testing.T) {
+	var h discovery.Hardening
+
+	tcp := netsim.DefaultTCPConfig()
+	ref := tcp
+	TCP(&tcp, h)
+	if !reflect.DeepEqual(tcp, ref) {
+		t.Errorf("TCP applier changed a baseline config: %+v", tcp)
+	}
+
+	u, uref := upnp.DefaultConfig(), upnp.DefaultConfig()
+	UPnP(&u, h)
+	if !reflect.DeepEqual(u, uref) {
+		t.Errorf("UPnP applier changed a baseline config")
+	}
+
+	j, jref := jini.DefaultConfig(), jini.DefaultConfig()
+	Jini(&j, h)
+	if !reflect.DeepEqual(j, jref) {
+		t.Errorf("Jini applier changed a baseline config")
+	}
+
+	f, fref := frodo.DefaultConfig(), frodo.DefaultConfig()
+	Frodo(&f, h)
+	if !reflect.DeepEqual(f, fref) {
+		t.Errorf("Frodo applier changed a baseline config")
+	}
+
+	p := core.RetryPolicy{Interval: 5 * sim.Second, Limit: 3}
+	if got := Retry(p, h); got != p {
+		t.Errorf("Retry applier changed a baseline policy: %+v", got)
+	}
+}
+
+func TestTCPApplier(t *testing.T) {
+	cfg := netsim.DefaultTCPConfig()
+	TCP(&cfg, discovery.Hardening{JitterRetry: true})
+	if cfg.DataRetransmits != tcpDataRetransmits || cfg.MaxRTO != tcpMaxRTO || cfg.RTOJitter != tcpRTOJitter {
+		t.Errorf("JitterRetry transport bounds not applied: %+v", cfg)
+	}
+	if cfg.AbortOnRetire {
+		t.Error("JitterRetry alone enabled AbortOnRetire")
+	}
+
+	cfg = netsim.DefaultTCPConfig()
+	TCP(&cfg, discovery.Hardening{RetireBye: true})
+	if !cfg.AbortOnRetire {
+		t.Error("RetireBye did not enable AbortOnRetire")
+	}
+	if cfg.DataRetransmits != netsim.DefaultTCPConfig().DataRetransmits {
+		t.Error("RetireBye alone changed the retransmit budget")
+	}
+}
+
+func TestProtocolAppliers(t *testing.T) {
+	h := discovery.HardenAll()
+
+	u := upnp.DefaultConfig()
+	UPnP(&u, h)
+	if u.Harden != h {
+		t.Error("UPnP applier did not store the toggle set")
+	}
+	if u.TCP.DataRetransmits != tcpDataRetransmits || !u.TCP.AbortOnRetire {
+		t.Errorf("UPnP transport not hardened: %+v", u.TCP)
+	}
+
+	j := jini.DefaultConfig()
+	Jini(&j, h)
+	if j.Harden != h || j.TCP.MaxRTO != tcpMaxRTO {
+		t.Errorf("Jini config not hardened: harden=%+v tcp=%+v", j.Harden, j.TCP)
+	}
+
+	f := frodo.DefaultConfig()
+	Frodo(&f, h)
+	if f.Harden != h {
+		t.Error("Frodo applier did not store the toggle set")
+	}
+	if f.NotifyRetry.Cap != retryCap || f.ControlRetry.Cap != retryCap {
+		t.Errorf("Frodo retry schedules not capped: notify=%+v control=%+v", f.NotifyRetry, f.ControlRetry)
+	}
+
+	p := Retry(core.RetryPolicy{Interval: 5 * sim.Second}, h)
+	if p.Cap != retryCap {
+		t.Errorf("Retry applier cap = %v, want %v", p.Cap, retryCap)
+	}
+}
+
+func TestDispositionsCoverTheHuntedFindings(t *testing.T) {
+	rows := Dispositions()
+	if len(rows) != 7 {
+		t.Fatalf("disposition rows = %d, want one per committed hunted fixture (7)", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, d := range rows {
+		key := d.System + "/" + d.Invariant
+		if seen[key] {
+			t.Errorf("duplicate disposition for %s", key)
+		}
+		seen[key] = true
+		if d.Decision != "hardened" && d.Decision != "bounded" {
+			t.Errorf("%s: unknown decision %q", key, d.Decision)
+		}
+		if d.Mechanism == "" {
+			t.Errorf("%s: empty mechanism", key)
+		}
+	}
+	// One lease-purge finding per system plus the two system-specific
+	// classes the hunt reached.
+	for _, want := range []string{
+		"upnp/lease-purge", "jini1/lease-purge", "jini2/lease-purge",
+		"frodo3p/lease-purge", "frodo2p/lease-purge",
+		"jini2/retired-silence", "frodo2p/single-central",
+	} {
+		if !seen[want] {
+			t.Errorf("missing disposition for %s", want)
+		}
+	}
+}

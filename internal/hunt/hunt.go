@@ -42,6 +42,15 @@ type Config struct {
 	Iters int
 	// Systems to audit every candidate on; nil means all five.
 	Systems []experiment.System
+	// Harden audits every candidate with the full protocol-hardening
+	// layer on, so the hunt searches for failures the layer does NOT
+	// close. Findings, fixtures and corpus entries then carry
+	// hardened: true and replay hardened.
+	Harden bool
+	// Corpus adds extra starting specs — typically a committed corpus
+	// from an earlier hunt — after the built-in seeds, so a resumed
+	// hunt starts from the frontier the last one reached.
+	Corpus []*experiment.ScenarioSpec
 	// Oracle overrides the per-system oracle tolerances; nil means
 	// verify.DefaultOracleConfig. Tests plant violations by tightening
 	// a tolerance to near zero.
@@ -167,12 +176,13 @@ func seedCorpus() []*experiment.ScenarioSpec {
 // Run executes the hunt: seed corpus first, then mutate-and-audit until
 // the budget or iteration cap is hit, then minimize every finding.
 func (h *Hunter) Run() *Report {
-	for _, s := range seedCorpus() {
+	seeds := append(seedCorpus(), h.cfg.Corpus...)
+	for _, s := range seeds {
 		if !h.execute(s) {
 			break
 		}
 	}
-	for h.cfg.Iters <= 0 || h.candidates < len(seedCorpus())+h.cfg.Iters {
+	for h.cfg.Iters <= 0 || h.candidates < len(seeds)+h.cfg.Iters {
 		if (h.cfg.Budget <= 0 && h.cfg.Iters <= 0) || len(h.corpus) == 0 {
 			break // unbounded hunt, or no corpus survived the budget
 		}
@@ -190,6 +200,11 @@ func (h *Hunter) Run() *Report {
 // execute audits one candidate on every system; false means the budget
 // is exhausted and the search loop must stop.
 func (h *Hunter) execute(spec *experiment.ScenarioSpec) bool {
+	if h.cfg.Harden {
+		// Stamped on the spec (not just the run options) so the flag
+		// survives minimization and lands in written fixtures/corpus.
+		spec.Hardened = true
+	}
 	cost := Cost(spec, len(h.systems))
 	if h.cfg.Budget > 0 && h.spent+cost > h.cfg.Budget {
 		return false

@@ -166,3 +166,38 @@ func TestHuntTinyBudget(t *testing.T) {
 		t.Errorf("tiny budget still ran candidates: %+v", rep)
 	}
 }
+
+// Config.Corpus resumes a hunt from extra seed specs; Config.Harden
+// stamps every candidate — and so every corpus entry and fixture — as
+// hardened, so a hardened hunt's outputs replay hardened.
+func TestHuntCorpusAndHarden(t *testing.T) {
+	extra := &experiment.ScenarioSpec{Seed: 42, DurationSec: 6000,
+		Churn: experiment.SpecChurn{Departures: 1}}
+	cfg := Config{
+		Seed:    1,
+		Iters:   2,
+		Harden:  true,
+		Corpus:  []*experiment.ScenarioSpec{extra},
+		Systems: []experiment.System{experiment.UPnP},
+	}
+	h := New(cfg)
+	rep := h.Run()
+	wantCand := len(seedCorpus()) + 1 + cfg.Iters
+	if rep.Candidates != wantCand {
+		t.Errorf("candidates = %d, want %d (builtin seeds + 1 resumed + %d mutated)",
+			rep.Candidates, wantCand, cfg.Iters)
+	}
+	if len(h.Corpus()) == 0 {
+		t.Fatal("hunt kept no corpus")
+	}
+	for i, s := range h.Corpus() {
+		if !s.Hardened {
+			t.Errorf("corpus[%d] not stamped hardened", i)
+		}
+	}
+	for _, fx := range h.Fixtures() {
+		if !fx.Scenario.Hardened {
+			t.Errorf("fixture for %s/%s not stamped hardened", fx.System, fx.Expect.Invariant)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package jini
 
 import (
 	"repro/internal/core"
+	"repro/internal/discovery"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -45,6 +46,11 @@ type Config struct {
 	PollPeriod sim.Duration
 	// Techniques enables recovery techniques; ablations flip bits.
 	Techniques core.TechniqueSet
+	// Harden enables the protocol-hardening mechanisms (strict lease
+	// enforcement, refusal of silent repository heals, retire-time Bye
+	// frames); set via internal/harden. The zero value is the
+	// paper-faithful baseline.
+	Harden discovery.Hardening
 }
 
 // DefaultConfig returns the paper's Jini parameters.

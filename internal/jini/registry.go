@@ -103,7 +103,23 @@ func (r *Registry) Deliver(msg *netsim.Message) {
 		r.onSubscribe(msg, p)
 	case discovery.Renew:
 		r.onRenew(msg, p)
+	case discovery.Bye:
+		r.onBye(msg.From)
 	}
+}
+
+// onBye evicts every lease the departing node holds — its registration
+// if it was a Manager, its notification request and event subscriptions
+// if it was a User. Only hardened nodes send Byes; handling them is
+// unconditional (baseline runs never see one).
+func (r *Registry) onBye(from netsim.NodeID) {
+	r.registrations.Drop(from)
+	r.notifyReqs.Drop(from)
+	r.subs.EachKey(func(k subKey) {
+		if k.user == from {
+			r.subs.Drop(k)
+		}
+	})
 }
 
 // onRegister stores the service and — PR1 — notifies Users whose
@@ -155,6 +171,16 @@ func (r *Registry) notifyRegistration(rec discovery.ServiceRecord) {
 // an acknowledgement").
 func (r *Registry) onUpdate(msg *netsim.Message, p discovery.Update) {
 	if !r.registrations.Update(p.Rec.Manager, p.Rec) {
+		if r.cfg.Harden.StrictLease {
+			// Hardened registries never heal the repository silently: the
+			// registration lease expired, so the Manager must re-register
+			// on the wire (its RenewError handler does exactly that).
+			// A silent Put here re-creates a lease no Register message
+			// ever established, which is how the hunted lease-purge
+			// violations diverged holder state from the oracle's ledger.
+			r.renewError(msg, p.Rec.Manager)
+			return
+		}
 		// Unknown manager: treat as a registration so the system heals.
 		r.registrations.Put(p.Rec.Manager, p.Rec, r.cfg.RegistrationLease)
 	}
@@ -236,8 +262,15 @@ func (r *Registry) onRenew(msg *netsim.Message, p discovery.Renew) {
 	if lease <= 0 {
 		lease = r.cfg.SubscriptionLease
 	}
+	strict := r.cfg.Harden.StrictLease
 	if p.Manager == msg.From {
-		if r.registrations.Renew(msg.From, lease) {
+		ok := false
+		if strict {
+			ok = r.registrations.RenewStrict(msg.From, lease)
+		} else {
+			ok = r.registrations.Renew(msg.From, lease)
+		}
+		if ok {
 			r.ack(msg, p.Manager)
 			return
 		}
@@ -245,12 +278,17 @@ func (r *Registry) onRenew(msg *netsim.Message, p discovery.Renew) {
 		return
 	}
 	alive := false
-	if r.notifyReqs.Renew(msg.From, lease) {
+	renewReq := r.notifyReqs.Renew
+	renewSub := r.subs.Renew
+	if strict {
+		renewReq = r.notifyReqs.RenewStrict
+		renewSub = r.subs.RenewStrict
+	}
+	if renewReq(msg.From, lease) {
 		alive = true
 	}
 	r.subs.Each(func(k subKey, _ *subState) {
-		if k.user == msg.From {
-			r.subs.Renew(k, lease)
+		if k.user == msg.From && renewSub(k, lease) {
 			alive = true
 		}
 	})

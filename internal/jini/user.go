@@ -126,6 +126,18 @@ func (u *User) ID() netsim.NodeID { return u.node.ID }
 // permanent churn departure without leaving zombie events in the
 // kernel. The User must not be used afterwards.
 func (u *User) Stop() {
+	if u.cfg.Harden.RetireBye {
+		// Hardened retirement: deregister from every known Registry with
+		// a best-effort UDP Bye so our notification request and event
+		// subscriptions are evicted now instead of at lease expiry.
+		u.registries.EachKey(func(reg netsim.NodeID) {
+			u.nw.SendUDP(u.node.ID, reg, netsim.Outgoing{
+				Kind:    discovery.Kind(discovery.Bye{}),
+				Counted: true,
+				Payload: discovery.Bye{Role: discovery.RoleUser},
+			})
+		})
+	}
 	u.stopped = true
 	u.renewTick.Stop()
 	if u.pollTick != nil {

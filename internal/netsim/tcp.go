@@ -33,6 +33,27 @@ type TCPConfig struct {
 	// Backoff multiplies the data-transfer timeout on every retry.
 	// Table 3: "increasing timeout by 25% on each retry".
 	Backoff float64
+
+	// The remaining knobs are zero in the paper-faithful Table 3 model
+	// and are only set by the hardening layer (internal/harden).
+
+	// DataRetransmits, when positive, caps how many times an
+	// unacknowledged data frame is retransmitted; the transfer then
+	// fails with ErrREX instead of retransmitting forever (the unbounded
+	// tail is how a long interface outage converts a stale RenewAck into
+	// an hours-late delivery).
+	DataRetransmits int
+	// MaxRTO, when positive, ceilings the exponential data-transfer
+	// timeout.
+	MaxRTO sim.Duration
+	// RTOJitter, when positive, adds uniform jitter of up to
+	// RTOJitter·RTO to every retransmission delay, drawn from the kernel
+	// RNG (deterministic per seed). Zero draws nothing.
+	RTOJitter float64
+	// AbortOnRetire quietly aborts a connection's setup and transfers
+	// once the sending node has retired (or its slot was recycled), so a
+	// departed device never transmits again.
+	AbortOnRetire bool
 }
 
 // DefaultTCPConfig returns the Table 3 TCP failure response.
@@ -59,6 +80,10 @@ type TCPConn struct {
 	rtt         sim.Duration
 	aborted     bool
 
+	// fromGen snapshots the initiating slot's tenancy so AbortOnRetire
+	// can tell "this sender left" from "a new tenant reuses the slot".
+	fromGen uint32
+
 	setupAttempt int
 
 	transfers []*tcpTransfer
@@ -69,6 +94,7 @@ type TCPConn struct {
 type tcpTransfer struct {
 	conn      *TCPConn
 	from, to  NodeID
+	fromGen   uint32 // sender slot tenancy at queue time (AbortOnRetire)
 	out       Outgoing
 	onResult  func(error)
 	delivered bool // receiver got the payload (dedup for retransmissions)
@@ -89,10 +115,21 @@ func (nw *Network) SendTCP(from, to NodeID, out Outgoing, onResult func(error)) 
 
 // SendTCPWith is SendTCP with an explicit transport configuration.
 func (nw *Network) SendTCPWith(cfg TCPConfig, from, to NodeID, out Outgoing, onResult func(error)) *TCPConn {
-	c := &TCPConn{nw: nw, cfg: cfg, from: from, to: to}
+	c := &TCPConn{nw: nw, cfg: cfg, from: from, to: to, fromGen: nw.Node(from).gen}
 	c.queueTransfer(from, to, out, onResult)
 	c.connect()
 	return c
+}
+
+// senderGone reports whether the hardened transport should abandon the
+// connection: the initiating node retired (or its slot was recycled)
+// after the connection was opened.
+func (c *TCPConn) senderGone() bool {
+	if !c.cfg.AbortOnRetire {
+		return false
+	}
+	n := c.nw.Node(c.from)
+	return n.retired || n.gen != c.fromGen
 }
 
 // Reply sends a discovery message back over the established connection
@@ -140,7 +177,7 @@ func (c *TCPConn) queueTransfer(from, to NodeID, out Outgoing, onResult func(err
 	// from looking spuriously "efficient".)
 	c.nw.accountSend(&Message{From: from, To: to, Kind: out.Kind, Counted: out.Counted,
 		Payload: out.Payload, Transport: TCPData, SentAt: c.nw.k.Now()})
-	tr := &tcpTransfer{conn: c, from: from, to: to, out: out, onResult: onResult}
+	tr := &tcpTransfer{conn: c, from: from, to: to, fromGen: c.nw.Node(from).gen, out: out, onResult: onResult}
 	c.transfers = append(c.transfers, tr)
 	if c.established {
 		tr.start()
@@ -173,6 +210,10 @@ func (c *TCPConn) scheduleSetup(at sim.Time, fn func()) {
 
 func (c *TCPConn) sendSYN() {
 	if c.established || c.aborted {
+		return
+	}
+	if c.senderGone() {
+		c.Abort() // retired initiator: stop the SYN train silently
 		return
 	}
 	c.setupAttempt++
@@ -216,8 +257,28 @@ func (tr *tcpTransfer) start() {
 	tr.send()
 }
 
+// senderGone mirrors TCPConn.senderGone for this transfer's direction —
+// a Reply's sender is the accepting side, with its own slot tenancy.
+func (tr *tcpTransfer) senderGone() bool {
+	if !tr.conn.cfg.AbortOnRetire {
+		return false
+	}
+	n := tr.conn.nw.Node(tr.from)
+	return n.retired || n.gen != tr.fromGen
+}
+
 func (tr *tcpTransfer) send() {
 	if tr.acked || tr.conn.aborted {
+		return
+	}
+	if tr.senderGone() {
+		tr.finish(ErrAborted)
+		return
+	}
+	if max := tr.conn.cfg.DataRetransmits; max > 0 && tr.sends > max {
+		// Hardened transports give up instead of retransmitting forever;
+		// the discovery layer sees the same REX as a failed setup.
+		tr.finish(ErrREX)
 		return
 	}
 	nw := tr.conn.nw
@@ -234,9 +295,16 @@ func (tr *tcpTransfer) send() {
 	// callback nils tr.timer first thing — its event has fired and will be
 	// recycled, so the reference must not outlive the callback.
 	tr.timer.Cancel()
-	tr.timer = nw.k.After(tr.rto, func() {
+	delay := tr.rto
+	if j := tr.conn.cfg.RTOJitter; j > 0 {
+		delay += nw.k.UniformDuration(0, sim.Duration(j*float64(tr.rto)))
+	}
+	tr.timer = nw.k.After(delay, func() {
 		tr.timer = nil
 		tr.rto = sim.Duration(float64(tr.rto) * tr.conn.cfg.Backoff)
+		if max := tr.conn.cfg.MaxRTO; max > 0 && tr.rto > max {
+			tr.rto = max
+		}
 		tr.send()
 	})
 }

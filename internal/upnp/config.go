@@ -13,6 +13,7 @@ package upnp
 
 import (
 	"repro/internal/core"
+	"repro/internal/discovery"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -48,6 +49,10 @@ type Config struct {
 	TCP netsim.TCPConfig
 	// Techniques enables recovery techniques; ablations flip bits.
 	Techniques core.TechniqueSet
+	// Harden enables the protocol-hardening mechanisms (strict lease
+	// enforcement, retire-time Bye frames); set via internal/harden. The
+	// zero value is the paper-faithful baseline.
+	Harden discovery.Hardening
 }
 
 // DefaultConfig returns the paper's UPnP parameters.

@@ -141,6 +141,11 @@ func (m *Manager) Deliver(msg *netsim.Message) {
 		m.onSubscribe(msg)
 	case discovery.Renew:
 		m.onRenew(msg)
+	case discovery.Bye:
+		// Hardened retirement: the departing subscriber deregisters, so
+		// its lease is evicted now instead of at expiry. Handled
+		// unconditionally — baseline runs never send a Bye.
+		m.subs.Drop(msg.From)
 	}
 }
 
@@ -185,7 +190,16 @@ func (m *Manager) onSubscribe(msg *netsim.Message) {
 // Users to resubscribe"; with PR4 ablated the renewal is silently
 // rejected.
 func (m *Manager) onRenew(msg *netsim.Message) {
-	if m.subs.Renew(msg.From, m.cfg.SubscriptionLease) {
+	renewed := false
+	if m.cfg.Harden.StrictLease {
+		// Hardened holders refuse a renewal racing (or trailing) the
+		// purge: the User must resubscribe, keeping holder state and the
+		// oracle's lease ledger in lockstep.
+		renewed = m.subs.RenewStrict(msg.From, m.cfg.SubscriptionLease)
+	} else {
+		renewed = m.subs.Renew(msg.From, m.cfg.SubscriptionLease)
+	}
+	if renewed {
 		m.respond(msg, netsim.Outgoing{
 			Kind:    discovery.Kind(discovery.RenewAck{}),
 			Counted: false, // lease upkeep, excluded from update effort

@@ -144,6 +144,16 @@ func (u *User) ID() netsim.NodeID { return u.node.ID }
 // permanent churn departure without leaving zombie events in the kernel.
 // The User must not be used afterwards.
 func (u *User) Stop() {
+	if u.cfg.Harden.RetireBye && u.subscribedTo != netsim.NoNode {
+		// Hardened retirement: deregister from the Manager with a
+		// best-effort UDP Bye so the subscription is evicted now instead
+		// of lingering until lease expiry.
+		u.nw.SendUDP(u.node.ID, u.subscribedTo, netsim.Outgoing{
+			Kind:    discovery.Kind(discovery.Bye{}),
+			Counted: true,
+			Payload: discovery.Bye{Role: discovery.RoleUser},
+		})
+	}
 	u.stopped = true
 	u.searchTick.Stop()
 	u.renewTick.Stop()

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/discovery"
@@ -252,5 +253,92 @@ func TestOracleObservationIsNonInvasive(t *testing.T) {
 		if plain.Users[i] != observed.Users[i] {
 			t.Fatalf("user outcome %d diverged: %+v vs %+v", i, plain.Users[i], observed.Users[i])
 		}
+	}
+}
+
+// A breach inside a fault-conditional bound is waived — visible in the
+// report but not a violation; the same breach outside the bound counts.
+func TestOracleWaivesBoundedBreaches(t *testing.T) {
+	k := sim.New(1)
+	nw, err := netsim.New(k, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := nw.AddNode("user")
+	holder := nw.AddNode("holder")
+	sink := netsim.EndpointFunc(func(*netsim.Message) {})
+	user.SetEndpoint(sink)
+	holder.SetEndpoint(sink)
+	o := NewOracle(k, netsim.NoNode, OracleConfig{
+		PurgeSlack: 5 * sim.Second,
+		Bounds: []FaultBound{{Invariant: InvLeasePurge, Start: 50 * sim.Second,
+			End: 200 * sim.Second, Reason: "scheduled outage"}},
+	})
+	nw.SetTracer(o)
+
+	subscribe := func() {
+		nw.SendUDP(user.ID, holder.ID, netsim.Outgoing{Kind: "SubscriptionRequest",
+			Payload: discovery.Subscribe{Manager: holder.ID, Lease: 10 * sim.Second}})
+	}
+	ack := func() {
+		nw.SendUDP(holder.ID, user.ID, netsim.Outgoing{Kind: "RenewAck",
+			Payload: discovery.RenewAck{Manager: holder.ID}})
+	}
+
+	subscribe()
+	k.Run(100 * sim.Second)
+	ack() // ~90s past expiry, inside the bound: waived
+	k.Run(101 * sim.Second)
+	rep := o.Report()
+	if rep.Total != 0 || rep.Waived != 1 {
+		t.Fatalf("bounded breach: total=%d waived=%d, want 0/1 (%s)", rep.Total, rep.Waived, rep)
+	}
+	if len(rep.WaivedDetails) != 1 || !strings.Contains(rep.WaivedDetails[0].Detail, "scheduled outage") {
+		t.Errorf("waiver reason missing from details: %v", rep.WaivedDetails)
+	}
+	if rep.MaxPurgeLate < 80*sim.Second {
+		t.Errorf("MaxPurgeLate = %v, want the ~90s lateness recorded even for a waived breach", rep.MaxPurgeLate)
+	}
+
+	subscribe() // fresh lease at 101s, expires ~111s
+	k.Run(300 * sim.Second)
+	ack() // far past expiry AND past the bound's end: a real violation
+	k.Run(301 * sim.Second)
+	rep = o.Report()
+	if rep.Total != 1 || rep.ByInvariant[InvLeasePurge] != 1 {
+		t.Fatalf("out-of-bound breach not counted: %s", rep)
+	}
+	if rep.Waived != 1 {
+		t.Errorf("waived = %d changed, want still 1", rep.Waived)
+	}
+}
+
+// A Bye from the renewer retracts its leases at the holder: a later ack
+// for that lease no longer proves a missed purge.
+func TestOracleByeRetractsLease(t *testing.T) {
+	k := sim.New(1)
+	nw, err := netsim.New(k, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := nw.AddNode("user")
+	holder := nw.AddNode("holder")
+	sink := netsim.EndpointFunc(func(*netsim.Message) {})
+	user.SetEndpoint(sink)
+	holder.SetEndpoint(sink)
+	o := NewOracle(k, netsim.NoNode, OracleConfig{PurgeSlack: 5 * sim.Second})
+	nw.SetTracer(o)
+
+	nw.SendUDP(user.ID, holder.ID, netsim.Outgoing{Kind: "SubscriptionRequest",
+		Payload: discovery.Subscribe{Manager: holder.ID, Lease: 10 * sim.Second}})
+	k.Run(2 * sim.Second)
+	nw.SendUDP(user.ID, holder.ID, netsim.Outgoing{Kind: "Bye",
+		Payload: discovery.Bye{Role: discovery.RoleUser}})
+	k.Run(100 * sim.Second)
+	nw.SendUDP(holder.ID, user.ID, netsim.Outgoing{Kind: "RenewAck",
+		Payload: discovery.RenewAck{Manager: holder.ID}})
+	k.Run(101 * sim.Second)
+	if rep := o.Report(); rep.Total != 0 {
+		t.Fatalf("ack after Bye flagged: %s", rep)
 	}
 }

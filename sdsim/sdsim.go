@@ -24,6 +24,7 @@ package sdsim
 import (
 	"io"
 
+	"repro/internal/discovery"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -116,6 +117,16 @@ func BurstForAverage(avg, meanBurst float64) BurstConfig {
 func WithBurstLoss(avg, meanBurst float64) Options {
 	return Options{Link: LinkConfig{Burst: BurstForAverage(avg, meanBurst)}}
 }
+
+// Hardening selects the protocol-hardening mechanisms of the hardening
+// layer (strict lease enforcement, jittered retry, retirement Byes,
+// Central liveness repair). Set it on Options.Harden (one run) or
+// Params.Hardening (every run of a sweep); the zero value is the
+// paper-faithful baseline.
+type Hardening = discovery.Hardening
+
+// HardenAll enables every hardening mechanism.
+func HardenAll() Hardening { return discovery.HardenAll() }
 
 // Time and Duration re-export the virtual clock units.
 type (
@@ -210,6 +221,13 @@ func Figure7(with, without SweepResult) Table { return experiment.Figure7(with, 
 // at equal average rates across all five systems.
 func FigureAdversarial(params Params, workers int, progress func(done, total int)) Table {
 	return experiment.FigureAdversarial(params, workers, progress)
+}
+
+// FigureHardening compares baseline against hardened runs under the
+// hunted fault mix: zero-failure effort m', update effectiveness F,
+// counted effort, oracle violations, and worst purge latency.
+func FigureHardening(params Params, runs, workers int, progress func(done, total int)) Table {
+	return verify.FigureHardening(params, runs, workers, progress)
 }
 
 // Table2 measures the zero-failure update message counts (Table 2).
