@@ -10,8 +10,8 @@
 # snapshot as BENCH_BASELINE, and commit the refreshed file.
 
 GO ?= go
-BENCH_PR ?= 5
-BENCH_BASELINE ?= BENCH_4.json
+BENCH_PR ?= 6
+BENCH_BASELINE ?= BENCH_5.json
 COVER_FLOOR ?= 70
 
 .PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke hunt-smoke harden-smoke clean
@@ -35,7 +35,7 @@ race:
 bench:
 	{ $(GO) test -bench 'BenchmarkKernel$$|BenchmarkMulticastFanout|BenchmarkUnicastFrame' -benchtime 200000x -benchmem -run xxx ./internal/sim ./internal/netsim && \
 	  $(GO) test -bench 'BenchmarkSingleRunScale$$|BenchmarkSweepScale' -benchtime 5x -benchmem -run xxx . && \
-	  $(GO) test -bench 'BenchmarkSingleRunScaleSharded' -benchtime 1x -benchmem -run xxx . ; } | tee /dev/stderr | \
+	  $(GO) test -timeout 0 -bench 'BenchmarkSingleRunScaleSharded$$|BenchmarkSingleRunScaleShardedChurn' -benchtime 1x -benchmem -run xxx . ; } | tee /dev/stderr | \
 	  $(GO) run ./cmd/benchjson -pr $(BENCH_PR) -baseline $(BENCH_BASELINE) > BENCH_$(BENCH_PR).json
 
 # Regression gate: re-run the hot-path microbenchmarks and fail if
@@ -109,9 +109,11 @@ harden-smoke:
 	wait $$pid || { echo "sdlived exited nonzero (race detected or oracle violation)"; exit 1; }
 
 # Sharded-fabric smoke test (CI-enforced): a 4-shard N=10k FRODO run
-# under the race detector with the per-shard consistency oracles
-# attached; fails on any data race, oracle violation or propagation
-# collapse. ~1 minute of wall time.
+# under the race detector with Poisson churn, a healing bisect
+# partition, and the per-shard consistency oracles attached; fails on
+# any data race, oracle violation, unrun heal probe or propagation
+# collapse. A few minutes of wall time (the horizon must outlast the
+# heal probe at heal + CentralTimeout + AnnouncePeriod + slack).
 shard-smoke:
 	SHARD_SMOKE=1 $(GO) test -race -run TestShardSmoke -v ./internal/verify
 

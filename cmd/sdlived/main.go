@@ -25,6 +25,8 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/experiment"
 	"repro/internal/live"
+	"repro/internal/netsim"
+	"repro/internal/sim"
 	"repro/internal/verify"
 )
 
@@ -38,6 +40,8 @@ func main() {
 		loss     = flag.Float64("loss", 0, "i.i.d. per-frame loss probability")
 		harden   = flag.Bool("harden", false, "serve with the full protocol-hardening layer on")
 		shards   = flag.Int("shards", 0, "partition the fabric across this many parallel shards (0/1 = single fabric; ≥2 is FRODO-only)")
+		crossMin = flag.Float64("cross-min", 0, "inter-shard minimum link delay in virtual seconds — the conservative lookahead (0 = the 0.2s default; needs -shards ≥ 2)")
+		crossMax = flag.Float64("cross-max", 0, "inter-shard maximum link delay in virtual seconds (0 = the 0.4s default; needs -shards ≥ 2)")
 		noOracle = flag.Bool("no-oracle", false, "serve without the consistency oracle attached")
 
 		users      = flag.Int("users", 5, "scenario Users built at boot (clients come on top)")
@@ -71,18 +75,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdlived: -shards must not be negative, got %d\n", *shards)
 		os.Exit(2)
 	}
+	var cross netsim.CrossLink
+	if *crossMin != 0 || *crossMax != 0 {
+		if *shards < 2 {
+			fmt.Fprintf(os.Stderr, "sdlived: -cross-min/-cross-max need -shards ≥ 2\n")
+			os.Exit(2)
+		}
+		cross = netsim.DefaultCrossLink()
+		if *crossMin != 0 {
+			cross.MinDelay = sim.Duration(*crossMin * float64(sim.Second))
+		}
+		if *crossMax != 0 {
+			cross.MaxDelay = sim.Duration(*crossMax * float64(sim.Second))
+		}
+		if err := cross.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdlived: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	opts := experiment.Options{Loss: *loss}
 	if *harden {
 		opts.Harden = discovery.HardenAll()
 	}
 	cfg := live.Config{
-		System:   sys,
-		Topology: topo,
-		Options:  opts,
-		Seed:     *seed,
-		Dilation: *dilation,
-		Shards:   *shards,
+		System:    sys,
+		Topology:  topo,
+		Options:   opts,
+		Seed:      *seed,
+		Dilation:  *dilation,
+		Shards:    *shards,
+		CrossLink: cross,
 	}
 	if !*noOracle {
 		ocfg := verify.DefaultOracleConfig(sys)

@@ -54,6 +54,8 @@ func main() {
 		registries = flag.Int("registries", 0, "Registry nodes (0 = the system's Table 4 count)")
 		services   = flag.Int("services", 0, "distinct background service types (0 = one per extra Manager)")
 		shards     = flag.Int("shards", 0, "shard count S for -figure shard (the fabric is split across S parallel kernel/netsim pairs)")
+		crossMin   = flag.Float64("cross-min", 0, "inter-shard minimum link delay in seconds for -figure shard — the conservative lookahead (0 = the 0.2s default)")
+		crossMax   = flag.Float64("cross-max", 0, "inter-shard maximum link delay in seconds for -figure shard (0 = the 0.4s default)")
 		churn      = flag.Float64("churn", 0, "expected departures per User over the run (Poisson; 0 = no churn)")
 		absence    = flag.Float64("absence", 0, "mean absence before rejoining, seconds (0 = departures are permanent)")
 		arrivals   = flag.Float64("arrivals", 0, "expected fresh User arrivals over the run (Poisson)")
@@ -85,6 +87,24 @@ func main() {
 	if *shards != 0 && *figure != "shard" {
 		fmt.Fprintf(os.Stderr, "-shards applies to -figure shard only\n")
 		os.Exit(2)
+	}
+	var cross sdsim.CrossLink
+	if *crossMin != 0 || *crossMax != 0 {
+		if *figure != "shard" {
+			fmt.Fprintf(os.Stderr, "-cross-min/-cross-max apply to -figure shard only\n")
+			os.Exit(2)
+		}
+		cross = sdsim.DefaultCrossLink()
+		if *crossMin != 0 {
+			cross.MinDelay = sdsim.Duration(*crossMin * float64(sdsim.Second))
+		}
+		if *crossMax != 0 {
+			cross.MaxDelay = sdsim.Duration(*crossMax * float64(sdsim.Second))
+		}
+		if err := cross.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *hardenOn && *figure == "hardening" {
 		fmt.Fprintf(os.Stderr, "-figure hardening already runs both modes; drop -harden\n")
@@ -284,7 +304,7 @@ func main() {
 	case "scale":
 		emit(scaleSweep(params, linkOpts, *workers, progress))
 	case "shard":
-		emit(shardTable(params, linkOpts, *shards, *quiet))
+		emit(shardTable(params, linkOpts, *shards, cross, *quiet))
 	case "adversarial":
 		emit(sdsim.FigureAdversarial(params, *workers, progress))
 	case "hardening":
@@ -381,7 +401,7 @@ func scaleSweep(params sdsim.Params, opts sdsim.Options, workers int, progress f
 // consistency score F is reported for both fabrics as the sanity
 // column. Use -users for one population size; the default charts the
 // trajectory the ROADMAP's single-run scale item tracks.
-func shardTable(params sdsim.Params, opts sdsim.Options, shards int, quiet bool) sdsim.Table {
+func shardTable(params sdsim.Params, opts sdsim.Options, shards int, cross sdsim.CrossLink, quiet bool) sdsim.Table {
 	sizes := []int{1_000, 10_000, 100_000}
 	if params.Topology.Users > 0 {
 		sizes = []int{params.Topology.Users}
@@ -411,6 +431,11 @@ func shardTable(params sdsim.Params, opts sdsim.Options, shards int, quiet bool)
 		fBase := f(sdsim.Run(spec))
 		dBase := time.Since(t0).Seconds()
 		spec.Shards = shards
+		spec.Cross = cross
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
 		if !quiet {
 			fmt.Fprintf(os.Stderr, " %.1fs, %d shards...", dBase, shards)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/discovery"
@@ -161,16 +162,51 @@ type RunSpec struct {
 	// Shards, when ≥ 2, partitions the run's topology across that many
 	// kernel/network pairs advancing in parallel (see shard.go). 0 or 1
 	// is the classic single-fabric path, byte-identical to before the
-	// field existed. Sharded runs are deterministic in (Seed, Shards)
-	// and support the FRODO systems without churn, partitions, explicit
-	// failures, tracers or Attach observers.
+	// field existed. Sharded runs are deterministic in (Seed, Shards);
+	// they support the FRODO systems with churn, flash crowds,
+	// partitions, rack failures and per-shard tracers, but not explicit
+	// failure schedules or Attach observers (see Validate).
 	Shards int
+	// Cross characterizes the inter-shard links of a sharded run: the
+	// minimum delay is the conservative lookahead bounding each parallel
+	// window. The zero value means netsim.DefaultCrossLink; ignored (and
+	// rejected by Validate) on unsharded runs.
+	Cross netsim.CrossLink
 	// AttachSharded is Attach's S ≥ 2 counterpart: it observes the built
 	// ShardSet before any schedule is drawn, under the same contract
 	// (must not consume any kernel's random stream). Hooks attached to
 	// remote shards' scenarios fire on those shards' worker goroutines —
 	// see ShardSet.ShardScenario.
 	AttachSharded func(*ShardSet)
+}
+
+// Validate reports whether the spec names a runnable configuration,
+// rejecting unsupported combinations up front. Sweep-facing callers
+// (sdsweep) print the error and exit before any run starts; Run itself
+// panics on an invalid spec, since reaching it unvalidated is a
+// programming error, not a user mistake.
+func (spec RunSpec) Validate() error {
+	if spec.Shards < 2 {
+		if spec.Cross != (netsim.CrossLink{}) {
+			return fmt.Errorf("experiment: cross-shard link configured on an unsharded run (set Shards ≥ 2, or drop the cross-link options)")
+		}
+		return nil
+	}
+	if spec.System != Frodo3P && spec.System != Frodo2P {
+		return fmt.Errorf("experiment: sharded fabric supports the FRODO systems only (%v uses TCP connections, which cannot span shards)", spec.System)
+	}
+	if spec.ExplicitFailures != nil {
+		return fmt.Errorf("experiment: sharded runs do not support explicit failure schedules (outage plans are drawn per shard); use Lambda or Params.RackFailures")
+	}
+	if spec.Attach != nil {
+		return fmt.Errorf("experiment: sharded runs do not support Attach (it observes one scenario); use AttachSharded")
+	}
+	if spec.Cross != (netsim.CrossLink{}) {
+		if err := spec.Cross.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run executes one full scenario and returns the raw observations. It

@@ -88,8 +88,12 @@ type ShardSet struct {
 	lookahead sim.Time
 	clock     sim.Time // the common time every shard has reached
 	userOrder []netsim.NodeID
-	wg        sync.WaitGroup
-	closed    bool
+	// nextArrival is the global index of the next mid-run User arrival
+	// (Poisson churn or flash crowd); arrival placement continues the
+	// boot round-robin, shard = index mod S.
+	nextArrival int
+	wg          sync.WaitGroup
+	closed      bool
 }
 
 // BuildSharded partitions a topology across S ≥ 2 shards and starts the
@@ -154,6 +158,7 @@ func BuildSharded(sys System, topo Topology, opts Options, seed int64, shards in
 	for i := range ss.userOrder {
 		ss.userOrder[i] = ss.shards[i%shards].sc.UserIDs[i/shards]
 	}
+	ss.nextArrival = topo.Users
 	// Seed the barrier state with each kernel's boot events, or the
 	// first window would see an empty fabric and jump straight to its
 	// target.
@@ -234,21 +239,25 @@ func buildFrodoShard(sys System, k *sim.Kernel, nw *netsim.Network, topo Topolog
 		sc.UserIDs = append(sc.UserIDs, un.ID())
 	}
 
+	// The spawn hooks exist on every shard, not just shard 0: mid-run
+	// churn and flash-crowd arrivals land round-robin across the fabric,
+	// each booting on its owning shard's kernel. (The live gateway still
+	// only spawns through shard 0's scenario.)
+	sc.makeClient = func(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord))) {
+		un := newUser(name, q, l)
+		un.Start(0)
+		return un.ID(), un.User().EachCached
+	}
+	sc.makeUser = func(name string) netsim.NodeID {
+		id, _ := sc.makeClient(name, printerQuery, sc.rec)
+		return id
+	}
 	if shard == 0 {
-		sc.makeClient = func(name string, q discovery.Query, l discovery.ConsistencyListener) (netsim.NodeID, func(func(discovery.ServiceRecord))) {
-			un := newUser(name, q, l)
-			un.Start(0)
-			return un.ID(), un.User().EachCached
-		}
 		sc.makeManager = func(name string, sd discovery.ServiceDescription) (netsim.NodeID, func(func(map[string]string))) {
 			mn := frodo.NewNode(nw.AddNode(name), cfg, mgrClass, mgrPower)
 			m := mn.AttachManager(sd)
 			mn.Start(0)
 			return m.ID(), m.ChangeService
-		}
-		sc.makeUser = func(name string) netsim.NodeID {
-			id, _ := sc.makeClient(name, printerQuery, sc.rec)
-			return id
 		}
 	}
 	sc.bootNodes = nw.Nodes()
@@ -374,6 +383,121 @@ func (ss *ShardSet) RunUntil(target sim.Time) {
 	}
 }
 
+// arrivalScenario returns the scenario hosting the next mid-run User
+// arrival: placement continues the boot round-robin (global arrival
+// index mod S), so where a given arrival lands is a pure function of
+// its position in the arrival order, independent of timing.
+func (ss *ShardSet) arrivalScenario() *Scenario {
+	sc := ss.shards[ss.nextArrival%len(ss.shards)].sc
+	ss.nextArrival++
+	return sc
+}
+
+// scheduleChurn is Scenario.ScheduleChurn's sharded counterpart.
+// Departures are drawn per shard from the owning shard's kernel over
+// its own User subset — shard-local randomness, and the departure
+// events mutate only the owning shard's node table (quiesce, freeze the
+// outcome, retire the slot; rejoins re-draw discovery there too). The
+// arrival stream is drawn once, from shard 0's kernel, so the global
+// arrival order and naming are fixed by (seed, S) alone; each arrival
+// boots through the owning shard's spawn hook on that shard's kernel.
+//
+// Coordinator goroutine, before the first window: every worker is
+// parked at its barrier, and the first command exchange publishes the
+// scheduled events.
+func (ss *ShardSet) scheduleChurn(c Churn, runDuration sim.Duration) {
+	if !c.Enabled() || runDuration <= 0 {
+		return
+	}
+	horizon := sim.Time(runDuration)
+	if c.Departures > 0 {
+		meanUp := sim.Duration(float64(runDuration) / c.Departures)
+		for _, st := range ss.shards {
+			for _, uid := range st.sc.UserIDs {
+				st.sc.scheduleUserChurn(uid, meanUp, c.MeanAbsence, horizon)
+			}
+		}
+	}
+	if c.Arrivals > 0 {
+		meanGap := float64(runDuration) / c.Arrivals
+		k0 := ss.shards[0].k
+		next := len(ss.userOrder)
+		for t := sim.Time(k0.Rand().ExpFloat64() * meanGap); t < horizon; t += sim.Time(k0.Rand().ExpFloat64() * meanGap) {
+			name := userName(next)
+			next++
+			sc := ss.arrivalScenario()
+			sc.K.At(t, func() {
+				id := sc.makeUser(name)
+				sc.UserIDs = append(sc.UserIDs, id)
+			})
+		}
+	}
+}
+
+// scheduleFlashCrowds arms arrival spikes across the fabric: same
+// timing as the unsharded path (no randomness), placement through the
+// shared round-robin arrival cursor.
+func (ss *ShardSet) scheduleFlashCrowds(crowds []FlashCrowd) {
+	for ci, fc := range crowds {
+		if fc.Users <= 0 {
+			continue
+		}
+		for i := 0; i < fc.Users; i++ {
+			at := fc.At
+			if fc.Window > 0 {
+				at += sim.Time(int64(fc.Window) * int64(i) / int64(fc.Users))
+			}
+			name := flashUserName(ci, i)
+			sc := ss.arrivalScenario()
+			sc.K.At(at, func() {
+				id := sc.makeUser(name)
+				sc.UserIDs = append(sc.UserIDs, id)
+			})
+		}
+	}
+}
+
+// schedulePartitions is the shard-0 fault coordinator's split plan: a
+// Bisect is resolved here, at schedule time, into an explicit global
+// SideB — the upper half of the boot population concatenated in shard
+// order — and the identical resolved partition is armed on every
+// shard's kernel, so split and heal land at the same virtual instant
+// fabric-wide. (The unsharded path resolves a Bisect at activation
+// over the then-current table; the sharded resolution is pinned to the
+// boot population instead, and churn arrivals land on side A, like any
+// post-activation attach.) Out-of-shard SideB members go to each
+// network's remote-side ledger, so cross-shard sends drop
+// split-crossing frames at the sender.
+func (ss *ShardSet) schedulePartitions(ps []netsim.Partition) {
+	for _, p := range ps {
+		if len(p.SideB) == 0 && p.Bisect {
+			var all []netsim.NodeID
+			for _, st := range ss.shards {
+				all = append(all, st.sc.AllNodeIDs()...)
+			}
+			p.SideB = all[len(all)/2:]
+			p.Bisect = false
+		}
+		for _, st := range ss.shards {
+			st.nw.SchedulePartition(p)
+		}
+	}
+}
+
+// scheduleRackFailures draws one rack plan from shard 0's kernel over
+// the fabric's whole boot population — racks are physical, so the
+// contiguous blocks of the concatenated table may straddle shards —
+// and hands each outage to the network owning its node.
+func (ss *ShardSet) scheduleRackFailures(cfg netsim.RackPlanConfig) {
+	var all []netsim.NodeID
+	for _, st := range ss.shards {
+		all = append(all, st.sc.AllNodeIDs()...)
+	}
+	for _, f := range netsim.PlanRackFailures(ss.shards[0].k, all, cfg) {
+		ss.shards[f.Node.Shard()].nw.ScheduleFailure(f)
+	}
+}
+
 // Close stops the worker goroutines. Idempotent; the ShardSet is dead
 // afterwards (read-only accessors keep working).
 func (ss *ShardSet) Close() {
@@ -388,26 +512,16 @@ func (ss *ShardSet) Close() {
 }
 
 // runSharded is Run's S ≥ 2 path: one experiment run on a sharded
-// fabric. It mirrors runInWorkspace — per-shard failure plans drawn
-// from each shard's own kernel, change times from shard 0's — and
-// assembles one RunResult with Users in global boot order and effort
-// summed across all shards' counters.
+// fabric. It mirrors runInWorkspace — tracers and observers first, then
+// churn, flash crowds, the per-shard λ plans (each drawn from its own
+// shard's kernel), rack failures, partitions, change times from shard
+// 0's kernel — and assembles one RunResult with effort summed across
+// all shards' counters.
 func runSharded(spec RunSpec) metrics.RunResult {
-	switch {
-	case spec.Params.Churn.Enabled():
-		panic("experiment: sharded runs do not support churn (arrivals/departures mutate one shard's table)")
-	case len(spec.Params.Partitions) > 0:
-		panic("experiment: sharded runs do not support partitions (a split is defined over one node table)")
-	case spec.ExplicitFailures != nil:
-		panic("experiment: sharded runs do not support explicit failure schedules")
-	case spec.MakeTracer != nil:
-		panic("experiment: sharded runs do not support tracers (frames fire on several goroutines)")
-	case spec.Attach != nil:
-		panic("experiment: sharded runs do not support Attach; use per-shard oracles via ShardScenario")
-	case len(spec.Params.FlashCrowds) > 0:
-		panic("experiment: sharded runs do not support flash crowds (arrivals mutate one shard's table)")
-	case spec.Params.RackFailures.Enabled():
-		panic("experiment: sharded runs do not support rack failures (racks are defined over one node table)")
+	if err := spec.Validate(); err != nil {
+		// Sweep-facing callers (sdsweep) validate before any run starts
+		// and print the error; reaching this unvalidated is a caller bug.
+		panic(err)
 	}
 	topo := spec.Params.Topology
 	if topo.Users <= 0 {
@@ -417,11 +531,18 @@ func runSharded(spec RunSpec) metrics.RunResult {
 	if !opts.Harden.Enabled() {
 		opts.Harden = spec.Params.Hardening
 	}
-	ss, err := BuildSharded(spec.System, topo, opts, spec.Seed, spec.Shards, netsim.CrossLink{})
+	ss, err := BuildSharded(spec.System, topo, opts, spec.Seed, spec.Shards, spec.Cross)
 	if err != nil {
 		panic(fmt.Sprintf("experiment: %v", err))
 	}
 	defer ss.Close()
+	if spec.MakeTracer != nil {
+		// One tracer per shard; each fires on its shard's goroutine, so a
+		// tracer must not share unsynchronized state across the builds.
+		for _, st := range ss.shards {
+			st.nw.SetTracer(spec.MakeTracer(st.nw))
+		}
+	}
 	if spec.AttachSharded != nil {
 		// Same contract as Attach: observe before any schedule is drawn,
 		// consuming no kernel's random stream. Workers are parked at their
@@ -429,6 +550,13 @@ func runSharded(spec RunSpec) metrics.RunResult {
 		// window's channel exchange publishes the writes.
 		spec.AttachSharded(ss)
 	}
+	// Schedule order mirrors runInWorkspace: churn first (its whole
+	// schedule is pre-drawn, fixing the event timeline per seed), then
+	// flash crowds (no randomness), the λ plans, racks, partitions. A
+	// spec without dynamics draws exactly what it drew before, keeping
+	// pre-existing sharded runs bit-identical.
+	ss.scheduleChurn(spec.Params.Churn, spec.Params.RunDuration)
+	ss.scheduleFlashCrowds(spec.Params.FlashCrowds)
 
 	for _, st := range ss.shards {
 		plan := netsim.PlanInterfaceFailures(st.k, st.sc.AllNodeIDs(), netsim.FailurePlanConfig{
@@ -439,6 +567,10 @@ func runSharded(spec RunSpec) metrics.RunResult {
 		})
 		st.nw.ScheduleFailures(plan)
 	}
+	if spec.Params.RackFailures.Enabled() {
+		ss.scheduleRackFailures(spec.Params.RackFailures)
+	}
+	ss.schedulePartitions(spec.Params.Partitions)
 
 	k0 := ss.shards[0].k
 	nChanges := spec.Params.Changes
@@ -468,13 +600,47 @@ func runSharded(spec RunSpec) metrics.RunResult {
 	}
 	allDone := changeAt
 	allReached := true
-	for _, uid := range ss.userOrder {
-		at, ok := ss.ReachedAt(uid)
-		res.Users = append(res.Users, metrics.UserOutcome{User: uid, Reached: ok, At: at})
-		if !ok {
-			allReached = false
-		} else if at > allDone {
-			allDone = at
+	if !spec.Params.Churn.Enabled() && len(spec.Params.FlashCrowds) == 0 {
+		// Static population: Users in global boot order, as before.
+		for _, uid := range ss.userOrder {
+			at, ok := ss.ReachedAt(uid)
+			res.Users = append(res.Users, metrics.UserOutcome{User: uid, Reached: ok, At: at})
+			if !ok {
+				allReached = false
+			} else if at > allDone {
+				allDone = at
+			}
+		}
+	} else {
+		// Dynamic population: the boot order is gone (departures compact
+		// each shard's UserIDs, arrivals append), so walk shards in order
+		// with runInWorkspace's exclusion rules — a User absent at the end
+		// that never reached the target contributes no U(i,j) sample, and
+		// permanently departed Users report their frozen outcomes.
+		for _, st := range ss.shards {
+			sc := st.sc
+			for _, uid := range sc.UserIDs {
+				at, ok := sc.ReachedAt(uid)
+				excluded := !ok && sc.AbsentAtEnd(uid)
+				res.Users = append(res.Users, metrics.UserOutcome{User: uid, Reached: ok, At: at, Excluded: excluded})
+				if excluded {
+					continue
+				}
+				if !ok {
+					allReached = false
+				} else if at > allDone {
+					allDone = at
+				}
+			}
+			for _, o := range sc.RetiredOutcomes() {
+				res.Users = append(res.Users, o)
+				if o.Excluded {
+					continue
+				}
+				if o.At > allDone {
+					allDone = o.At
+				}
+			}
 		}
 	}
 	winEnd := deadline

@@ -71,6 +71,10 @@ type Config struct {
 	// not reachable through the gateway's subscribe/notify taps, which
 	// observe shard 0. 0 or 1 serves the classic single-kernel fabric.
 	Shards int
+	// CrossLink characterizes the inter-shard links of a sharded fabric
+	// (minimum delay = conservative lookahead). The zero value means
+	// netsim.DefaultCrossLink; ignored when Shards < 2.
+	CrossLink netsim.CrossLink
 	// Oracle, when non-nil, attaches the run-time consistency oracle to
 	// the live driver via the tracer tee; zero fields take the system's
 	// defaults. The gateway exposes the report at /v1/oracle.
@@ -168,7 +172,7 @@ func New(cfg Config) (*Driver, error) {
 		done:   make(chan struct{}),
 	}
 	if cfg.Shards >= 2 {
-		ss, err := experiment.BuildSharded(cfg.System, topo, cfg.Options, cfg.Seed, cfg.Shards, netsim.CrossLink{})
+		ss, err := experiment.BuildSharded(cfg.System, topo, cfg.Options, cfg.Seed, cfg.Shards, cfg.CrossLink)
 		if err != nil {
 			return nil, fmt.Errorf("live: %w", err)
 		}

@@ -133,13 +133,15 @@ type Network struct {
 	delayTable []sim.Duration
 	delayKey   delayTableKey
 	// Partition state (see partition.go): the side bitmap of the active
-	// split, the activation record that owns it, and the arena of
-	// scheduled transitions.
-	partActive bool
-	partOwner  *partEvent
-	partSideB  []bool
-	partEvents []*partEvent
-	partNext   int
+	// split, the activation record that owns it, the arena of scheduled
+	// transitions, and — on sharded networks only — the side-B membership
+	// of nodes owned by other shards, which the local bitmap cannot index.
+	partActive  bool
+	partOwner   *partEvent
+	partSideB   []bool
+	partRemoteB map[NodeID]bool
+	partEvents  []*partEvent
+	partNext    int
 
 	// Sharded-fabric state (see shard.go): the shard this network is,
 	// the NodeID base its table indexes from, the egress router for
@@ -199,6 +201,7 @@ func (nw *Network) Reset(k *sim.Kernel, cfg Config) {
 	nw.partActive = false
 	nw.partOwner = nil
 	nw.partNext = 0
+	clear(nw.partRemoteB)
 	nw.shard = 0
 	nw.idBase = 0
 	nw.router = nil
@@ -247,6 +250,7 @@ func (nw *Network) Rearm(k *sim.Kernel, cfg Config, keep int) {
 		n.txUp = true
 		n.rxUp = true
 		n.retired = false
+		n.attachedAt = 0 // kept slots are boot-time nodes of the new run
 		n.ep = nil
 		n.onInterfaceChange = nil
 	}
@@ -259,6 +263,7 @@ func (nw *Network) Rearm(k *sim.Kernel, cfg Config, keep int) {
 	nw.partActive = false
 	nw.partOwner = nil
 	nw.partNext = 0
+	clear(nw.partRemoteB)
 	nw.prepareLink()
 }
 
@@ -288,9 +293,16 @@ func (nw *Network) AddNode(name string) *Node {
 		nw.retired = nw.retired[:n-1]
 		local := int(id) - nw.idBase
 		node := nw.nodes[local]
-		*node = Node{ID: id, Name: name, txUp: true, rxUp: true, net: nw, gen: node.gen + 1}
+		*node = Node{ID: id, Name: name, txUp: true, rxUp: true, net: nw,
+			gen: node.gen + 1, attachedAt: nw.k.Now()}
 		if nw.burstOn {
 			nw.geState[local] = geGood // a fresh tenant starts a fresh chain
+		}
+		if local < len(nw.partSideB) {
+			// A recycled slot's new tenant is a fresh arrival: it lands on
+			// side A of any active partition, like every post-activation
+			// attach, instead of inheriting its predecessor's side.
+			nw.partSideB[local] = false
 		}
 		nw.traceNode(id, "attached")
 		return node
@@ -303,7 +315,8 @@ func (nw *Network) AddNode(name string) *Node {
 	} else {
 		n = &Node{}
 	}
-	*n = Node{ID: MakeNodeID(nw.shard, len(nw.nodes)), Name: name, txUp: true, rxUp: true, net: nw}
+	*n = Node{ID: MakeNodeID(nw.shard, len(nw.nodes)), Name: name,
+		txUp: true, rxUp: true, net: nw, attachedAt: nw.k.Now()}
 	nw.nodes = append(nw.nodes, n)
 	if nw.burstOn {
 		nw.geState = append(nw.geState, geGood)

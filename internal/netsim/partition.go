@@ -90,10 +90,20 @@ func (nw *Network) activatePartition(p Partition) {
 		nw.partSideB = nw.partSideB[:need]
 		clear(nw.partSideB)
 	}
+	clear(nw.partRemoteB)
 	if p.SideB != nil {
 		for _, id := range p.SideB {
 			if i := int(id) - nw.idBase; i >= 0 && i < need {
 				nw.partSideB[i] = true
+			} else if nw.router != nil {
+				// A side-B node owned by another shard: the fault
+				// coordinator schedules the same resolved plan on every
+				// shard, and cross-shard sends must see the remote peer's
+				// side to drop split-crossing frames at the sender.
+				if nw.partRemoteB == nil {
+					nw.partRemoteB = make(map[NodeID]bool)
+				}
+				nw.partRemoteB[id] = true
 			}
 		}
 	} else {
@@ -117,7 +127,10 @@ func (nw *Network) partitioned(from, to NodeID) bool {
 
 func (nw *Network) side(id NodeID) bool {
 	i := int(id) - nw.idBase
-	return i >= 0 && i < len(nw.partSideB) && nw.partSideB[i]
+	if i >= 0 && i < len(nw.nodes) {
+		return i < len(nw.partSideB) && nw.partSideB[i]
+	}
+	return nw.partRemoteB[id] // a peer on another shard of the fabric
 }
 
 // SchedulePartition arms the split and heal transitions for one planned

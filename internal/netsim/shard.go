@@ -141,6 +141,13 @@ func (nw *Network) crossUnicast(from, to NodeID, out Outgoing) {
 		nw.drop(&nw.crossScratch, "tx down")
 		return
 	}
+	if nw.partitioned(from, to) {
+		// Exact send-time semantics, same as the local path: the fault
+		// coordinator arms the identical resolved partition on every
+		// shard, so the sender knows the remote peer's side (partRemoteB).
+		nw.drop(&nw.crossScratch, "partitioned")
+		return
+	}
 	dest := to.Shard()
 	nw.router.outbox[dest] = append(nw.router.outbox[dest], CrossFrame{From: from, To: to,
 		Kind: out.Kind, Counted: out.Counted, Payload: out.Payload, SentAt: nw.crossScratch.SentAt})
@@ -170,6 +177,15 @@ func (nw *Network) IngestCross(frames []CrossFrame) {
 			nw.ingestCrossMulticast(f)
 			continue
 		}
+		if nw.Node(f.To).attachedAt > f.SentAt {
+			// The slot changed hands while the frame crossed the barrier:
+			// the tenancy check the local path does via gen-at-send, done
+			// here via attach-time since the sender couldn't capture gen.
+			nw.crossScratch = Message{From: f.From, To: f.To, Kind: f.Kind, Counted: f.Counted,
+				Payload: f.Payload, Transport: UDP, SentAt: f.SentAt}
+			nw.drop(&nw.crossScratch, "slot recycled")
+			continue
+		}
 		if nw.linkLose(f.To) {
 			nw.crossScratch = Message{From: f.From, To: f.To, Kind: f.Kind, Counted: f.Counted,
 				Payload: f.Payload, Transport: UDP, SentAt: f.SentAt}
@@ -196,6 +212,25 @@ func (nw *Network) ingestCrossMulticast(cf *CrossFrame) {
 	f.wire = Message{From: cf.From, To: NoNode, Multicast: true, Kind: cf.Kind,
 		Counted: cf.Counted, Payload: cf.Payload, Transport: UDP, SentAt: cf.SentAt}
 	for _, to := range members {
+		if nw.Node(to).attachedAt > cf.SentAt {
+			// This member joined (or its slot was recycled) after the
+			// remote copy hit the wire: it was not a receiver of that
+			// transmission, exactly as a post-send joiner is absent from a
+			// local fan-out. Skipped, not dropped — a non-member at send
+			// time never had a frame to lose.
+			continue
+		}
+		if nw.partitioned(cf.From, to) {
+			// Checked at ingest: the remote sender cannot enumerate this
+			// shard's segment of the group at send time. Split/heal edges
+			// therefore act on cross-shard multicast with up to one
+			// lookahead window of skew — deterministic, and bounded by
+			// CrossLink.MinDelay.
+			f.scratch = f.wire
+			f.scratch.To = to
+			nw.drop(&f.scratch, "partitioned")
+			continue
+		}
 		if nw.linkLose(to) {
 			f.scratch = f.wire
 			f.scratch.To = to

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// dropLog records drop reasons so tests can distinguish the tenancy
+// drop ("slot recycled") from ordinary loss.
+type dropLog struct {
+	reasons []string
+}
+
+func (d *dropLog) MessageSent(sim.Time, *Message)      {}
+func (d *dropLog) MessageDelivered(sim.Time, *Message) {}
+func (d *dropLog) NodeEvent(sim.Time, NodeID, string)  {}
+func (d *dropLog) MessageDropped(_ sim.Time, _ *Message, reason string) {
+	d.reasons = append(d.reasons, reason)
+}
+
+// twoShardFabric wires a minimal 2-shard fabric by hand: two kernels,
+// two networks, one router per shard — the same shape the experiment
+// coordinator builds, without the window goroutines (tests move frames
+// across the barrier themselves with Drain + IngestCross).
+func twoShardFabric(t *testing.T) (kA, kB *sim.Kernel, nwA, nwB *Network, rA, rB *ShardRouter) {
+	t.Helper()
+	link := DefaultCrossLink()
+	kA, kB = sim.New(1), sim.New(2)
+	rA, rB = NewShardRouter(2, link), NewShardRouter(2, link)
+	nwA, nwB = mustNew(kA, DefaultConfig()), mustNew(kB, DefaultConfig())
+	nwA.SetShard(0, rA)
+	nwB.SetShard(1, rB)
+	return
+}
+
+// TestCrossShardRecycledSlotDropsInFlightFrame pins the cross-shard
+// tenancy rule: a unicast frame that was in flight across the barrier
+// when its destination departed must NOT be delivered to the slot's
+// next tenant. Local frames carry the receiver's gen from send time;
+// cross-shard frames cannot (the receiver lives on another shard), so
+// IngestCross compares SentAt against the tenant's attach time instead.
+func TestCrossShardRecycledSlotDropsInFlightFrame(t *testing.T) {
+	_, kB, nwA, nwB, rA, _ := twoShardFabric(t)
+	var drops dropLog
+	nwB.SetTracer(&drops)
+
+	sender := nwA.AddNode("sender")
+	dest := nwB.AddNode("dest")
+	nwA.SendUDP(sender.ID, dest.ID, Outgoing{Kind: "renew", Counted: true, Payload: 7})
+
+	frames := rA.Drain(1, nil)
+	if len(frames) != 1 {
+		t.Fatalf("router buffered %d frames for shard 1, want 1", len(frames))
+	}
+
+	// The destination churns out and its slot is recycled while the
+	// frame is still crossing the barrier.
+	kB.Run(sim.Second)
+	nwB.Retire(dest.ID)
+	tenant := nwB.AddNode("tenant")
+	if tenant.ID != dest.ID {
+		t.Fatalf("recycled slot got ID %d, want the retired %d", tenant.ID, dest.ID)
+	}
+	var delivered []Message
+	tenant.SetEndpoint(EndpointFunc(func(m *Message) { delivered = append(delivered, *m) }))
+
+	nwB.IngestCross(frames)
+	kB.Run(10 * sim.Second)
+
+	if len(delivered) != 0 {
+		t.Fatalf("new tenant received %d frames aimed at its predecessor: %+v", len(delivered), delivered)
+	}
+	want := false
+	for _, r := range drops.reasons {
+		if r == "slot recycled" {
+			want = true
+		}
+	}
+	if !want {
+		t.Fatalf("no 'slot recycled' drop recorded; drops = %v", drops.reasons)
+	}
+}
+
+// TestCrossShardUnicastDeliversToStandingTenant is the control: the
+// same in-flight frame IS delivered when the destination slot never
+// changed hands, even though the receiving shard's clock has moved past
+// the send instant (the arrival draw clamps to Now).
+func TestCrossShardUnicastDeliversToStandingTenant(t *testing.T) {
+	_, kB, nwA, nwB, rA, _ := twoShardFabric(t)
+	sender := nwA.AddNode("sender")
+	dest := nwB.AddNode("dest")
+	var delivered []Message
+	dest.SetEndpoint(EndpointFunc(func(m *Message) { delivered = append(delivered, *m) }))
+
+	nwA.SendUDP(sender.ID, dest.ID, Outgoing{Kind: "renew", Counted: true, Payload: 7})
+	kB.Run(sim.Second)
+	nwB.IngestCross(rA.Drain(1, nil))
+	kB.Run(10 * sim.Second)
+
+	if len(delivered) != 1 || delivered[0].Payload.(int) != 7 {
+		t.Fatalf("standing tenant got %+v, want the one renew frame", delivered)
+	}
+}
+
+// TestCrossShardMulticastSkipsPostSendJoiner pins the multicast side of
+// the tenancy rule: a member whose slot was recycled (or who joined)
+// after the remote wire copy was sent is silently skipped — it was not
+// a receiver of that transmission, so it is neither delivered to nor
+// charged a drop — while members standing since before the send still
+// receive the fan-out.
+func TestCrossShardMulticastSkipsPostSendJoiner(t *testing.T) {
+	_, kB, nwA, nwB, rA, _ := twoShardFabric(t)
+	var drops dropLog
+	nwB.SetTracer(&drops)
+
+	sender := nwA.AddNode("sender")
+	old := nwB.AddNode("old")
+	g := Group(1)
+	nwB.Join(old.ID, g)
+	var oldGot []Message
+	old.SetEndpoint(EndpointFunc(func(m *Message) { oldGot = append(oldGot, *m) }))
+
+	nwA.Multicast(sender.ID, g, Outgoing{Kind: "announce", Counted: true}, 1)
+	frames := rA.Drain(1, nil)
+	if len(frames) != 1 || !frames[0].Multicast {
+		t.Fatalf("router buffered %+v, want one multicast wire copy", frames)
+	}
+
+	// A fresh member attaches after the wire copy was sent.
+	kB.Run(sim.Second)
+	late := nwB.AddNode("late")
+	nwB.Join(late.ID, g)
+	var lateGot []Message
+	late.SetEndpoint(EndpointFunc(func(m *Message) { lateGot = append(lateGot, *m) }))
+
+	nwB.IngestCross(frames)
+	kB.Run(10 * sim.Second)
+
+	if len(oldGot) != 1 {
+		t.Fatalf("standing member got %d copies, want 1", len(oldGot))
+	}
+	if len(lateGot) != 0 {
+		t.Fatalf("post-send joiner received %d copies of a transmission it was absent for", len(lateGot))
+	}
+	if len(drops.reasons) != 0 {
+		t.Fatalf("post-send joiner was charged a drop: %v", drops.reasons)
+	}
+}
+
+// TestCrossShardUnicastDroppedWhilePartitioned pins the exact send-time
+// partition semantics of the cross-shard unicast path: the fault
+// coordinator arms the identical resolved partition on every shard, so
+// a sender knows a remote peer's side (partRemoteB) and drops at send.
+func TestCrossShardUnicastDroppedWhilePartitioned(t *testing.T) {
+	kA, kB, nwA, nwB, rA, _ := twoShardFabric(t)
+	var drops dropLog
+	nwA.SetTracer(&drops)
+
+	sender := nwA.AddNode("sender")
+	dest := nwB.AddNode("dest")
+	var delivered []Message
+	dest.SetEndpoint(EndpointFunc(func(m *Message) { delivered = append(delivered, *m) }))
+
+	// The remote peer is on side B; the local sender stays on side A.
+	p := Partition{Start: sim.Second, Duration: 10 * sim.Second, SideB: []NodeID{dest.ID}}
+	nwA.SchedulePartition(p)
+	kA.Run(2 * sim.Second) // activate the split
+
+	nwA.SendUDP(sender.ID, dest.ID, Outgoing{Kind: "renew", Counted: true})
+	nwB.IngestCross(rA.Drain(1, nil))
+	kB.Run(5 * sim.Second)
+
+	if len(delivered) != 0 {
+		t.Fatalf("frame crossed an active partition: %+v", delivered)
+	}
+	found := false
+	for _, r := range drops.reasons {
+		if r == "partitioned" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no 'partitioned' drop on the sending shard; drops = %v", drops.reasons)
+	}
+
+	// After the heal the same send goes through.
+	kA.Run(20 * sim.Second)
+	nwA.SendUDP(sender.ID, dest.ID, Outgoing{Kind: "renew", Counted: true})
+	nwB.IngestCross(rA.Drain(1, nil))
+	kB.Run(25 * sim.Second)
+	if len(delivered) != 1 {
+		t.Fatalf("post-heal frame not delivered (got %d)", len(delivered))
+	}
+}

@@ -298,8 +298,12 @@ type Oracle struct {
 	// observed (Register/Subscribe delivery), refreshed by observed
 	// renewals.
 	leases map[leaseKey]sim.Time
-	// claims records each node's latest Registry-role announcement; the
-	// heal probes count claims within CentralWindow.
+	// claims records each node's latest *delivered* Registry-role
+	// announcement; the heal probes count claims within CentralWindow.
+	// Recording at delivery — not at send — is deliberate: an announcement
+	// that never reached any receiver is no evidence the election has a
+	// live, observable Central, so a partition-isolated announcer whose
+	// frames all die on the wire must not "pass" the probe.
 	claims   map[netsim.NodeID]sim.Time
 	sawClaim bool
 
@@ -523,11 +527,6 @@ func (o *Oracle) MessageSent(t sim.Time, m *netsim.Message) {
 		}
 	}
 	switch p := m.Payload.(type) {
-	case discovery.Announce:
-		if p.Role == discovery.RoleRegistry {
-			o.claims[m.From] = t
-			o.sawClaim = true
-		}
 	case discovery.Bye:
 		if p.Role == discovery.RoleRegistry {
 			// An explicit retraction: the sender renounced the Central
@@ -567,10 +566,19 @@ func (o *Oracle) MessageSent(t sim.Time, m *netsim.Message) {
 	}
 }
 
-// MessageDelivered implements netsim.Tracer: lease creations and
-// refreshes, as the holder observes them.
+// MessageDelivered implements netsim.Tracer: Registry claims, lease
+// creations and refreshes — all as a receiver observes them.
 func (o *Oracle) MessageDelivered(t sim.Time, m *netsim.Message) {
 	switch p := m.Payload.(type) {
+	case discovery.Announce:
+		// A Registry claim counts as liveness only once somebody hears
+		// it. Send-side accounting was drop-blind: a Central isolated by
+		// a partition kept "renewing" its claim with frames that died on
+		// the wire, masking no-Central windows in baseline runs.
+		if p.Role == discovery.RoleRegistry {
+			o.claims[m.From] = t
+			o.sawClaim = true
+		}
 	case discovery.Register:
 		o.leases[leaseKey{holder: m.To, renewer: m.From, manager: p.Rec.Manager}] = t + sim.Time(p.Lease)
 	case discovery.Subscribe:
