@@ -14,7 +14,7 @@ BENCH_PR ?= 6
 BENCH_BASELINE ?= BENCH_5.json
 COVER_FLOOR ?= 70
 
-.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke hunt-smoke harden-smoke clean
+.PHONY: check vet build test race bench bench-all bench-scale bench-gate cover-floor live-smoke shard-smoke hunt-smoke harden-smoke obs-smoke clean
 
 check: vet build race
 
@@ -52,7 +52,7 @@ bench-gate:
 # correctness everything else leans on must stay ≥ $(COVER_FLOOR)%
 # statement coverage (CI-enforced).
 cover-floor:
-	@set -e; for pkg in ./internal/verify ./internal/netsim ./internal/trace ./internal/hunt ./internal/harden; do \
+	@set -e; for pkg in ./internal/verify ./internal/netsim ./internal/trace ./internal/hunt ./internal/harden ./internal/obs; do \
 	  pct=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
 	  echo "$$pkg coverage: $$pct%"; \
 	  awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' || \
@@ -105,6 +105,41 @@ harden-smoke:
 	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
 	[ -s $$tmp/addr ] || { echo "sdlived never published its address"; exit 1; }; \
 	$$tmp/sdload -addr $$(cat $$tmp/addr) -clients 100 -duration 5s -retries 4 -retry-base 50ms -oracle -quiet; \
+	kill $$pid; \
+	wait $$pid || { echo "sdlived exited nonzero (race detected or oracle violation)"; exit 1; }
+
+# Telemetry smoke test (CI-enforced): boot a race-built 2-shard sdlived,
+# scrape /metrics under a short sdload burst, and assert the mandatory
+# series are present and the frame counters are monotone between two
+# scrapes taken across the load window.
+obs-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -race -o $$tmp/sdlived ./cmd/sdlived; \
+	$(GO) build -race -o $$tmp/sdload ./cmd/sdload; \
+	$$tmp/sdlived -system frodo2p -shards 2 -users 200 -dilation 0.002 -addr 127.0.0.1:0 -addr-file $$tmp/addr & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "sdlived never published its address"; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	curl -fsS "http://$$addr/metrics" > $$tmp/scrape1; \
+	for series in 'sd_frames_sent_total{shard="0"}' 'sd_frames_sent_total{shard="1"}' \
+	              'sd_shard_barrier_stall_nanos_total{shard="1"}' 'sd_shard_busy_nanos_total{shard="0"}' \
+	              'sd_frames_dropped_total{shard="0"}' 'sd_fabric_windows_total' \
+	              'sd_kernel_pending{shard="0"}' 'sd_gateway_ops_total' 'sd_live_virtual_seconds'; do \
+	  grep -qF "$$series" $$tmp/scrape1 || { echo "/metrics missing $$series"; cat $$tmp/scrape1; exit 1; }; \
+	done; \
+	grep -q '^# TYPE sd_frames_sent_total counter' $$tmp/scrape1 || { echo "missing TYPE line"; exit 1; }; \
+	$$tmp/sdload -addr $$addr -clients 50 -duration 3s -oracle -quiet -telemetry $$tmp/load.json; \
+	grep -q 'sdload_ops_total' $$tmp/load.json || { echo "sdload -telemetry dump missing its series"; exit 1; }; \
+	curl -fsS "http://$$addr/metrics" > $$tmp/scrape2; \
+	for series in 'sd_frames_sent_total{shard="0"}' 'sd_gateway_ops_total' 'sd_fabric_windows_total'; do \
+	  v1=$$(grep -v '^#' $$tmp/scrape1 | grep -F "$$series" | head -1 | awk '{print $$NF}'); \
+	  v2=$$(grep -v '^#' $$tmp/scrape2 | grep -F "$$series" | head -1 | awk '{print $$NF}'); \
+	  awk -v a="$$v1" -v b="$$v2" 'BEGIN { exit !(b+0 >= a+0 && b+0 > 0) }' || \
+	    { echo "$$series not monotone under load: $$v1 -> $$v2"; exit 1; }; \
+	done; \
+	curl -fsS "http://$$addr/debug/flight" > $$tmp/flight.json; \
+	grep -q '"shard"' $$tmp/flight.json || { echo "/debug/flight returned no rings"; exit 1; }; \
 	kill $$pid; \
 	wait $$pid || { echo "sdlived exited nonzero (race detected or oracle violation)"; exit 1; }
 

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/hunt"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,12 +47,26 @@ func main() {
 		replay  = flag.String("replay", "", "replay every *.json fixture in this directory instead of hunting")
 		corpus  = flag.String("corpus", "", "seed the hunt with every *.json spec in this directory (resume from a committed corpus)")
 		harden  = flag.Bool("harden", false, "hunt with the full protocol-hardening layer on (find what the layer does NOT close)")
+		telem   = flag.String("telemetry", "", "meter every candidate run into one registry and write it as JSON to this file at exit (- for stdout)")
 		verbose = flag.Bool("v", false, "log hunt progress to stderr")
 	)
 	flag.Parse()
 
+	// The registry is passive: hunts stay deterministic (same corpus,
+	// same findings) with metering on — the dump just shows the frame
+	// and violation volume the hunt pushed through the fabric.
+	var reg *obs.Registry
+	if *telem != "" {
+		reg = obs.NewRegistry()
+		experiment.SetTelemetry(reg)
+	}
+
 	if *replay != "" {
-		os.Exit(replayDir(*replay))
+		code := replayDir(*replay)
+		if reg != nil {
+			dumpTelemetry(reg, *telem)
+		}
+		os.Exit(code)
 	}
 	if *budget <= 0 && *iters <= 0 {
 		fmt.Fprintln(os.Stderr, "sdhunt: need -budget or -iters (an unbounded hunt never ends)")
@@ -110,8 +125,34 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if reg != nil {
+		dumpTelemetry(reg, *telem)
+	}
 	if !rep.Clean() {
 		os.Exit(1)
+	}
+}
+
+// dumpTelemetry writes the registry as indented JSON to path, or to
+// stdout for "-".
+func dumpTelemetry(reg *obs.Registry, path string) {
+	err := func() error {
+		if path == "-" {
+			return reg.WriteJSON(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdhunt: -telemetry: %v\n", err)
+		os.Exit(2)
 	}
 }
 

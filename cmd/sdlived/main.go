@@ -10,8 +10,11 @@
 //	sdlived -system upnp -users 100 -burst... (see -help)
 //
 // The daemon serves until SIGINT/SIGTERM, then prints the oracle report
-// and exits nonzero if any invariant was violated. Progress counters
-// are exported as expvar under /debug/vars on the same listener.
+// and exits nonzero if any invariant was violated. The full telemetry
+// registry is served as Prometheus text on /metrics, as expvar under
+// /debug/vars, and profiled under /debug/pprof, all on the same
+// listener; SIGUSR1 dumps the per-shard flight-recorder rings to
+// stderr, and a dirty oracle report at shutdown dumps them too.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/live"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/verify"
 )
@@ -118,6 +122,7 @@ func main() {
 	}
 
 	expvar.Publish("sdlived", expvar.Func(func() any { return srv.Gateway.Stats() }))
+	expvar.Publish("sdlived_metrics", expvar.Func(func() any { return srv.Driver.Telemetry().Snapshot() }))
 	fabric := "single fabric"
 	if *shards >= 2 {
 		fabric = fmt.Sprintf("%d shards", *shards)
@@ -134,7 +139,19 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	dump := make(chan os.Signal, 1)
+	signal.Notify(dump, syscall.SIGUSR1)
+	for serving := true; serving; {
+		select {
+		case <-dump:
+			// Operator-requested flight dump: the recent trace tail of every
+			// shard, without stopping the daemon.
+			fmt.Fprintln(os.Stderr, "sdlived: SIGUSR1 flight dump")
+			dumpFlight(srv.Driver.FlightDump())
+		case <-sig:
+			serving = false
+		}
+	}
 
 	stats := srv.Gateway.Stats()
 	srv.Close()
@@ -143,7 +160,21 @@ func main() {
 	if rep, ok := srv.OracleReport(); ok {
 		fmt.Printf("sdlived: %v\n", rep)
 		if !rep.Clean() {
+			// The oracle froze the recorders at the first violation, so the
+			// rings hold the frames leading up to the breach.
+			fmt.Fprintln(os.Stderr, "sdlived: flight-recorder state at first violation:")
+			dumpFlight(srv.Driver.FlightDump())
 			os.Exit(1)
 		}
+	}
+}
+
+func dumpFlight(snaps []obs.FlightSnapshot) {
+	if len(snaps) == 0 {
+		fmt.Fprintln(os.Stderr, "sdlived: flight recorders disabled")
+		return
+	}
+	if err := obs.WriteFlightJSON(os.Stderr, snaps); err != nil {
+		fmt.Fprintf(os.Stderr, "sdlived: flight dump: %v\n", err)
 	}
 }

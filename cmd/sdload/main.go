@@ -28,23 +28,45 @@ import (
 	"net/http"
 	"os"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
+// counters is a view over the obs registry: every series sdload tracks
+// — latency histograms, op/failure totals, per-attempt error classes —
+// lives in the registry, so -telemetry dumps the same numbers the
+// report prints.
 type counters struct {
-	register, query, update, notify live.Histogram
-	ops                             atomic.Uint64
-	errors                          atomic.Uint64
-	notifyMisses                    atomic.Uint64
-	discovered                      atomic.Uint64
+	register, query, update, notify *obs.Histogram
+	ops                             *obs.Counter
+	errors                          *obs.Counter
+	notifyMisses                    *obs.Counter
+	discovered                      *obs.Counter
 	// Per-attempt error classes: a request that times out twice and then
 	// succeeds contributes 2 to timeouts and 0 to errors.
-	timeouts, refused, transport atomic.Uint64
-	retries                      atomic.Uint64
+	timeouts, refused, transport *obs.Counter
+	retries                      *obs.Counter
+}
+
+func newCounters(reg *obs.Registry) *counters {
+	class := reg.CounterVec("sdload_attempt_errors_total", "class")
+	return &counters{
+		register:     reg.Histogram("sdload_register_seconds"),
+		query:        reg.Histogram("sdload_query_seconds"),
+		update:       reg.Histogram("sdload_update_seconds"),
+		notify:       reg.Histogram("sdload_update_notify_seconds"),
+		ops:          reg.Counter("sdload_ops_total"),
+		errors:       reg.Counter("sdload_client_failures_total"),
+		notifyMisses: reg.Counter("sdload_notify_misses_total"),
+		discovered:   reg.Counter("sdload_discovered_total"),
+		timeouts:     class.Get("timeout"),
+		refused:      class.Get("refused"),
+		transport:    class.Get("transport"),
+		retries:      reg.Counter("sdload_retries_total"),
+	}
 }
 
 // classify buckets one failed attempt: timeout (the per-request deadline
@@ -106,6 +128,7 @@ func main() {
 		retries    = flag.Int("retries", 3, "attempts per request before giving up (1 = no retry)")
 		retryBase  = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff; jittered, capped at 32x")
 		oracle     = flag.Bool("oracle", false, "fetch /v1/oracle at the end and fail on violations")
+		telemetry  = flag.String("telemetry", "", "write the full metrics registry as JSON to this file at exit (- for stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -130,7 +153,8 @@ func main() {
 	tr := &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512}
 	hc := &http.Client{Timeout: *reqTimeout, Transport: tr}
 
-	var c counters
+	reg := obs.NewRegistry()
+	c := newCounters(reg)
 	var wg sync.WaitGroup
 	start := time.Now()
 	allDone := make(chan struct{})
@@ -138,9 +162,9 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rt := &retrier{c: &c, attempts: *retries, base: *retryBase,
+			rt := &retrier{c: c, attempts: *retries, base: *retryBase,
 				rng: rand.New(rand.NewSource(int64(i)))}
-			runClient(i, live.NewClientWith(*addr, hc), hub, &c, rt, *duration, *discWait, *notifyWait)
+			runClient(i, live.NewClientWith(*addr, hc), hub, c, rt, *duration, *discWait, *notifyWait)
 		}(i)
 	}
 	go func() { wg.Wait(); close(allDone) }()
@@ -177,6 +201,13 @@ func main() {
 	fmt.Printf("  update:       %s\n", c.update.Summary())
 	fmt.Printf("  update→notify %s\n", c.notify.Summary())
 
+	if *telemetry != "" {
+		if err := dumpTelemetry(reg, *telemetry); err != nil {
+			fmt.Fprintf(os.Stderr, "sdload: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	fail := false
 	if c.errors.Load() > 0 || c.discovered.Load() < uint64(*clients) {
 		fail = true
@@ -199,6 +230,23 @@ func main() {
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// dumpTelemetry writes the registry as indented JSON to path, or to
+// stdout for "-".
+func dumpTelemetry(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runClient is one external participant's life: register, attach,

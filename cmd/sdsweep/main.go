@@ -13,6 +13,7 @@
 //	sdsweep -figure loss         # extension: message-loss failure model
 //	sdsweep -figure adversarial  # extension: burst vs i.i.d. loss at equal rate
 //	sdsweep -figure shard -shards 8 -users 100000   # sharded-fabric speedup table
+//	sdsweep -figure shardprofile -users 10000       # per-shard busy/stall/ingest profile, S ∈ {1,2,4,8}
 //	sdsweep -figure hardening    # extension: baseline vs hardened under the hunted fault mix
 //	sdsweep -figure 4 -harden    # any figure with the protocol-hardening layer on
 //
@@ -36,11 +37,12 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: 4|5|6|7|loss|polling|scale|shard|hardening|all")
+		figure  = flag.String("figure", "all", "figure to regenerate: 4|5|6|7|loss|polling|scale|shard|shardprofile|hardening|all")
 		runs    = flag.Int("runs", 30, "runs per (system, λ) point (X in the paper)")
 		seed    = flag.Int64("seed", 1, "base seed for the whole sweep")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		telem   = flag.String("telemetry", "", "meter every run into one registry and write it as JSON to this file at exit (- for stdout)")
 		asPlot  = flag.Bool("plot", false, "render figures 4-6 as ASCII charts too")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 
@@ -74,7 +76,7 @@ func main() {
 	// Validate before the profilers start: an os.Exit on a bad flag must
 	// not leave a started-but-unflushed (truncated) CPU profile behind.
 	switch *figure {
-	case "4", "5", "6", "7", "loss", "polling", "scale", "adversarial", "hardening", "all":
+	case "4", "5", "6", "7", "loss", "polling", "scale", "adversarial", "hardening", "shardprofile", "all":
 	case "shard":
 		if *shards < 2 {
 			fmt.Fprintf(os.Stderr, "-figure shard needs -shards ≥ 2, got %d\n", *shards)
@@ -90,8 +92,8 @@ func main() {
 	}
 	var cross sdsim.CrossLink
 	if *crossMin != 0 || *crossMax != 0 {
-		if *figure != "shard" {
-			fmt.Fprintf(os.Stderr, "-cross-min/-cross-max apply to -figure shard only\n")
+		if *figure != "shard" && *figure != "shardprofile" {
+			fmt.Fprintf(os.Stderr, "-cross-min/-cross-max apply to -figure shard and shardprofile only\n")
 			os.Exit(2)
 		}
 		cross = sdsim.DefaultCrossLink()
@@ -215,6 +217,10 @@ func main() {
 		}()
 	}
 
+	if *telem != "" {
+		sdsim.SetTelemetry(sdsim.NewRegistry())
+	}
+
 	params := sdsim.DefaultParams()
 	params.Runs = *runs
 	params.BaseSeed = *seed
@@ -305,6 +311,8 @@ func main() {
 		emit(scaleSweep(params, linkOpts, *workers, progress))
 	case "shard":
 		emit(shardTable(params, linkOpts, *shards, cross, *quiet))
+	case "shardprofile":
+		emit(shardProfileTable(params, linkOpts, cross, *quiet))
 	case "adversarial":
 		emit(sdsim.FigureAdversarial(params, *workers, progress))
 	case "hardening":
@@ -325,6 +333,30 @@ func main() {
 		// two lists ever diverge, the deferred profile teardown still runs.
 		panic(fmt.Sprintf("figure %q passed validation but has no dispatch case", *figure))
 	}
+
+	if *telem != "" {
+		if err := dumpTelemetry(sdsim.Telemetry(), *telem); err != nil {
+			fmt.Fprintf(os.Stderr, "sdsweep: -telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTelemetry writes the process registry as indented JSON to path,
+// or to stdout for "-".
+func dumpTelemetry(reg *sdsim.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // pollingSweep is the CM2 extension experiment: notification-only versus
@@ -457,6 +489,80 @@ func shardTable(params sdsim.Params, opts sdsim.Options, shards int, cross sdsim
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("this host exposes %d CPU(s); the parallel win needs as many cores as shards", runtime.NumCPU()),
 		"shards hold disjoint User subsets coupled by conservative lookahead windows; see DESIGN.md \"Sharded fabric\"")
+	return t
+}
+
+// shardProfileTable runs the same FRODO two-party scenario on S ∈
+// {1, 2, 4, 8} shards with the telemetry registry attached and reports
+// each shard's wall-clock busy time, barrier-stall time, cross-shard
+// frame ingest and occupancy (busy / (busy+stall)). On a host with
+// fewer cores than shards the stall column reads the scheduling queue,
+// not the barrier protocol — compare occupancy against NumCPU before
+// concluding the fabric is stall-bound.
+func shardProfileTable(params sdsim.Params, opts sdsim.Options, cross sdsim.CrossLink, quiet bool) sdsim.Table {
+	n := params.Topology.Users
+	if n == 0 {
+		n = 10_000
+	}
+	t := sdsim.Table{
+		Title:  fmt.Sprintf("Extension: per-shard fabric profile (FRODO 2-party, λ=0, N=%d)", n),
+		Header: []string{"S", "shard", "busy s", "stall s", "ingest", "occup%", "wall s"},
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		p := params
+		p.Topology.Users = n
+		reg := sdsim.NewRegistry()
+		spec := sdsim.RunSpec{System: sdsim.Frodo2P, Lambda: 0, Seed: p.BaseSeed,
+			Params: p, Opts: opts, Telemetry: reg}
+		if s >= 2 {
+			spec.Shards = s
+			spec.Cross = cross
+			if err := spec.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(2)
+			}
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "S=%d...", s)
+		}
+		t0 := time.Now()
+		sdsim.Run(spec)
+		wall := time.Since(t0).Seconds()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, " %.1fs\n", wall)
+		}
+		snap := reg.Snapshot()
+		series := func(name string, shard int) float64 {
+			v, _ := snap[fmt.Sprintf("%s{shard=%q}", name, fmt.Sprint(shard))].(uint64)
+			return float64(v)
+		}
+		for sh := 0; sh < s; sh++ {
+			busy := series("sd_shard_busy_nanos_total", sh) / 1e9
+			stall := series("sd_shard_barrier_stall_nanos_total", sh) / 1e9
+			ingest := series("sd_shard_cross_frames_in_total", sh)
+			if s == 1 {
+				// An unsharded fabric has no barrier: the whole run is one
+				// shard's busy time.
+				busy, stall, ingest = wall, 0, 0
+			}
+			occ := 100.0
+			if busy+stall > 0 {
+				occ = 100 * busy / (busy + stall)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", s),
+				fmt.Sprintf("%d", sh),
+				fmt.Sprintf("%.2f", busy),
+				fmt.Sprintf("%.2f", stall),
+				fmt.Sprintf("%.0f", ingest),
+				fmt.Sprintf("%.1f", occ),
+				fmt.Sprintf("%.2f", wall),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("this host exposes %d CPU(s); occupancy below ~100·cores/S %% means shards time-slice, so stall measures the scheduler, not the barrier", runtime.NumCPU()),
+		"busy+stall covers a worker's windowed loop; shard 0 runs inline on the coordinator, its stall is the wait for the slowest worker")
 	return t
 }
 

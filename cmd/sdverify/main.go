@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/hunt"
+	"repro/internal/obs"
 	"repro/sdsim"
 )
 
@@ -98,13 +99,23 @@ func auditScenario(path string, harden, listViolations bool) int {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			return 2
 		}
-		rep, err := hunt.Replay(fx)
+		// Replay with flight recorders attached: on a dirty or failing
+		// replay the per-shard rings — frozen at the first violation —
+		// are the trace tail a diagnosis starts from.
+		rep, flight, err := hunt.ReplayTraced(fx, 0)
 		if err != nil {
 			fmt.Printf("FAIL  %s\n", err)
 			printViolations(rep, listViolations)
+			dumpFlight(flight)
 			return 1
 		}
 		fmt.Printf("ok    %s on %s: expectation met (%s)\n", path, fx.System, rep)
+		if rep.Total > 0 && listViolations {
+			// Dirty by expectation (a hunted fixture): surface the tail on
+			// request even though the replay verdict is a pass.
+			printViolations(rep, true)
+			dumpFlight(flight)
+		}
 		return 0
 	}
 
@@ -128,6 +139,17 @@ func auditScenario(path string, harden, listViolations bool) int {
 		}
 	}
 	return status
+}
+
+// dumpFlight writes the flight-recorder snapshots to stderr.
+func dumpFlight(snaps []obs.FlightSnapshot) {
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "flight-recorder state at first violation:")
+	if err := obs.WriteFlightJSON(os.Stderr, snaps); err != nil {
+		fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+	}
 }
 
 func printViolations(rep sdsim.OracleReport, list bool) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -178,6 +179,13 @@ type RunSpec struct {
 	// remote shards' scenarios fire on those shards' worker goroutines —
 	// see ShardSet.ShardScenario.
 	AttachSharded func(*ShardSet)
+	// Telemetry, when set, routes this run's frame, kernel and fabric
+	// metrics into the given obs registry (tee'd tracers per shard,
+	// barrier busy/stall accounting, kernel depth gauges). Nil falls back
+	// to the process default installed with SetTelemetry; nil both ways
+	// meters nothing. Metering is passive — same schedules, same results,
+	// zero allocations on the frame path.
+	Telemetry *obs.Registry
 }
 
 // Validate reports whether the spec names a runnable configuration,
@@ -287,6 +295,12 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 	if spec.MakeTracer != nil {
 		sc.Net.SetTracer(spec.MakeTracer(sc.Net))
 	}
+	reg := spec.telemetry()
+	if reg != nil {
+		// Tee'd in, not installed: metering rides alongside any caller
+		// tracer and the oracle's tap, observing the same frames.
+		sc.AddTracer(reg.NetTracer(0))
+	}
 	if spec.Attach != nil {
 		spec.Attach(sc)
 	}
@@ -381,6 +395,10 @@ func runInWorkspace(ws *Workspace, spec RunSpec) (metrics.RunResult, *Scenario) 
 	res.Effort = c.CountedInWindow(changeAt, winEnd)
 	res.TotalDiscoverySends = c.DiscoverySends
 	res.TotalTransport = c.TransportFrames
+	if reg != nil {
+		reg.Gauge("sd_kernel_events", "shard", "0").Set(int64(k.Fired()))
+		reg.Gauge("sd_kernel_pending", "shard", "0").Set(int64(k.Pending()))
+	}
 	if ws != nil {
 		ws.adopt(sc)
 	}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/discovery"
 	"repro/internal/frodo"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,11 +65,32 @@ type shardState struct {
 	router *netsim.ShardRouter
 	cmds   chan shardCmd
 	reps   chan shardRep
+	// m, when set (SetMetrics, before the first window — the command
+	// exchange publishes the write to the worker), receives this shard's
+	// barrier accounting: wall time running windows vs parked waiting for
+	// the next command, cross-frame volume, kernel depth.
+	m *obs.ShardMetrics
 }
 
 func (st *shardState) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	var parkedAt time.Time
 	for cmd := range st.cmds {
+		if st.m != nil {
+			start := time.Now()
+			if !parkedAt.IsZero() {
+				st.m.Stall.Add(uint64(start.Sub(parkedAt)))
+			}
+			st.m.CrossIn.Add(uint64(len(cmd.frames)))
+			st.nw.IngestCross(cmd.frames)
+			next, ok := st.k.RunWindow(cmd.until)
+			st.m.Busy.Add(uint64(time.Since(start)))
+			st.m.Events.Set(int64(st.k.Fired()))
+			st.m.Pending.Set(int64(st.k.Pending()))
+			st.reps <- shardRep{next: next, ok: ok}
+			parkedAt = time.Now()
+			continue
+		}
 		st.nw.IngestCross(cmd.frames)
 		next, ok := st.k.RunWindow(cmd.until)
 		st.reps <- shardRep{next: next, ok: ok}
@@ -94,6 +117,10 @@ type ShardSet struct {
 	nextArrival int
 	wg          sync.WaitGroup
 	closed      bool
+	// fm, when set, receives the fabric's window accounting (window
+	// count and virtual widths) plus shard 0's busy/stall split; per-
+	// shard entries are distributed to the workers by SetMetrics.
+	fm *obs.FabricMetrics
 }
 
 // BuildSharded partitions a topology across S ≥ 2 shards and starts the
@@ -295,6 +322,21 @@ func (ss *ShardSet) ReachedAt(user netsim.NodeID) (sim.Time, bool) {
 	return ss.shards[user.Shard()].sc.ReachedAt(user)
 }
 
+// SetMetrics attaches fabric telemetry: fm must carry one ShardMetrics
+// per shard (obs.NewFabricMetrics(reg, ss.Shards())). Coordinator
+// goroutine, before the first RunUntil — the workers are parked at
+// their barriers and the first window's command exchange publishes the
+// per-shard fields to them.
+func (ss *ShardSet) SetMetrics(fm *obs.FabricMetrics) {
+	if len(fm.Shards) < len(ss.shards) {
+		panic(fmt.Sprintf("experiment: SetMetrics got %d shard slots for %d shards", len(fm.Shards), len(ss.shards)))
+	}
+	ss.fm = fm
+	for s, st := range ss.shards {
+		st.m = fm.Shards[s]
+	}
+}
+
 // Now reports the common time every shard has reached.
 func (ss *ShardSet) Now() sim.Time { return ss.clock }
 
@@ -352,6 +394,15 @@ func (ss *ShardSet) RunUntil(target sim.Time) {
 		if w > target {
 			w = target
 		}
+		var t0 time.Time
+		if ss.fm != nil {
+			ss.fm.Windows.Inc()
+			// Window width is virtual time; sim durations and wall
+			// durations share int64-nanosecond units.
+			ss.fm.WindowWidth.Observe(time.Duration(w - ss.clock))
+			ss.fm.Shards[0].CrossIn.Add(uint64(len(ss.pending[0])))
+			t0 = time.Now()
+		}
 		// Workers: ingest, drain, reply. The coordinator keeps ownership
 		// of pending[s] storage but must not touch it until s replies.
 		for s := 1; s < len(ss.shards); s++ {
@@ -363,10 +414,22 @@ func (ss *ShardSet) RunUntil(target sim.Time) {
 		st0.nw.IngestCross(ss.pending[0])
 		ss.pending[0] = ss.pending[0][:0]
 		ss.next[0], ss.nextOK[0] = st0.k.RunWindow(w)
+		if ss.fm != nil {
+			// Shard 0's stall is the wait for the slowest worker below —
+			// everything up to here was its own window work.
+			sm0 := ss.fm.Shards[0]
+			sm0.Busy.Add(uint64(time.Since(t0)))
+			sm0.Events.Set(int64(st0.k.Fired()))
+			sm0.Pending.Set(int64(st0.k.Pending()))
+			t0 = time.Now()
+		}
 		for s := 1; s < len(ss.shards); s++ {
 			rep := <-ss.shards[s].reps
 			ss.next[s], ss.nextOK[s] = rep.next, rep.ok
 			ss.pending[s] = ss.pending[s][:0]
+		}
+		if ss.fm != nil {
+			ss.fm.Shards[0].Stall.Add(uint64(time.Since(t0)))
 		}
 		// All shards are parked at w: collect this window's cross-shard
 		// sends in deterministic order — by source shard, and within a
@@ -376,7 +439,11 @@ func (ss *ShardSet) RunUntil(target sim.Time) {
 				if dest == s {
 					continue
 				}
+				before := len(ss.pending[dest])
 				ss.pending[dest] = ss.shards[s].router.Drain(dest, ss.pending[dest])
+				if ss.fm != nil {
+					ss.fm.Shards[s].CrossOut.Add(uint64(len(ss.pending[dest]) - before))
+				}
 			}
 		}
 		ss.clock = w
@@ -542,6 +609,14 @@ func runSharded(spec RunSpec) metrics.RunResult {
 		for _, st := range ss.shards {
 			st.nw.SetTracer(spec.MakeTracer(st.nw))
 		}
+	}
+	if reg := spec.telemetry(); reg != nil {
+		// Per-shard frame metering (counters are atomics, safe to share a
+		// registry across the worker goroutines) plus barrier accounting.
+		for s, st := range ss.shards {
+			st.nw.SetTracer(netsim.TeeTracer(st.nw.Tracer(), reg.NetTracer(s)))
+		}
+		ss.SetMetrics(obs.NewFabricMetrics(reg, len(ss.shards)))
 	}
 	if spec.AttachSharded != nil {
 		// Same contract as Attach: observe before any schedule is drawn,

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// defaultTelemetry is the process-wide registry runs fall back to when
+// their spec carries none. An atomic pointer: sweep workers read it
+// concurrently while a main goroutine installs it once at startup.
+var defaultTelemetry atomic.Pointer[obs.Registry]
+
+// SetTelemetry installs (or, with nil, clears) the process-default
+// telemetry registry. Every subsequent run whose RunSpec.Telemetry is
+// nil feeds this registry — the one switch sdsweep and sdhunt flip to
+// meter every run of a sweep or hunt without threading a registry
+// through each figure helper. Telemetry draws no randomness and obeys
+// the obs package's zero-allocation rules, so enabling it leaves every
+// run's event timeline and results byte-identical (pinned by
+// TestTelemetryParity and the sweep fingerprint golden).
+func SetTelemetry(r *obs.Registry) { defaultTelemetry.Store(r) }
+
+// Telemetry reports the process-default registry, nil if none.
+func Telemetry() *obs.Registry { return defaultTelemetry.Load() }
+
+// telemetry resolves the registry one run feeds: the spec's own, else
+// the process default, else nil (no metering).
+func (spec RunSpec) telemetry() *obs.Registry {
+	if spec.Telemetry != nil {
+		return spec.Telemetry
+	}
+	return defaultTelemetry.Load()
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestTelemetryParity pins the tentpole's central promise: metering a
+// run changes nothing about it. The PR-2 golden sweep re-run with a
+// registry installed (both through the process default and the spec
+// field) must produce the exact fingerprint the unmetered sweep is
+// pinned to — telemetry draws no randomness and perturbs no schedule.
+func TestTelemetryParity(t *testing.T) {
+	p := DefaultParams()
+	p.Runs = 2
+	p.Lambdas = []float64{0, 0.3}
+	p.Topology = Topology{Users: 100}
+	p.Churn = Churn{Departures: 0.4, MeanAbsence: 600 * sim.Second, Arrivals: 5}
+
+	reg := obs.NewRegistry()
+	SetTelemetry(reg)
+	defer SetTelemetry(nil)
+	fp := sweepFingerprint(Sweep(SweepConfig{
+		Systems: []System{Frodo2P}, Params: p,
+		Workers: runtime.GOMAXPROCS(0), RetainRaw: true,
+	}))
+	if fp != pr2SweepGolden {
+		t.Errorf("metered sweep fingerprint %s != golden %s — telemetry perturbed the run", fp, pr2SweepGolden)
+	}
+	// And the metering actually happened.
+	if sent := reg.Counter("sd_frames_sent_total", "shard", "0").Load(); sent == 0 {
+		t.Error("telemetry enabled but sd_frames_sent_total{shard=0} stayed 0")
+	}
+	if ev := reg.Gauge("sd_kernel_events", "shard", "0").Load(); ev == 0 {
+		t.Error("telemetry enabled but sd_kernel_events{shard=0} stayed 0")
+	}
+}
+
+// TestTelemetrySpecOverridesDefault: a spec-level registry wins over
+// the process default, and unmetered runs touch neither.
+func TestTelemetrySpecOverridesDefault(t *testing.T) {
+	def, own := obs.NewRegistry(), obs.NewRegistry()
+	SetTelemetry(def)
+	defer SetTelemetry(nil)
+	p := DefaultParams()
+	p.Runs = 1
+	p.RunDuration = 600 * sim.Second
+	p.ChangeMax = 300 * sim.Second
+	Run(RunSpec{System: Frodo2P, Seed: 7, Params: p, Telemetry: own})
+	if got := def.Counter("sd_frames_sent_total", "shard", "0").Load(); got != 0 {
+		t.Errorf("default registry metered %d frames despite spec override", got)
+	}
+	if got := own.Counter("sd_frames_sent_total", "shard", "0").Load(); got == 0 {
+		t.Error("spec registry metered nothing")
+	}
+}
+
+// TestShardedTelemetry runs a sharded spec with metering and checks the
+// fabric accounting populates: windows advanced, every shard logged
+// busy time, barrier stalls were measured, and cross-shard frames
+// flowed both ways.
+func TestShardedTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := DefaultParams()
+	p.Runs = 1
+	p.RunDuration = 1200 * sim.Second
+	p.ChangeMax = 600 * sim.Second
+	p.Topology = Topology{Users: 12}
+	const shards = 3
+	res := Run(RunSpec{System: Frodo2P, Seed: 11, Params: p, Shards: shards, Telemetry: reg})
+	if len(res.Users) != 12 {
+		t.Fatalf("sharded run returned %d users", len(res.Users))
+	}
+	if w := reg.Counter("sd_fabric_windows_total").Load(); w == 0 {
+		t.Error("no windows counted")
+	}
+	if n := reg.Histogram("sd_fabric_window_width_virtual").Count(); n == 0 {
+		t.Error("no window widths observed")
+	}
+	var crossTotal uint64
+	for s := 0; s < shards; s++ {
+		sh := []string{"shard", string(rune('0' + s))}
+		if busy := reg.Counter("sd_shard_busy_nanos_total", sh...).Load(); busy == 0 {
+			t.Errorf("shard %d logged no busy time", s)
+		}
+		if sent := reg.Counter("sd_frames_sent_total", sh...).Load(); sent == 0 {
+			t.Errorf("shard %d metered no frames", s)
+		}
+		crossTotal += reg.Counter("sd_shard_cross_frames_in_total", sh...).Load()
+	}
+	if crossTotal == 0 {
+		t.Error("no cross-shard frames metered")
+	}
+	// Workers parked at barriers while shard 0 coordinates: stall time
+	// must register somewhere (any shard, scheduling-dependent).
+	var stall uint64
+	for s := 0; s < shards; s++ {
+		stall += reg.Counter("sd_shard_barrier_stall_nanos_total", "shard", string(rune('0'+s))).Load()
+	}
+	if stall == 0 {
+		t.Error("no barrier stall time measured on any shard")
+	}
+}
+
+// TestShardedTelemetryParity: a sharded run with metering equals the
+// same run without, field for field.
+func TestShardedTelemetryParity(t *testing.T) {
+	p := DefaultParams()
+	p.Runs = 1
+	p.RunDuration = 1200 * sim.Second
+	p.ChangeMax = 600 * sim.Second
+	p.Topology = Topology{Users: 12}
+	spec := RunSpec{System: Frodo2P, Seed: 11, Params: p, Shards: 3}
+	bare := Run(spec)
+	spec.Telemetry = obs.NewRegistry()
+	metered := Run(spec)
+	if bare.ChangeAt != metered.ChangeAt || bare.Effort != metered.Effort ||
+		bare.TotalDiscoverySends != metered.TotalDiscoverySends ||
+		bare.TotalTransport != metered.TotalTransport ||
+		len(bare.Users) != len(metered.Users) {
+		t.Fatalf("metering changed the sharded run:\nbare    %+v\nmetered %+v", bare, metered)
+	}
+	for i := range bare.Users {
+		if bare.Users[i] != metered.Users[i] {
+			t.Fatalf("user %d outcome differs: %+v vs %+v", i, bare.Users[i], metered.Users[i])
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/verify"
 )
 
@@ -94,16 +96,65 @@ func LoadFixture(path string) (*Fixture, error) {
 // checks its expectation. The report is returned either way, so a
 // failing replay can be diagnosed from the violations it did produce.
 func Replay(f *Fixture) (verify.OracleReport, error) {
+	rep, _, err := replay(f, 0)
+	return rep, err
+}
+
+// ReplayTraced is Replay with flight recorders riding along: one
+// ring of ringSize recent trace events per shard (one total on an
+// unsharded fixture), frozen at the oracle's first violation so the
+// rings hold the lead-up, not the aftermath. sdverify dumps the
+// returned snapshots when a fixture replays dirty. ringSize ≤ 0 means
+// obs.DefaultFlightSize.
+func ReplayTraced(f *Fixture, ringSize int) (verify.OracleReport, []obs.FlightSnapshot, error) {
+	if ringSize <= 0 {
+		ringSize = obs.DefaultFlightSize
+	}
+	return replay(f, ringSize)
+}
+
+func replay(f *Fixture, ringSize int) (verify.OracleReport, []obs.FlightSnapshot, error) {
 	sys, err := experiment.ParseSystem(f.System)
 	if err != nil {
-		return verify.OracleReport{}, err
+		return verify.OracleReport{}, nil, err
 	}
-	rep, _ := verify.ObserveRun(f.Scenario.RunSpec(sys), verify.DefaultOracleConfig(sys))
+	spec := f.Scenario.RunSpec(sys)
+	cfg := verify.DefaultOracleConfig(sys)
+	var recorders []*obs.FlightRecorder
+	if ringSize > 0 {
+		// MakeTracer runs once per shard's network (and exactly once on an
+		// unsharded run), so the recorder list matches the fabric shape.
+		// Freeze is an atomic flag flip, safe from whichever shard's worker
+		// goroutine detects the violation; the rings are read only after
+		// the run joins every worker.
+		spec.MakeTracer = func(nw *netsim.Network) netsim.Tracer {
+			fr := obs.NewFlightRecorder(len(recorders), ringSize)
+			recorders = append(recorders, fr)
+			return fr
+		}
+		cfg.OnViolation = func(v verify.OracleViolation) {
+			for _, fr := range recorders {
+				fr.Freeze(v.String())
+			}
+		}
+	}
+	rep, _ := verify.ObserveRun(spec, cfg)
+	var snaps []obs.FlightSnapshot
+	for _, fr := range recorders {
+		snaps = append(snaps, fr.Snapshot())
+	}
+	if err := checkExpect(f, rep); err != nil {
+		return rep, snaps, err
+	}
+	return rep, snaps, nil
+}
+
+func checkExpect(f *Fixture, rep verify.OracleReport) error {
 	if f.Expect.Clean {
 		if rep.Total != 0 {
-			return rep, fmt.Errorf("fixture expects a clean run, got %s", rep)
+			return fmt.Errorf("fixture expects a clean run, got %s", rep)
 		}
-		return rep, nil
+		return nil
 	}
 	inv, _ := parseInvariant(f.Expect.Invariant)
 	min := f.Expect.MinCount
@@ -111,8 +162,8 @@ func Replay(f *Fixture) (verify.OracleReport, error) {
 		min = 1
 	}
 	if got := rep.ByInvariant[inv]; got < min {
-		return rep, fmt.Errorf("fixture expects ≥%d %s violations, got %d (%s)",
+		return fmt.Errorf("fixture expects ≥%d %s violations, got %d (%s)",
 			min, f.Expect.Invariant, got, rep)
 	}
-	return rep, nil
+	return nil
 }

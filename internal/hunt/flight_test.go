@@ -1,0 +1,62 @@
+package hunt
+
+import (
+	"testing"
+)
+
+// A hunted (dirty-by-construction) fixture replayed with tracing must
+// freeze its flight recorder at the first violation: the snapshot
+// carries the freeze reason and a non-empty ring of the events leading
+// up to the breach.
+func TestReplayTracedFreezesOnViolation(t *testing.T) {
+	f, err := LoadFixture("testdata/hunted-frodo2p-lease-purge.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, snaps, err := ReplayTraced(f, 64)
+	if err != nil {
+		t.Fatalf("hunted fixture no longer reproduces: %v", err)
+	}
+	if rep.Total == 0 {
+		t.Fatal("hunted fixture replayed clean")
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no flight snapshots returned")
+	}
+	frozen := false
+	for _, s := range snaps {
+		if s.Frozen != "" {
+			frozen = true
+			if len(s.Events) == 0 {
+				t.Errorf("shard %d froze with an empty ring", s.Shard)
+			}
+		}
+	}
+	if !frozen {
+		t.Fatal("violation did not freeze any recorder")
+	}
+}
+
+// A clean fixture replayed with tracing returns unfrozen snapshots and
+// the same verdict as the plain replay.
+func TestReplayTracedCleanFixture(t *testing.T) {
+	f, err := LoadFixture("testdata/clean-flashcrowd-racks.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, snaps, err := ReplayTraced(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean fixture reported %s", rep)
+	}
+	for _, s := range snaps {
+		if s.Frozen != "" {
+			t.Errorf("clean replay froze shard %d: %s", s.Shard, s.Frozen)
+		}
+		if s.Total == 0 {
+			t.Errorf("shard %d recorded no events", s.Shard)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/experiment"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/verify"
 )
@@ -82,6 +83,17 @@ type Config struct {
 	// Attach, when set, observes the built scenario before the clock
 	// starts (extra tracers, test instrumentation).
 	Attach func(*experiment.Scenario)
+	// Telemetry is the metrics registry the driver feeds (frame counters
+	// per shard, barrier accounting, kernel gauges, oracle near-misses).
+	// Nil means a fresh private registry — deliberately NOT the
+	// experiment package's process default, so a daemon's live series
+	// never interleave with a sweep's. Read it back with
+	// Driver.Telemetry; the gateway serves it at /metrics.
+	Telemetry *obs.Registry
+	// FlightSize is the per-shard flight-recorder ring capacity (recent
+	// trace events, dumped on oracle violation or operator signal).
+	// 0 means obs.DefaultFlightSize; negative disables the recorders.
+	FlightSize int
 }
 
 // fabric is what the event loop advances: a single kernel, or a
@@ -107,6 +119,13 @@ type Driver struct {
 	// oracles holds every oracle AttachOracle hooked up — one on a
 	// single fabric, one per shard on a sharded one. Reports are merged.
 	oracles []*verify.Oracle
+
+	// reg is the telemetry registry (never nil after New); flights holds
+	// one flight recorder per shard, nil when disabled. Ring memory is
+	// plain; snapshot via FlightDump (event loop or post-stop only).
+	reg     *obs.Registry
+	flights []*obs.FlightRecorder
+	pending *obs.Gauge // shard 0 kernel queue depth, set each loop pass
 
 	inj      chan func()
 	stopCh   chan struct{}
@@ -186,6 +205,39 @@ func New(cfg Config) (*Driver, error) {
 		d.fab = k
 		d.sc = experiment.BuildTopology(cfg.System, k, topo, cfg.Options)
 	}
+	// Telemetry: per-shard frame metering and flight recorders ride the
+	// tracer tee; the fabric's barrier accounting hooks into the ShardSet.
+	d.reg = cfg.Telemetry
+	if d.reg == nil {
+		d.reg = obs.NewRegistry()
+	}
+	shards := 1
+	if d.ss != nil {
+		shards = d.ss.Shards()
+	}
+	for s := 0; s < shards; s++ {
+		ssc := d.sc
+		if d.ss != nil {
+			ssc = d.ss.ShardScenario(s)
+		}
+		ssc.AddTracer(d.reg.NetTracer(s))
+		if cfg.FlightSize >= 0 {
+			fr := obs.NewFlightRecorder(s, cfg.FlightSize)
+			ssc.AddTracer(fr)
+			d.flights = append(d.flights, fr)
+		}
+	}
+	if d.ss != nil {
+		d.ss.SetMetrics(obs.NewFabricMetrics(d.reg, shards))
+	} else {
+		d.pending = d.reg.Gauge("sd_kernel_pending", "shard", "0")
+	}
+	d.reg.GaugeFunc("sd_live_virtual_seconds", func() float64 {
+		return sim.Time(d.vnow.Load()).Sec()
+	})
+	d.reg.GaugeFunc("sd_live_events_fired", func() float64 {
+		return float64(d.fired.Load())
+	})
 	// Install the fan-out taps now, so oracle and gateway can both
 	// observe without displacing each other.
 	d.sc.TapConsistency(discovery.ListenerFunc(d.dispatchCacheUpdate))
@@ -198,6 +250,11 @@ func New(cfg Config) (*Driver, error) {
 	}
 	return d, nil
 }
+
+// Telemetry exposes the driver's metrics registry: counters and gauges
+// are atomics, readable from any goroutine (the gateway scrapes them
+// while the loop runs).
+func (d *Driver) Telemetry() *obs.Registry { return d.reg }
 
 // Scenario exposes the built scenario. Before Start it may be used
 // directly; afterwards only from functions run via Inject or Call.
@@ -231,7 +288,24 @@ func (d *Driver) OnChange(fn func()) {
 // them. Before Start only; read reports via Call once the driver runs.
 func (d *Driver) AttachOracle(cfg verify.OracleConfig) *verify.Oracle {
 	d.mustNotBeStarted()
+	// The first violation freezes every flight recorder, preserving the
+	// lead-up in the rings. Freeze is an atomic flag flip, safe from a
+	// remote shard's worker goroutine; the hook composes with any caller
+	// hook already in cfg.
+	if len(d.flights) > 0 {
+		prev := cfg.OnViolation
+		flights := d.flights
+		cfg.OnViolation = func(v verify.OracleViolation) {
+			for _, fr := range flights {
+				fr.Freeze(v.String())
+			}
+			if prev != nil {
+				prev(v)
+			}
+		}
+	}
 	o := verify.NewOracle(d.k, d.sc.ManagerID, cfg)
+	o.MetricsInto(d.reg, 0)
 	d.sc.AddTracer(o)
 	d.listeners = append(d.listeners, o)
 	d.changeHooks = append(d.changeHooks, o.NotePublished)
@@ -243,12 +317,35 @@ func (d *Driver) AttachOracle(cfg verify.OracleConfig) *verify.Oracle {
 			ssc := d.ss.ShardScenario(s)
 			os := verify.NewOracle(ssc.K, ssc.ManagerID, cfg)
 			os.SharePublished(shared)
+			os.MetricsInto(d.reg, s)
 			ssc.AddTracer(os)
 			ssc.TapConsistency(os)
 			d.oracles = append(d.oracles, os)
 		}
 	}
 	return o
+}
+
+// FlightDump snapshots every shard's flight-recorder ring: through the
+// event loop while the driver runs (every worker parked at its
+// barrier), directly once it has stopped. Nil when recorders are
+// disabled.
+func (d *Driver) FlightDump() []obs.FlightSnapshot {
+	if len(d.flights) == 0 {
+		return nil
+	}
+	var snaps []obs.FlightSnapshot
+	take := func() {
+		for _, fr := range d.flights {
+			snaps = append(snaps, fr.Snapshot())
+		}
+	}
+	if err := d.Call(take); err != nil {
+		// Stopped: the loop is gone and every shard worker has joined, so
+		// the rings' plain memory is safe to read directly.
+		take()
+	}
+	return snaps
 }
 
 // oracleReport merges every attached oracle's report. It touches
@@ -415,6 +512,11 @@ func (d *Driver) run() {
 		d.fab.RunUntil(tm.vAt(time.Now()))
 		d.vnow.Store(int64(d.fab.Now()))
 		d.fired.Store(d.fab.Fired())
+		if d.pending != nil {
+			// Sharded fabrics publish per-shard depth at each barrier; the
+			// single-kernel path reads its queue here, on the loop goroutine.
+			d.pending.Set(int64(d.k.Pending()))
+		}
 		// Drain queued injections; each runs at the current instant and
 		// may schedule fresh events, picked up by the next pass.
 		for drained := false; !drained; {

@@ -7,11 +7,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
-	"sync/atomic"
 
 	"repro/internal/discovery"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/upnp"
 	"repro/internal/verify"
@@ -47,12 +48,17 @@ type Gateway struct {
 	notifyCh   chan notifyFrame
 	senderDone chan struct{}
 
-	ops           atomic.Uint64
-	notifySent    atomic.Uint64
-	notifyDropped atomic.Uint64
-	injectErrs    atomic.Uint64
-	userCount     atomic.Int64
-	managerCount  atomic.Int64
+	// Registry-backed progress counters (the driver's obs registry, so
+	// one /metrics scrape covers fabric and gateway). PR-6 fixed the torn
+	// histogram snapshot; the same discipline applies here — Stats loads
+	// each atomic once, and every series is also scrapeable individually,
+	// where tearing cannot arise at all.
+	ops           *obs.Counter
+	notifySent    *obs.Counter
+	notifyDropped *obs.Counter
+	injectErrs    *obs.Counter
+	userCount     *obs.Gauge
+	managerCount  *obs.Gauge
 }
 
 type clientUser struct {
@@ -151,6 +157,7 @@ func OpenGateway(d *Driver, addr string, oracle *verify.Oracle) (*Gateway, error
 		ln.Close()
 		return nil, fmt.Errorf("live: gateway notify socket: %w", err)
 	}
+	reg := d.Telemetry()
 	gw := &Gateway{
 		d:          d,
 		ln:         ln,
@@ -161,6 +168,13 @@ func OpenGateway(d *Driver, addr string, oracle *verify.Oracle) (*Gateway, error
 		oracle:     oracle,
 		notifyCh:   make(chan notifyFrame, 4096),
 		senderDone: make(chan struct{}),
+
+		ops:           reg.Counter("sd_gateway_ops_total"),
+		notifySent:    reg.Counter("sd_gateway_notify_sent_total"),
+		notifyDropped: reg.Counter("sd_gateway_notify_dropped_total"),
+		injectErrs:    reg.Counter("sd_gateway_inject_errors_total"),
+		userCount:     reg.Gauge("sd_gateway_users"),
+		managerCount:  reg.Gauge("sd_gateway_managers"),
 	}
 	// The port node: the gateway's own presence on the fabric, through
 	// which lookups travel as real frames.
@@ -186,9 +200,19 @@ func OpenGateway(d *Driver, addr string, oracle *verify.Oracle) (*Gateway, error
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})
-	// Expvar counters ride on the gateway listener, so a daemon needs no
-	// second port for observability.
+	// Observability rides on the gateway listener, so a daemon needs no
+	// second port: expvar, Prometheus text exposition of the driver's
+	// registry, the flight-recorder rings, and pprof (registered
+	// explicitly — this mux is not http.DefaultServeMux, so the package's
+	// init-time registrations never reach it).
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /metrics", gw.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", gw.handleFlight)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	gw.srv = &http.Server{Handler: mux}
 	go gw.srv.Serve(ln)
 	go gw.sendNotifications()
@@ -519,6 +543,21 @@ func (gw *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 
 func (gw *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, gw.Stats())
+}
+
+func (gw *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	gw.d.Telemetry().WritePrometheus(w)
+}
+
+func (gw *Gateway) handleFlight(w http.ResponseWriter, r *http.Request) {
+	snaps := gw.d.FlightDump()
+	if snaps == nil {
+		gw.fail(w, http.StatusNotFound, "flight recorders disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteFlightJSON(w, snaps)
 }
 
 func (gw *Gateway) handleOracle(w http.ResponseWriter, r *http.Request) {

@@ -227,27 +227,6 @@ func TestGatewayValidation(t *testing.T) {
 	}
 }
 
-// The histogram's quantiles must bracket the recorded samples.
-func TestHistogram(t *testing.T) {
-	var h Histogram
-	for i := 1; i <= 1000; i++ {
-		h.Observe(time.Duration(i) * time.Millisecond)
-	}
-	q := h.Quantiles(0.5, 0.99, 1.0)
-	if q[0] < 400*time.Millisecond || q[0] > 600*time.Millisecond {
-		t.Errorf("p50 = %v; want ≈500ms", q[0])
-	}
-	if q[1] < 900*time.Millisecond {
-		t.Errorf("p99 = %v; want ≥900ms", q[1])
-	}
-	if q[2] > time.Second {
-		t.Errorf("p100 = %v; want ≤ max", q[2])
-	}
-	if h.Count() != 1000 {
-		t.Errorf("count = %d", h.Count())
-	}
-}
-
 // Stop on a driver that was never started must be a clean no-op
 // shutdown, not a deadlock.
 func TestDriverStopBeforeStart(t *testing.T) {

@@ -55,26 +55,3 @@ func TestTimeMapLargeOffsets(t *testing.T) {
 		t.Fatalf("vAt before t0: got %d, want 0", v)
 	}
 }
-
-// TestHistogramSummaryAndMinFloor covers the single-snapshot Summary and
-// the true-minimum floor on bucket-0 quantiles.
-func TestHistogramSummaryAndMinFloor(t *testing.T) {
-	var h Histogram
-	// All samples land in bucket 0 (≤1µs); the old midpoint answer was
-	// ~1.025µs regardless of the data.
-	h.Observe(200 * time.Nanosecond)
-	h.Observe(300 * time.Nanosecond)
-	h.Observe(400 * time.Nanosecond)
-	q := h.Quantiles(0.50)
-	if q[0] != 200*time.Nanosecond {
-		t.Fatalf("bucket-0 quantile: got %v, want the observed minimum 200ns", q[0])
-	}
-
-	h2 := &Histogram{}
-	h2.Observe(5 * time.Millisecond)
-	h2.Observe(10 * time.Millisecond)
-	s := h2.Summary()
-	if want := "n=2"; len(s) < len(want) || s[:len(want)] != want {
-		t.Fatalf("summary %q does not start with %q", s, want)
-	}
-}

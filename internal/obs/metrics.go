@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter. The zero value is unusable on
+// its own — obtain counters from a Registry so they are scrapeable.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load reads the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// CounterVec is a family of counters split by one free label (frame
+// kind, drop reason, node event). The read path — Get on a label value
+// seen before — is an RLock plus a map lookup and allocates nothing,
+// which is why this is a plain map under an RWMutex and not a
+// sync.Map: converting a string key to any would allocate on every
+// call and break the 0 allocs/op guard.
+type CounterVec struct {
+	r        *Registry
+	name     string
+	labelKey string
+	fixed    []string // k,v pairs prepended to every series
+
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// Get returns the counter for one label value, registering the series
+// on first use. Safe from any goroutine; the steady-state path takes a
+// read lock only.
+func (v *CounterVec) Get(value string) *Counter {
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.m[value]; c != nil {
+		return c
+	}
+	labels := make([]string, 0, len(v.fixed)+2)
+	labels = append(labels, v.fixed...)
+	labels = append(labels, v.labelKey, value)
+	c = v.r.Counter(v.name, labels...)
+	v.m[value] = c
+	return c
+}
+
+// metricKind discriminates what one registered series holds.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHist
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHist:
+		return "histogram"
+	}
+	return "?"
+}
+
+// metric is one registered series: a family name, an optional label
+// set, and exactly one value holder.
+type metric struct {
+	name   string
+	labels []string // k,v pairs
+	key    string   // name + rendered label block; unique per series
+	kind   metricKind
+
+	c  *Counter
+	g  *Gauge
+	fn func() float64
+	h  *Histogram
+}
+
+// Registry owns a process's (or one run's) metric series. Registration
+// takes a lock; the returned Counter/Gauge/Histogram handles are plain
+// atomics the hot paths touch lock-free. Registering the same
+// (name, labels) series again returns the existing handle, so repeated
+// runs of a sweep aggregate into one set of counters.
+type Registry struct {
+	mu     sync.Mutex
+	list   []*metric
+	byKey  map[string]*metric
+	family map[string]metricKind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey:  map[string]*metric{},
+		family: map[string]metricKind{},
+	}
+}
+
+// Counter registers (or finds) a counter series. Labels are k,v pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.register(name, labels, kindCounter, nil).c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.register(name, labels, kindGauge, nil).g
+}
+
+// GaugeFunc registers a gauge sampled at scrape time. A second
+// registration of the same series keeps the first function.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	r.register(name, labels, kindGaugeFunc, fn)
+}
+
+// Histogram registers (or finds) a histogram series.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.register(name, labels, kindHist, nil).h
+}
+
+// CounterVec returns a by-label counter family. The fixed k,v pairs
+// (e.g. the shard) are stamped on every series of the family.
+func (r *Registry) CounterVec(name, labelKey string, fixed ...string) *CounterVec {
+	if len(fixed)%2 != 0 {
+		panic(fmt.Sprintf("obs: CounterVec %s: odd fixed label list", name))
+	}
+	return &CounterVec{r: r, name: name, labelKey: labelKey, fixed: fixed,
+		m: map[string]*Counter{}}
+}
+
+func (r *Registry) register(name string, labels []string, kind metricKind, fn func() float64) *metric {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: %s: odd label list (want k,v pairs)", name))
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byKey[key]; m != nil {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", key, kind, m.kind))
+		}
+		return m
+	}
+	if fk, ok := r.family[name]; ok && fk != kind {
+		// One TYPE line per family: a name cannot mix counters and gauges.
+		panic(fmt.Sprintf("obs: family %s re-registered as %s (was %s)", name, kind, fk))
+	}
+	r.family[name] = kind
+	m := &metric{name: name, labels: labels, key: key, kind: kind, fn: fn}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHist:
+		m.h = newHistogram()
+	}
+	r.list = append(r.list, m)
+	r.byKey[key] = m
+	return m
+}
+
+// snapshotMetrics copies the series list so exposition never holds the
+// registration lock while formatting.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.list...)
+}
+
+// seriesKey renders the unique identity of one series.
+func seriesKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + labelBlock(labels)
+}

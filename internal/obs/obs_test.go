@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Re-registering the same series returns the same handle.
+	if r.Counter("x_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("y", "shard", "0")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if r.Gauge("y", "shard", "0") != g {
+		t.Fatal("re-registration returned a different gauge")
+	}
+	// Same family, different labels: distinct series.
+	if r.Gauge("y", "shard", "1") == g {
+		t.Fatal("distinct labels shared a series")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		setup func(r *Registry)
+		clash func(r *Registry)
+	}{
+		{"series", func(r *Registry) { r.Counter("a") }, func(r *Registry) { r.Gauge("a") }},
+		{"family", func(r *Registry) { r.Counter("a", "k", "1") }, func(r *Registry) { r.Gauge("a", "k", "2") }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.setup(r)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("kind mismatch did not panic")
+				}
+			}()
+			tc.clash(r)
+		})
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	vec := r.CounterVec("kinds_total", "kind")
+	kinds := []string{"a", "b", "c", "d"}
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				vec.Get(kinds[(w+i)%len(kinds)]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	var total uint64
+	for _, k := range kinds {
+		total += vec.Get(k).Load()
+	}
+	if total != workers*per {
+		t.Fatalf("vec total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Summary(); s.N != 0 {
+		t.Fatalf("empty histogram N = %d", s.N)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.N != 1000 {
+		t.Fatalf("N = %d, want 1000", s.N)
+	}
+	if s.Min != time.Millisecond || s.Max != time.Second {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// ~5% bucket resolution: p50 near 500ms, p99 near 990ms.
+	approx := func(got, want time.Duration) bool {
+		lo := time.Duration(float64(want) * 0.90)
+		hi := time.Duration(float64(want) * 1.10)
+		return got >= lo && got <= hi
+	}
+	if !approx(s.P50, 500*time.Millisecond) {
+		t.Errorf("p50 = %v, want ≈500ms", s.P50)
+	}
+	if !approx(s.P95, 950*time.Millisecond) {
+		t.Errorf("p95 = %v, want ≈950ms", s.P95)
+	}
+	if !approx(s.P99, 990*time.Millisecond) {
+		t.Errorf("p99 = %v, want ≈990ms", s.P99)
+	}
+	if !approx(s.Mean, 500*time.Millisecond) {
+		t.Errorf("mean = %v, want ≈500ms", s.Mean)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(b)
+	s := a.Summary()
+	if s.N != 200 {
+		t.Fatalf("merged N = %d, want 200", s.N)
+	}
+	if s.Min != time.Millisecond || s.Max != time.Second {
+		t.Fatalf("merged min/max = %v/%v", s.Min, s.Max)
+	}
+	wantSum := 100*time.Millisecond + 100*time.Second
+	if s.Sum != wantSum {
+		t.Fatalf("merged sum = %v, want %v", s.Sum, wantSum)
+	}
+	// Merging an empty histogram is a no-op (min must not regress to 0).
+	a.Merge(NewHistogram())
+	if s := a.Summary(); s.N != 200 || s.Min != time.Millisecond {
+		t.Fatalf("merge(empty) changed summary: n=%d min=%v", s.N, s.Min)
+	}
+}
+
+// TestHistogramSummaryNotTorn hammers Observe from racing goroutines
+// while scraping Summary, asserting the invariant the PR-6 live
+// Histogram fix established: quantiles are computed over exactly the N
+// samples the summary reports, never a half-updated view where p99
+// reflects more samples than n.
+func TestHistogramSummaryNotTorn(t *testing.T) {
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(time.Duration(1+i%1000) * time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		s := h.Summary()
+		if s.N == 0 {
+			continue
+		}
+		// Every quantile and the mean stay within the observed range; the
+		// count comes from the same bucket pass that produced them.
+		for _, q := range []time.Duration{s.P50, s.P95, s.P99, s.Mean} {
+			if q < s.Min || q > s.Max {
+				t.Fatalf("torn summary: q=%v outside [%v, %v] at n=%d", q, s.Min, s.Max, s.N)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Quiesced: the summary must now be exactly self-consistent.
+	s := h.Summary()
+	if s.N != h.Count() {
+		t.Fatalf("quiesced N = %d, Count = %d", s.N, h.Count())
+	}
+}
+
+func msg(kind string, from, to netsim.NodeID) *netsim.Message {
+	return &netsim.Message{Kind: kind, From: from, To: to}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	fr := NewFlightRecorder(3, 16)
+	for i := 0; i < 40; i++ {
+		fr.MessageSent(sim.Time(i), msg(fmt.Sprintf("k%d", i), 1, 2))
+	}
+	s := fr.Snapshot()
+	if s.Shard != 3 {
+		t.Fatalf("shard = %d", s.Shard)
+	}
+	if s.Total != 40 {
+		t.Fatalf("total = %d, want 40", s.Total)
+	}
+	if len(s.Events) != 16 {
+		t.Fatalf("len(events) = %d, want 16 (ring capacity)", len(s.Events))
+	}
+	// Oldest surviving event first: 40-16=24 … 39.
+	for i, ev := range s.Events {
+		if want := sim.Time(24 + i); ev.At != want {
+			t.Fatalf("events[%d].At = %v, want %v", i, ev.At, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	fr := NewFlightRecorder(0, 16)
+	fr.MessageDropped(7, msg("Probe", 1, 2), "loss")
+	fr.NodeEvent(9, 5, "crash")
+	s := fr.Snapshot()
+	if len(s.Events) != 2 || s.Total != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Events[0].Op != OpDropped || s.Events[0].Reason != "loss" {
+		t.Fatalf("event 0 = %+v", s.Events[0])
+	}
+	if s.Events[1].Op != OpNode || s.Events[1].Kind != "crash" || s.Events[1].From != 5 {
+		t.Fatalf("event 1 = %+v", s.Events[1])
+	}
+}
+
+func TestFlightRecorderFreeze(t *testing.T) {
+	fr := NewFlightRecorder(0, 16)
+	fr.MessageSent(1, msg("A", 1, 2))
+	fr.Freeze("oracle: StaleBound")
+	fr.Freeze("second caller loses")
+	fr.MessageSent(2, msg("B", 1, 2))
+	s := fr.Snapshot()
+	if s.Frozen != "oracle: StaleBound" {
+		t.Fatalf("frozen reason = %q", s.Frozen)
+	}
+	if len(s.Events) != 1 || s.Events[0].Kind != "A" {
+		t.Fatalf("ring recorded past freeze: %+v", s.Events)
+	}
+}
+
+func TestFlightRecorderSizeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{-1, DefaultFlightSize}, {0, DefaultFlightSize}, {1, 16}, {17, 32}, {256, 256}} {
+		if fr := NewFlightRecorder(0, tc.in); len(fr.buf) != tc.want {
+			t.Errorf("NewFlightRecorder(size=%d): cap %d, want %d", tc.in, len(fr.buf), tc.want)
+		}
+	}
+}
+
+// Zero-alloc guards in the PR-2 gate style: the telemetry hot paths
+// must not allocate, or attaching a tracer would break netsim's
+// conditioned fast-path gates.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	vec := r.CounterVec("v_total", "kind", "shard", "0")
+	vec.Get("warm") // register the series outside the measured loop
+	h := r.Histogram("h")
+	fr := NewFlightRecorder(0, 64)
+	m := msg("Probe", 1, 2)
+	nm := r.NetTracer(0)
+	nm.MessageSent(0, m) // warm the kind-vec entry
+	nm.MessageDropped(0, m, "loss")
+
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"counter.Inc", func() { c.Inc() }},
+		{"gauge.Set", func() { g.Set(3) }},
+		{"vec.Get.Inc", func() { vec.Get("warm").Inc() }},
+		{"hist.Observe", func() { h.Observe(time.Millisecond) }},
+		{"flight.append", func() { fr.MessageSent(1, m) }},
+		{"net.MessageSent", func() { nm.MessageSent(1, m) }},
+		{"net.MessageDelivered", func() { nm.MessageDelivered(1, m) }},
+		{"net.MessageDropped", func() { nm.MessageDropped(1, m, "loss") }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(200, tc.f); avg != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, avg)
+		}
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sd_frames_sent_total", "shard", "0").Add(12)
+	r.Counter("sd_frames_sent_total", "shard", "1").Add(3)
+	r.Gauge("sd_kernel_pending", "shard", "0").Set(42)
+	r.GaugeFunc("sd_up", func() float64 { return 1 })
+	h := r.Histogram("sd_rt_seconds")
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	r.Counter("weird_total", "path", `a\b"c`+"\n").Inc()
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE sd_frames_sent_total counter\n",
+		`sd_frames_sent_total{shard="0"} 12` + "\n",
+		`sd_frames_sent_total{shard="1"} 3` + "\n",
+		"# TYPE sd_kernel_pending gauge\n",
+		`sd_kernel_pending{shard="0"} 42` + "\n",
+		"# TYPE sd_up gauge\n",
+		"sd_up 1\n",
+		"# TYPE sd_rt_seconds summary\n",
+		`sd_rt_seconds{quantile="0.5"}`,
+		"sd_rt_seconds_count 2\n",
+		`weird_total{path="a\\b\"c\n"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line per family.
+	if n := strings.Count(out, "# TYPE sd_frames_sent_total "); n != 1 {
+		t.Errorf("TYPE lines for sd_frames_sent_total = %d, want 1", n)
+	}
+	// Structural validity: every non-comment line is "series value".
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 || sp == len(line)-1 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total").Add(9)
+	r.Gauge("depth").Set(-4)
+	r.Histogram("lat").Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap["ops_total"] != uint64(9) {
+		t.Fatalf("ops_total = %v", snap["ops_total"])
+	}
+	if snap["depth"] != int64(-4) {
+		t.Fatalf("depth = %v", snap["depth"])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v", err)
+	}
+	if _, ok := back["lat"].(map[string]any); !ok {
+		t.Fatalf("lat not a summary object: %v", back["lat"])
+	}
+}
+
+func TestNetTracerLeaseCounting(t *testing.T) {
+	r := NewRegistry()
+	nm := r.NetTracer(0)
+	nm.MessageDelivered(1, msg("SubscriptionRenew", 1, 2))
+	nm.MessageDelivered(2, msg("RenewAck", 2, 1))
+	nm.MessageDelivered(3, msg("RenewError", 2, 1))
+	nm.MessageDelivered(4, msg("SubscriptionRenew", 3, 2))
+	if got := r.Counter("sd_lease_renewals_total", "shard", "0").Load(); got != 2 {
+		t.Fatalf("renewals = %d, want 2", got)
+	}
+	if got := r.Counter("sd_lease_refusals_total", "shard", "0").Load(); got != 1 {
+		t.Fatalf("refusals = %d, want 1", got)
+	}
+	if got := r.Counter("sd_frames_delivered_total", "shard", "0").Load(); got != 4 {
+		t.Fatalf("delivered = %d, want 4", got)
+	}
+}
+
+func TestShardMetricsOccupancy(t *testing.T) {
+	r := NewRegistry()
+	fm := NewFabricMetrics(r, 2)
+	if len(fm.Shards) != 2 {
+		t.Fatalf("shards = %d", len(fm.Shards))
+	}
+	sm := fm.Shards[1]
+	if sm.Occupancy() != 0 {
+		t.Fatalf("empty occupancy = %v", sm.Occupancy())
+	}
+	sm.Busy.Add(300)
+	sm.Stall.Add(100)
+	if got := sm.Occupancy(); got != 0.75 {
+		t.Fatalf("occupancy = %v, want 0.75", got)
+	}
+	if sm.BusyDur() != 300 || sm.StallDur() != 100 {
+		t.Fatalf("durs = %v/%v", sm.BusyDur(), sm.StallDur())
+	}
+}
+
+func TestWriteFlightJSON(t *testing.T) {
+	fr := NewFlightRecorder(1, 16)
+	fr.MessageSent(5, msg("Probe", 1, 2))
+	fr.Freeze("test")
+	var buf bytes.Buffer
+	if err := WriteFlightJSON(&buf, []FlightSnapshot{fr.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []FlightSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Frozen != "test" || len(snaps[0].Events) != 1 {
+		t.Fatalf("round-trip = %+v", snaps)
+	}
+}

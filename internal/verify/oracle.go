@@ -9,6 +9,7 @@ import (
 	"repro/internal/frodo"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -110,6 +111,13 @@ type OracleConfig struct {
 	MaxViolations int
 	// Bounds are the fault-conditional waivers in force for this run.
 	Bounds []FaultBound
+	// OnViolation, when set, fires synchronously on every non-waived
+	// violation, on the goroutine that detected it (a shard's worker for
+	// a remote shard's oracle). The live driver and traced fixture
+	// replays use it to freeze flight recorders at the first breach, so
+	// the rings hold the events leading up to it, not the aftermath. The
+	// hook must not touch any kernel or draw randomness.
+	OnViolation func(OracleViolation)
 }
 
 // DefaultOracleConfig returns the oracle tolerances for one system:
@@ -316,6 +324,11 @@ type Oracle struct {
 	waived          int
 	waivedDetails   []OracleViolation
 	maxPurgeLate    sim.Duration
+
+	// Optional telemetry mirrors (MetricsInto): near-miss and violation
+	// counts double-written into an obs registry as they accumulate.
+	nmCounters   [numInvariants]*obs.Counter
+	violCounters [numInvariants]*obs.Counter
 }
 
 // NewOracle builds an oracle on a kernel, scheduling its partition-heal
@@ -481,10 +494,38 @@ func (o *Oracle) violate(inv Invariant, node netsim.NodeID, format string, args 
 	}
 	o.total++
 	o.byInvariant[inv]++
+	if c := o.violCounters[inv]; c != nil {
+		c.Inc()
+	}
+	v := OracleViolation{At: now, Invariant: inv, Node: node, Detail: fmt.Sprintf(format, args...)}
 	if len(o.violations) < o.cfg.MaxViolations {
-		o.violations = append(o.violations, OracleViolation{
-			At: now, Invariant: inv, Node: node, Detail: fmt.Sprintf(format, args...),
-		})
+		o.violations = append(o.violations, v)
+	}
+	if o.cfg.OnViolation != nil {
+		o.cfg.OnViolation(v)
+	}
+}
+
+// nearMiss counts one event in an invariant's final grace region,
+// mirroring it into the telemetry registry when one is attached.
+func (o *Oracle) nearMiss(inv Invariant) {
+	o.cov.NearMisses[inv]++
+	if c := o.nmCounters[inv]; c != nil {
+		c.Inc()
+	}
+}
+
+// MetricsInto double-writes the oracle's near-miss and violation counts
+// into reg as they accumulate: sd_oracle_near_misses_total and
+// sd_oracle_violations_total, labeled by invariant and shard. Attach
+// before the run; repeated attachment to one registry aggregates (the
+// counters are find-or-create).
+func (o *Oracle) MetricsInto(reg *obs.Registry, shard int) {
+	s := fmt.Sprintf("%d", shard)
+	for i := 0; i < numInvariants; i++ {
+		inv := Invariant(i).String()
+		o.nmCounters[i] = reg.Counter("sd_oracle_near_misses_total", "invariant", inv, "shard", s)
+		o.violCounters[i] = reg.Counter("sd_oracle_violations_total", "invariant", inv, "shard", s)
 	}
 }
 
@@ -509,7 +550,7 @@ func (o *Oracle) CacheUpdated(t sim.Time, user, manager netsim.NodeID, version u
 		// A post-change write landing exactly at the bound: the closest
 		// legal state to a fabrication, and the consistency event the
 		// paper measures.
-		o.cov.NearMisses[InvVersionBound]++
+		o.nearMiss(InvVersionBound)
 	}
 }
 
@@ -523,7 +564,7 @@ func (o *Oracle) MessageSent(t sim.Time, m *netsim.Message) {
 			// Every in-grace frame is the redundancy train running down;
 			// the remaining grace is the margin.
 			o.cov.Slack[InvRetiredSilence][slackBucket(o.cfg.RetireGrace-sim.Duration(t-at))]++
-			o.cov.NearMisses[InvRetiredSilence]++
+			o.nearMiss(InvRetiredSilence)
 		}
 	}
 	switch p := m.Payload.(type) {
@@ -559,7 +600,7 @@ func (o *Oracle) MessageSent(t sim.Time, m *netsim.Message) {
 				if t > expiry {
 					// Acknowledged inside PurgeSlack: legal only thanks
 					// to the grace — the purge is losing the race.
-					o.cov.NearMisses[InvLeasePurge]++
+					o.nearMiss(InvLeasePurge)
 				}
 			}
 		}
@@ -631,7 +672,7 @@ func (o *Oracle) probeCentral() {
 		if 2*age > o.cfg.CentralWindow {
 			// Converged, but the surviving claim is going stale: the
 			// election is closer to "no Central" than the verdict shows.
-			o.cov.NearMisses[InvSingleCentral]++
+			o.nearMiss(InvSingleCentral)
 		}
 	}
 	switch {

@@ -1,0 +1,23 @@
+package sdsim
+
+import (
+	"repro/internal/experiment"
+	"repro/internal/obs"
+)
+
+// Registry is the passive metrics registry of internal/obs: counters,
+// gauges and histograms the runtime feeds from its hot paths without
+// perturbing the simulation (no randomness, no allocation).
+type Registry = obs.Registry
+
+// NewRegistry builds an empty registry. Attach it to a single run via
+// RunSpec.Telemetry, or to every run in the process via SetTelemetry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// SetTelemetry installs reg as the process-default registry: every
+// subsequent Run and Sweep meters into it unless its RunSpec carries
+// an explicit Telemetry override. Pass nil to turn metering back off.
+func SetTelemetry(reg *Registry) { experiment.SetTelemetry(reg) }
+
+// Telemetry reports the process-default registry, or nil.
+func Telemetry() *Registry { return experiment.Telemetry() }
